@@ -1,0 +1,25 @@
+"""Design-choice ablations beyond the paper (DESIGN.md extensions)."""
+
+from repro.experiments.ablations import (
+    run_shuffle_ablation,
+    run_similarity_measure_ablation,
+)
+
+
+def test_shuffle_ablation(once):
+    """Algorithm 1 line 5: dispatch shuffling. Without it each
+    middleware model keeps revisiting the same clients."""
+    result = once(run_shuffle_ablation, seed=0, beta=0.1, alpha=0.9)
+    tails = result.tail_accuracies()
+    print(f"\nshuffle ablation tails: {tails}")
+    # both arms must learn; shuffling must not be materially worse
+    assert all(a > 0.2 for a in tails.values())
+    assert tails["shuffle_on"] >= tails["shuffle_off"] - 0.05
+
+
+def test_similarity_measure_ablation(once):
+    """Cosine (paper) vs negative Euclidean (future work) in CoModelSel."""
+    result = once(run_similarity_measure_ablation, seed=0, beta=1.0, alpha=0.9)
+    tails = result.tail_accuracies()
+    print(f"\nsimilarity measure ablation tails: {tails}")
+    assert all(a > 0.2 for a in tails.values())

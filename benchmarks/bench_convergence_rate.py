@@ -1,0 +1,25 @@
+"""Section III-C extension bench — empirical O(1/t) convergence check.
+
+FedCross on a convex objective with Theorem 1's decaying step size:
+the measured global-loss gap should fit a C/(t+lambda) envelope and
+show a clearly negative log-log slope.
+"""
+
+from repro.experiments.convergence import run_convergence_probe
+
+
+def test_convergence_rate_convex(once):
+    result = once(run_convergence_probe, seed=0, rounds=40)
+    print(
+        f"\nconvergence probe: slope={result.loglog_slope:.3f} "
+        f"fit c={result.fit['c']:.3f} lam={result.fit['lam']:.3f} "
+        f"r2={result.fit['r2']:.3f}"
+    )
+    print("losses:", [round(l, 4) for l in result.losses[::5]])
+
+    # Loss must decrease substantially over training...
+    assert result.losses[-1] < result.losses[0] * 0.9
+    # ...with a negative power-law trend consistent with O(1/t)
+    assert result.loglog_slope < -0.2
+    # ...and an inverse-t envelope that explains most of the variance.
+    assert result.fit["r2"] > 0.5

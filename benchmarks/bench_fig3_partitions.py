@@ -1,0 +1,16 @@
+"""Figure 3 — Dirichlet client/class distributions."""
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_partition_heterogeneity(once):
+    result = once(run_fig3, betas=(0.1, 0.5, 1.0), num_clients=100, show_clients=10, seed=0)
+    print("\n" + format_fig3(result))
+
+    c = result.concentrations
+    # The paper's visual: smaller beta concentrates classes on fewer
+    # clients. Concentration must be strictly monotone in beta here.
+    assert c[0.1] > c[0.5] > c[1.0]
+    # every class's samples exist somewhere
+    for beta, counts in result.count_matrices.items():
+        assert counts.shape[1] == 10

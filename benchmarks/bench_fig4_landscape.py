@@ -1,0 +1,20 @@
+"""Figure 4 / RQ1 — loss landscapes of FedAvg vs FedCross."""
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+def test_fig4_loss_landscapes(once):
+    result = once(run_fig4, seed=0, heterogeneities=(0.1, "iid"), radius=0.5, grid=7)
+    print("\n" + format_fig4(result))
+
+    # The paper's RQ1 claim: FedCross global models sit in flatter
+    # valleys. Compare the rise-at-radius sharpness per heterogeneity.
+    for het in ("b=0.1", "iid"):
+        fa = result.sharpness[("fedavg", het)]
+        fc = result.sharpness[("fedcross", het)]
+        # FedCross must not be sharper by more than a hair; typically it
+        # is strictly flatter (recorded in EXPERIMENTS.md).
+        assert fc["rise_full"] <= fa["rise_full"] * 1.25 + 0.05
+    # all scans are valid bowls: loss rises away from the centre
+    for scan in result.scans.values():
+        assert scan.losses.max() >= scan.center_loss - 1e-6

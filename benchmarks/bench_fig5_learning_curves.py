@@ -1,0 +1,27 @@
+"""Figure 5 — learning curves of the six methods on synthetic CIFAR-10."""
+
+from repro.experiments.fig5 import format_fig5, run_fig5_panel
+
+
+def test_fig5_learning_curves_noniid(once):
+    result = once(run_fig5_panel, model="mlp", heterogeneity=0.1, seed=3)
+    print("\n" + format_fig5(result))
+    print(f"final ranking: {result.final_ranking()}")
+
+    curves = result.curves()
+    # every method improves from its first to best evaluation
+    for method, series in curves.items():
+        assert max(series) > series[0], f"{method} never improved"
+    # FedCross finishes at or near the top (within 3pp of the best).
+    finals = {m: s[-1] for m, s in curves.items()}
+    best = max(finals.values())
+    assert finals["fedcross"] >= best - 0.03
+
+
+def test_fig5_learning_curves_iid(once):
+    result = once(run_fig5_panel, model="mlp", heterogeneity="iid", seed=3)
+    print("\n" + format_fig5(result))
+    curves = result.curves()
+    finals = {m: s[-1] for m, s in curves.items()}
+    best = max(finals.values())
+    assert finals["fedcross"] >= best - 0.05

@@ -1,0 +1,16 @@
+"""Figure 7 — impact of the total number of clients N."""
+
+from repro.experiments.fig7 import format_fig7, run_fig7
+
+
+def test_fig7_total_clients(once):
+    result = once(run_fig7, n_values=(10, 20, 40), seed=0, beta=0.5)
+    print("\n" + format_fig7(result))
+
+    by_n = result.accuracy_by_n()
+    for method, accs in by_n.items():
+        assert all(a > 0.1 for a in accs), f"{method} at chance"
+    # Fixed sample budget: more clients = less data each = lower
+    # accuracy at a fixed round budget (the paper's slower convergence).
+    for method, accs in by_n.items():
+        assert accs[0] >= accs[-1] - 0.05, f"{method} should degrade with N"

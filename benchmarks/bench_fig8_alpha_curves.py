@@ -1,0 +1,24 @@
+"""Figure 8 — FedCross learning curves across alpha settings."""
+
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+
+def test_fig8_alpha_curves_lowest(once):
+    result = once(
+        run_fig8, strategy="lowest", alphas=(0.5, 0.9, 0.99, 0.999), seed=0
+    )
+    print("\n" + format_fig8(result))
+
+    finals = result.final_by_alpha()
+    # alpha = 0.999 collapses relative to the best mid-range alpha
+    best_mid = max(finals[0.9], finals[0.99])
+    assert finals[0.999] < best_mid
+    # all mid-range alphas learn
+    assert finals[0.9] > 0.2 and finals[0.5] > 0.2
+
+
+def test_fig8_alpha_curves_in_order(once):
+    result = once(run_fig8, strategy="in_order", alphas=(0.5, 0.9, 0.999), seed=0)
+    print("\n" + format_fig8(result))
+    finals = result.final_by_alpha()
+    assert finals[0.999] < max(finals[0.5], finals[0.9])

@@ -1,0 +1,32 @@
+"""Table I — communication overhead and method categories."""
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.models import build_model
+
+
+def test_table1_comm_overhead(once):
+    model = build_model("mlp", seed=0, input_dim=192, num_classes=10)
+    rows = once(
+        run_table1,
+        k_clients=10,
+        model_params=model.num_parameters(),
+        generator_params=5_000,
+    )
+    print("\n" + format_table1(rows))
+
+    by_method = {r.method: r for r in rows}
+    # FedCross moves exactly as much as FedAvg (the paper's headline).
+    assert (
+        by_method["fedcross"].round_cost_model_equivalents
+        == by_method["fedavg"].round_cost_model_equivalents
+    )
+    # SCAFFOLD is the most expensive; FedGen sits strictly between.
+    assert (
+        by_method["scaffold"].round_cost_model_equivalents
+        > by_method["fedgen"].round_cost_model_equivalents
+        > by_method["fedavg"].round_cost_model_equivalents
+    )
+    # Categories match Table I.
+    assert by_method["fedcross"].category == "Multi-Model Guided"
+    assert by_method["scaffold"].overhead_class == "High"
+    assert by_method["fedgen"].overhead_class == "Medium"

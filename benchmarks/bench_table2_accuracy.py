@@ -1,0 +1,48 @@
+"""Table II — test-accuracy grid: 6 methods x models x datasets x
+heterogeneity.
+
+Row set via ``REPRO_TABLE2_ROWS`` (smoke | standard | grid); default
+"standard" covers every axis of the paper's table at CPU scale.
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_accuracy_grid(once):
+    row_set = os.environ.get("REPRO_TABLE2_ROWS", "standard")
+    result = once(run_table2, seed=0, row_set=row_set)
+    print("\n" + format_table2(result))
+    winners = result.winners()
+    print(f"row winners: {winners}")
+    print(f"fedcross win rate: {result.fedcross_win_rate():.2f}")
+
+    grid = result.accuracy_grid()
+    # every method learns above chance on every row; chance is derived
+    # from the row's actual class count (dataset params may shrink it)
+    default_classes = {
+        "synth_cifar10": 10,
+        "synth_cifar100": 100,
+        "synth_femnist": 10,
+        "synth_shakespeare": 30,
+        "synth_sent140": 2,
+    }
+    for row, cells in zip(result.rows, grid):
+        classes = row.dataset_params.get(
+            "vocab_size", row.dataset_params.get("num_classes", default_classes[row.dataset])
+        )
+        chance = 1.0 / classes
+        for method, acc in cells.items():
+            assert acc > chance, f"{method} at chance on {row.label}"
+
+    # FedCross is competitive in aggregate: its mean accuracy across the
+    # grid is not materially below FedAvg's (the paper has it strictly
+    # above; at quick scale we assert the direction with slack).
+    mean_fc = np.mean([c["fedcross"] for c in grid])
+    mean_fa = np.mean([c["fedavg"] for c in grid])
+    assert mean_fc > mean_fa - 0.05
+    # and it wins at least one row outright
+    assert "fedcross" in winners

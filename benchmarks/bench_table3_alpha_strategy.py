@@ -1,0 +1,19 @@
+"""Table III — alpha x collaborative-selection-strategy ablation."""
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3_alpha_strategy(once):
+    result = once(run_table3, seed=0, alphas=(0.5, 0.9, 0.99, 0.999))
+    print("\n" + format_table3(result))
+    print(f"best strategy per alpha: {result.best_strategy_per_alpha()}")
+
+    # Paper: alpha = 0.999 collapses for every strategy relative to the
+    # mid-range alphas (less knowledge exchanged than local drift).
+    for strategy in result.strategies:
+        mid = max(result.accuracy[(0.9, strategy)], result.accuracy[(0.99, strategy)])
+        assert result.accuracy[(0.999, strategy)] < mid + 0.02
+
+    # Paper: highest-similarity is the weakest strategy overall.
+    means = {s: result.strategy_mean(s) for s in result.strategies}
+    assert means["highest"] <= max(means["lowest"], means["in_order"]) + 0.02

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each bench runs its experiment harness exactly once via
+``benchmark.pedantic`` (FL training is the measured quantity; repeated
+timing runs would multiply minutes of compute for no statistical gain),
+prints the paper-style table/series, and asserts the robust qualitative
+shapes. Scale is controlled by ``REPRO_SCALE`` (default "quick").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture-ised single-shot benchmark runner."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,33 @@
+"""Training-acceleration variants (Figure 9, scaled).
+
+Compares vanilla FedCross with the propeller-model (PM), dynamic-alpha
+(DA) and staged PM-DA warm-ups on a non-IID federation.
+
+Usage::
+
+    python examples/acceleration_comparison.py
+"""
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+
+
+def main() -> None:
+    print("FedCross acceleration variants, non-IID Dir(0.1)\n")
+    result = run_fig9(heterogeneity=0.1, seed=0, alpha=0.97)
+    print(format_fig9(result))
+
+    print("\nEarly-training mean accuracy (first 3 evaluations):")
+    for variant in ("vanilla", "pm", "da", "pm_da"):
+        final = result.histories[variant].accuracies[-1]
+        print(
+            f"  {variant:>8}: early={result.early_auc(variant, 3):.3f} "
+            f"final={final:.3f}"
+        )
+    print(
+        "\nExpected shape (paper Fig. 9): accelerated variants climb "
+        "faster early, at a slight final-accuracy cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

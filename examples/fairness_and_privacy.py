@@ -1,0 +1,94 @@
+"""Per-client fairness + differential-privacy extension demo.
+
+Two extensions beyond the paper's tables:
+
+1. *Fairness*: the paper motivates FedCross with a global model that
+   serves all clients (Figure 1). We evaluate FedAvg's and FedCross's
+   global models on every client's own shard and compare dispersion
+   (std / worst client / Jain index).
+2. *Privacy* (Section IV-F): the paper claims FedCross integrates
+   FedAvg-compatible privacy techniques. We run FedCross with DP-SGD
+   local training (gradient clipping + Gaussian noise) and report the
+   accuracy cost.
+
+Usage::
+
+    python examples/fairness_and_privacy.py
+"""
+
+import numpy as np
+
+from repro.data.federated import build_federated_dataset
+from repro.fl.config import FLConfig
+from repro.fl.fairness import evaluate_per_client, fairness_summary
+from repro.fl.privacy import DPConfig, make_dp_grad_hook
+from repro.fl.simulation import FLSimulation
+
+
+def main() -> None:
+    base = FLConfig(
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=0.1,
+        num_clients=10,
+        participation=0.5,
+        rounds=30,
+        local_epochs=5,
+        batch_size=20,
+        eval_every=10,
+        seed=1,
+    )
+    fed = build_federated_dataset(
+        base.dataset, num_clients=base.num_clients, heterogeneity=0.1, seed=1
+    )
+
+    print("== Fairness: per-client accuracy of the deployed global model ==")
+    for method, params in (
+        ("fedavg", {}),
+        ("fedcross", {"alpha": 0.9, "selection": "lowest"}),
+    ):
+        sim = FLSimulation(base.with_method(method, **params), fed_dataset=fed)
+        result = sim.run()
+        evaluation = evaluate_per_client(sim.model, result.final_state, sim.clients)
+        summary = fairness_summary(evaluation)
+        print(
+            f"  {method:>8}: global={result.final_accuracy:.3f} "
+            f"client mean={summary['mean']:.3f} std={summary['std']:.3f} "
+            f"worst={summary['worst']:.3f} jain={summary['jain_index']:.3f}"
+        )
+
+    print("\n== Privacy: FedCross with DP-SGD local training ==")
+    for label, dp in (
+        ("no DP", None),
+        ("clip=1.0", DPConfig(clip_norm=1.0, noise_multiplier=0.0, seed=0)),
+        ("clip=1.0 z=0.1", DPConfig(clip_norm=1.0, noise_multiplier=0.1, seed=0)),
+    ):
+        config = base.with_method("fedcross", alpha=0.9, selection="lowest")
+        sim = FLSimulation(config, fed_dataset=fed)
+        if dp is not None:
+            hook = make_dp_grad_hook(dp)
+            original_train = sim.trainer.train
+
+            def train_with_dp(state, dataset, rng, loss_hook=None, grad_hook=None,
+                              lr_override=None, _orig=original_train, _hook=hook):
+                def combined(named):
+                    if grad_hook is not None:
+                        grad_hook(named)
+                    _hook(named)
+                return _orig(state, dataset, rng, loss_hook=loss_hook,
+                             grad_hook=combined, lr_override=lr_override)
+
+            sim.trainer.train = train_with_dp
+        result = sim.run()
+        print(f"  {label:>15}: final accuracy = {result.final_accuracy:.3f}")
+
+    print(
+        "\nReading: per-client dispersion shows how evenly the deployed "
+        "model serves the federation (tiny Dirichlet shards are noisy — "
+        "compare across several seeds for stable rankings); DP clipping/"
+        "noise trades accuracy for privacy as expected."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: train FedCross on a synthetic federated CIFAR-10.
+
+Runs the paper's multi-model cross-aggregation scheme with default
+hyper-parameters on a CPU-scaled synthetic dataset, prints the per-round
+accuracy of the deployment global model, and compares against FedAvg.
+
+Usage::
+
+    python examples/quickstart.py            # ~30 s
+    REPRO_ROUNDS=60 python examples/quickstart.py
+"""
+
+import os
+
+from repro.api import compare_methods
+
+ROUNDS = int(os.environ.get("REPRO_ROUNDS", 25))
+
+
+def main() -> None:
+    print("FedCross quickstart — synthetic CIFAR-10, Dir(0.5), 10 clients")
+    print(f"rounds={ROUNDS}, 5 local epochs, SGD(lr=0.01, momentum=0.5)\n")
+
+    results = compare_methods(
+        ["fedavg", "fedcross"],
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=0.5,
+        num_clients=10,
+        participation=0.5,
+        rounds=ROUNDS,
+        local_epochs=5,
+        batch_size=20,
+        eval_every=5,
+        seed=0,
+        method_params={"fedcross": {"alpha": 0.9, "selection": "lowest"}},
+    )
+
+    rounds = results["fedavg"].history.rounds
+    print(f"{'round':>6} | {'fedavg':>8} | {'fedcross':>8}")
+    print("-" * 30)
+    for i, r in enumerate(rounds):
+        fa = results["fedavg"].history.accuracies[i]
+        fc = results["fedcross"].history.accuracies[i]
+        print(f"{r + 1:>6} | {fa:>8.3f} | {fc:>8.3f}")
+
+    print()
+    for name, result in results.items():
+        print(
+            f"{name:>8}: final={result.final_accuracy:.3f} "
+            f"best={result.best_accuracy:.3f} "
+            f"comm={result.history.total_comm_params():,} params"
+        )
+    print(
+        "\nNote the Figure-5 shape: FedCross starts slower (fine-grained "
+        "mixing) and finishes at or above FedAvg, at identical "
+        "communication cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Analysis toolkit: loss landscapes, model similarity, convergence.
+
+Supports the paper's RQ1 (Figure 4 loss-landscape comparison), the
+similarity diagnostics behind the selection strategies, the Theorem 1
+convergence-rate probe, and the Table I communication model.
+"""
+
+from repro.analysis.landscape import (
+    LandscapeScan,
+    loss_landscape_2d,
+    random_plane_directions,
+    sharpness_metrics,
+    render_landscape_ascii,
+)
+from repro.analysis.similarity import (
+    pairwise_cosine,
+    pool_dispersion,
+    mean_pairwise_similarity,
+)
+from repro.analysis.convergence import (
+    inverse_t_envelope_fit,
+    lemma34_contraction_gap,
+    empirical_convergence_rate,
+)
+
+__all__ = [
+    "LandscapeScan",
+    "loss_landscape_2d",
+    "random_plane_directions",
+    "sharpness_metrics",
+    "render_landscape_ascii",
+    "pairwise_cosine",
+    "pool_dispersion",
+    "mean_pairwise_similarity",
+    "inverse_t_envelope_fit",
+    "lemma34_contraction_gap",
+    "empirical_convergence_rate",
+]

@@ -1,0 +1,161 @@
+"""2-D loss-landscape scans (the machinery behind Figure 4 / RQ1).
+
+Implements the filter-normalised random-plane visualisation of
+Li et al. 2018 ("Visualizing the Loss Landscape of Neural Nets"), the
+method the paper uses to argue FedCross converges into flatter valleys
+than FedAvg: two random directions are drawn and rescaled so each
+parameter tensor's perturbation matches that tensor's norm, then the
+loss is evaluated on the grid ``w + a*d1 + b*d2``.
+
+``sharpness_metrics`` condenses a scan into scalars (loss rise at fixed
+radius, gradient of the bowl) so benches can *assert* "FedCross is
+flatter than FedAvg" instead of eyeballing contours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.metrics import evaluate_model
+from repro.nn.module import Module
+
+__all__ = [
+    "random_plane_directions",
+    "loss_landscape_2d",
+    "LandscapeScan",
+    "sharpness_metrics",
+    "render_landscape_ascii",
+]
+
+
+def random_plane_directions(
+    state: Mapping[str, np.ndarray],
+    rng: np.random.Generator,
+    param_keys: set[str] | None = None,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Two filter-normalised random directions in parameter space.
+
+    Each direction tensor is drawn i.i.d. Gaussian then rescaled to the
+    norm of the corresponding weight tensor (per-tensor normalisation —
+    the variant of Li et al. appropriate for the small models here).
+    Non-parameter entries (e.g. batch-norm running stats) get zero
+    directions so the scan never perturbs them.
+    """
+    d1: dict[str, np.ndarray] = {}
+    d2: dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        value = np.asarray(value, dtype=np.float64)
+        if param_keys is not None and key not in param_keys:
+            d1[key] = np.zeros_like(value)
+            d2[key] = np.zeros_like(value)
+            continue
+        norm = np.linalg.norm(value)
+        for out in (d1, d2):
+            direction = rng.standard_normal(value.shape)
+            dnorm = np.linalg.norm(direction)
+            out[key] = direction * (norm / dnorm) if dnorm > 0 and norm > 0 else np.zeros_like(value)
+    return d1, d2
+
+
+@dataclass
+class LandscapeScan:
+    """Result of a 2-D loss scan around a model state."""
+
+    alphas: np.ndarray  # (A,) grid along direction 1
+    betas: np.ndarray  # (B,) grid along direction 2
+    losses: np.ndarray  # (A, B) mean loss at each grid point
+    center_loss: float
+
+    def loss_at_radius(self, radius: float) -> float:
+        """Mean loss over grid points at ~``radius`` from the centre."""
+        aa, bb = np.meshgrid(self.alphas, self.betas, indexing="ij")
+        dist = np.sqrt(aa**2 + bb**2)
+        step = max(
+            float(np.diff(self.alphas).max(initial=0.0)),
+            float(np.diff(self.betas).max(initial=0.0)),
+        )
+        ring = np.abs(dist - radius) <= step
+        if not ring.any():
+            raise ValueError(f"no grid points near radius {radius}")
+        return float(self.losses[ring].mean())
+
+
+def loss_landscape_2d(
+    model: Module,
+    state: Mapping[str, np.ndarray],
+    dataset: ArrayDataset,
+    rng: np.random.Generator,
+    radius: float = 0.5,
+    grid: int = 9,
+    batch_size: int = 256,
+    param_keys: set[str] | None = None,
+) -> LandscapeScan:
+    """Scan the loss on a random filter-normalised plane through ``state``.
+
+    Parameters
+    ----------
+    radius:
+        Half-width of the scan in units of per-tensor weight norm.
+    grid:
+        Points per axis (``grid x grid`` evaluations).
+    """
+    if grid < 3 or grid % 2 == 0:
+        raise ValueError("grid must be an odd integer >= 3")
+    d1, d2 = random_plane_directions(state, rng, param_keys=param_keys)
+    alphas = np.linspace(-radius, radius, grid)
+    betas = np.linspace(-radius, radius, grid)
+    losses = np.zeros((grid, grid))
+    base = {k: np.asarray(v, dtype=np.float64) for k, v in state.items()}
+    for i, a in enumerate(alphas):
+        for j, b in enumerate(betas):
+            perturbed = {k: base[k] + a * d1[k] + b * d2[k] for k in base}
+            model.load_state_dict(
+                {k: v.astype(np.asarray(state[k]).dtype) for k, v in perturbed.items()}
+            )
+            _, loss = evaluate_model(model, dataset, batch_size=batch_size)
+            losses[i, j] = loss
+    center = losses[grid // 2, grid // 2]
+    return LandscapeScan(alphas=alphas, betas=betas, losses=losses, center_loss=float(center))
+
+
+def sharpness_metrics(scan: LandscapeScan) -> dict[str, float]:
+    """Scalar flatness summary of a scan.
+
+    Returns
+    -------
+    dict with:
+      ``center_loss``  loss at the scanned optimum;
+      ``rise_half``    mean loss increase at half the scan radius;
+      ``rise_full``    mean loss increase at the full radius;
+      ``max_rise``     worst-case increase anywhere on the grid.
+    Lower rises = flatter valley (the paper's claim for FedCross).
+    """
+    full = float(scan.alphas[-1])
+    rise_half = scan.loss_at_radius(full / 2) - scan.center_loss
+    rise_full = scan.loss_at_radius(full) - scan.center_loss
+    max_rise = float(scan.losses.max() - scan.center_loss)
+    return {
+        "center_loss": scan.center_loss,
+        "rise_half": rise_half,
+        "rise_full": rise_full,
+        "max_rise": max_rise,
+    }
+
+
+def render_landscape_ascii(scan: LandscapeScan, levels: str = " .:-=+*#%@") -> str:
+    """ASCII contour rendering of a scan (Figure 4 as text)."""
+    lo = scan.losses.min()
+    hi = scan.losses.max()
+    span = max(hi - lo, 1e-12)
+    rows = []
+    for i in range(scan.losses.shape[0]):
+        row = []
+        for j in range(scan.losses.shape[1]):
+            frac = (scan.losses[i, j] - lo) / span
+            row.append(levels[min(int(frac * len(levels)), len(levels) - 1)])
+        rows.append("".join(row))
+    return "\n".join(rows)

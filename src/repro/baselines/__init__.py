@@ -1,0 +1,41 @@
+"""Baseline FL methods the paper compares against (Table I).
+
+| Method   | Category                | Comm. overhead |
+|----------|-------------------------|----------------|
+| FedAvg   | Classic                 | Low            |
+| FedProx  | Global control variable | Low            |
+| SCAFFOLD | Global control variable | High           |
+| FedGen   | Knowledge distillation  | Medium         |
+| CluSamp  | Client grouping         | Low            |
+
+Importing this package registers every baseline with the method
+registry, so ``build_server("scaffold", ...)`` just works.
+"""
+
+from repro.baselines.fedavg import FedAvgServer
+from repro.baselines.fedprox import FedProxServer
+from repro.baselines.scaffold import ScaffoldServer
+from repro.baselines.fedgen import FedGenServer, Generator
+from repro.baselines.clusamp import CluSampServer
+from repro.baselines.fedcluster import FedClusterServer
+
+METHOD_CATEGORY = {
+    "fedavg": "Classic",
+    "fedprox": "Global Control Variable",
+    "scaffold": "Global Control Variable",
+    "fedgen": "Knowledge Distillation",
+    "clusamp": "Client Grouping",
+    "fedcluster": "Client Grouping",
+    "fedcross": "Multi-Model Guided",
+}
+
+__all__ = [
+    "FedAvgServer",
+    "FedProxServer",
+    "ScaffoldServer",
+    "FedGenServer",
+    "Generator",
+    "CluSampServer",
+    "FedClusterServer",
+    "METHOD_CATEGORY",
+]

@@ -1,0 +1,37 @@
+"""FedAvg (McMahan et al. 2017) — the classic one-to-multi scheme.
+
+Each round the server dispatches the single global model to K sampled
+clients, receives their locally trained copies, and replaces the global
+model with the sample-size-weighted average. This is the aggregation
+scheme whose "coarse-grained averaging" the paper argues eclipses
+client knowledge under gradient divergence.
+"""
+
+from __future__ import annotations
+
+from repro.fl.client import Client
+from repro.fl.registry import register_method
+from repro.fl.server import FederatedServer
+from repro.utils.params import weighted_average
+
+__all__ = ["FedAvgServer"]
+
+
+@register_method("fedavg")
+class FedAvgServer(FederatedServer):
+    """One-to-multi training with weighted-average aggregation."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._global = self.model.state_dict()
+
+    def run_round(self, active: list[Client]) -> dict:
+        results = [client.train(self.trainer, self._global) for client in active]
+        self._global = weighted_average(
+            [r.state for r in results], [r.num_samples for r in results]
+        )
+        self.charge_round_communication(active)
+        return {"train_loss": self.mean_local_loss(results)}
+
+    def global_state(self) -> dict:
+        return self._global

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One FL simulation: ``python -m repro run --method fedcross
+    --dataset synth_cifar10 --model mlp --rounds 20 --beta 0.1``.
+``compare``
+    Several methods under shared data/init:
+    ``python -m repro compare --methods fedavg,fedcross --rounds 20``.
+``bench``
+    Regenerate one paper artefact by name:
+    ``python -m repro bench table1|table2|table3|fig3|...|fig9``.
+``list``
+    Show registered methods, models and datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api import compare_methods, run_method
+from repro.data.federated import DATASET_BUILDERS
+from repro.fl.registry import available_methods
+from repro.models.registry import available_models
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="synth_cifar10")
+    parser.add_argument("--model", default="mlp")
+    parser.add_argument(
+        "--beta",
+        default="iid",
+        help='Dirichlet beta (float) or "iid"',
+    )
+    parser.add_argument("--clients", type=int, default=10)
+    parser.add_argument("--participation", type=float, default=0.5)
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--local-epochs", type=int, default=5)
+    parser.add_argument("--batch-size", type=int, default=20)
+    parser.add_argument("--lr", type=float, default=0.01)
+    parser.add_argument("--momentum", type=float, default=0.5)
+    parser.add_argument("--eval-every", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--alpha", type=float, default=0.9, help="FedCross fusion weight")
+    parser.add_argument(
+        "--selection",
+        default="lowest",
+        choices=("in_order", "highest", "lowest"),
+        help="FedCross CoModelSel strategy",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FedCross reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one FL simulation")
+    run_p.add_argument("--method", default="fedcross")
+    _add_run_args(run_p)
+
+    cmp_p = sub.add_parser("compare", help="compare methods on shared data")
+    cmp_p.add_argument(
+        "--methods", default="fedavg,fedcross", help="comma-separated method names"
+    )
+    _add_run_args(cmp_p)
+
+    bench_p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench_p.add_argument(
+        "artifact",
+        choices=(
+            "table1", "table2", "table3",
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        ),
+    )
+    bench_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list methods, models and datasets")
+    return parser
+
+
+def _heterogeneity(value: str):
+    return "iid" if value.lower() == "iid" else float(value)
+
+
+def _config_kwargs(args) -> dict:
+    return dict(
+        dataset=args.dataset,
+        model=args.model,
+        heterogeneity=_heterogeneity(args.beta),
+        num_clients=args.clients,
+        participation=args.participation,
+        rounds=args.rounds,
+        local_epochs=args.local_epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        momentum=args.momentum,
+        eval_every=args.eval_every,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args) -> int:
+    method_params = (
+        {"alpha": args.alpha, "selection": args.selection}
+        if args.method == "fedcross"
+        else {}
+    )
+    result = run_method(args.method, method_params=method_params, **_config_kwargs(args))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "method": args.method,
+                    "final_accuracy": result.final_accuracy,
+                    "best_accuracy": result.best_accuracy,
+                    "accuracies": result.history.accuracies,
+                    "rounds": result.history.rounds,
+                    "comm_params": result.history.total_comm_params(),
+                }
+            )
+        )
+    else:
+        print(f"method={args.method} dataset={args.dataset} model={args.model}")
+        for r, a in zip(result.history.rounds, result.history.accuracies):
+            print(f"  round {r + 1:>4}: accuracy {a:.4f}")
+        print(f"final={result.final_accuracy:.4f} best={result.best_accuracy:.4f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    results = compare_methods(
+        methods,
+        method_params={"fedcross": {"alpha": args.alpha, "selection": args.selection}},
+        **_config_kwargs(args),
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    m: {
+                        "final_accuracy": r.final_accuracy,
+                        "best_accuracy": r.best_accuracy,
+                        "accuracies": r.history.accuracies,
+                    }
+                    for m, r in results.items()
+                }
+            )
+        )
+    else:
+        for m, r in results.items():
+            print(f"{m:>10}: final={r.final_accuracy:.4f} best={r.best_accuracy:.4f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments import (
+        fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3,
+    )
+
+    if args.artifact == "table1":
+        print(table1.format_table1(table1.run_table1()))
+    elif args.artifact == "table2":
+        print(table2.format_table2(table2.run_table2(seed=args.seed, row_set="smoke")))
+    elif args.artifact == "table3":
+        print(table3.format_table3(table3.run_table3(seed=args.seed)))
+    elif args.artifact == "fig3":
+        print(fig3.format_fig3(fig3.run_fig3(seed=args.seed)))
+    elif args.artifact == "fig4":
+        print(fig4.format_fig4(fig4.run_fig4(seed=args.seed)))
+    elif args.artifact == "fig5":
+        print(fig5.format_fig5(fig5.run_fig5_panel(seed=args.seed)))
+    elif args.artifact == "fig6":
+        print(fig6.format_fig6(fig6.run_fig6(seed=args.seed)))
+    elif args.artifact == "fig7":
+        print(fig7.format_fig7(fig7.run_fig7(seed=args.seed)))
+    elif args.artifact == "fig8":
+        print(fig8.format_fig8(fig8.run_fig8(seed=args.seed)))
+    elif args.artifact == "fig9":
+        print(fig9.format_fig9(fig9.run_fig9(seed=args.seed)))
+    return 0
+
+
+def _cmd_list() -> int:
+    print("methods: ", ", ".join(available_methods()))
+    print("models:  ", ", ".join(available_models()))
+    print("datasets:", ", ".join(sorted(DATASET_BUILDERS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

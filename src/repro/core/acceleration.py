@@ -1,0 +1,68 @@
+"""Training-acceleration heuristics (Section III-D).
+
+Vanilla FedCross converges slowly on large models because alpha ~ 0.99
+lets each middleware model absorb only 1% of its collaborator per
+round. The paper proposes two coarse-then-fine schemes:
+
+* **Propeller models**: during the first ``pm_rounds`` rounds each
+  middleware model aggregates with *multiple* in-order-selected
+  "propeller" collaborators instead of one, injecting more knowledge
+  per round.
+* **Dynamic alpha**: ramp alpha from 0.5 up to its target over
+  ``da_rounds`` rounds, so early rounds mix aggressively and late
+  rounds fine-tune.
+
+The ``PM-DA`` variant of Figure 9 runs propellers for the first half of
+the warm-up and dynamic alpha for the second half.
+"""
+
+from __future__ import annotations
+
+__all__ = ["propeller_indices", "DynamicAlphaSchedule"]
+
+
+def propeller_indices(index: int, round_idx: int, k: int, num_propellers: int) -> list[int]:
+    """In-order propeller set for middleware model ``index``.
+
+    Generalises the in-order rule: the ``p``-th propeller of model ``i``
+    in round ``r`` is ``(i + (r % (K-1)) + 1 + p) % K`` (skipping ``i``
+    itself), giving ``num_propellers`` distinct collaborators.
+    """
+    if k <= 1:
+        return [index]
+    num = max(1, min(num_propellers, k - 1))
+    start = round_idx % (k - 1) + 1
+    out: list[int] = []
+    offset = 0
+    while len(out) < num:
+        candidate = (index + start + offset) % k
+        offset += 1
+        if candidate == index or candidate in out:
+            continue
+        out.append(candidate)
+    return out
+
+
+class DynamicAlphaSchedule:
+    """Linear alpha ramp: 0.5 → ``target`` over ``ramp_rounds`` rounds.
+
+    ``alpha_at(r)`` returns the fusion weight for round ``r``; after the
+    ramp it stays at ``target`` (paper example: target 0.99).
+    """
+
+    def __init__(self, target: float, ramp_rounds: int, start: float = 0.5) -> None:
+        if not 0.0 < start <= target < 1.0:
+            raise ValueError(
+                f"require 0 < start <= target < 1, got start={start}, target={target}"
+            )
+        if ramp_rounds < 0:
+            raise ValueError("ramp_rounds must be non-negative")
+        self.start = start
+        self.target = target
+        self.ramp_rounds = ramp_rounds
+
+    def alpha_at(self, round_idx: int) -> float:
+        if self.ramp_rounds == 0 or round_idx >= self.ramp_rounds:
+            return self.target
+        frac = round_idx / self.ramp_rounds
+        return self.start + (self.target - self.start) * frac

@@ -1,0 +1,60 @@
+"""Cross-aggregation and global-model generation (Sections III-B2/B3).
+
+``cross_aggregate`` is the paper's fusion rule
+
+    CrossAggr(v_i, v_co) = alpha * v_i + (1 - alpha) * v_co
+
+applied key-wise over state dicts. ``global_model_generation`` is the
+deployment-time average ``w_g = (1/K) sum_i w_i`` — the only point at
+which FedCross performs FedAvg-style coarse aggregation, and it never
+feeds back into training.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.params import weighted_average
+
+__all__ = ["cross_aggregate", "global_model_generation", "validate_alpha"]
+
+
+def validate_alpha(alpha: float) -> float:
+    """Check alpha is a valid fusion weight.
+
+    The paper restricts alpha to [0.5, 1.0) in the method description
+    but sweeps {0.5, ..., 0.999} in the ablation (Table III); we accept
+    (0, 1) and leave the [0.5, 1) recommendation to callers.
+    """
+    alpha = float(alpha)
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    return alpha
+
+
+def cross_aggregate(
+    model: Mapping[str, np.ndarray],
+    collaborator: Mapping[str, np.ndarray],
+    alpha: float,
+) -> dict[str, np.ndarray]:
+    """Fuse ``model`` with its collaborative model at weight ``alpha``."""
+    alpha = validate_alpha(alpha)
+    if set(model) != set(collaborator):
+        raise KeyError("model and collaborator state dicts have mismatched keys")
+    out: dict[str, np.ndarray] = {}
+    for key, value in model.items():
+        a = np.asarray(value, dtype=np.float64)
+        b = np.asarray(collaborator[key], dtype=np.float64)
+        out[key] = (alpha * a + (1.0 - alpha) * b).astype(np.asarray(value).dtype)
+    return out
+
+
+def global_model_generation(
+    middleware: Sequence[Mapping[str, np.ndarray]],
+) -> dict[str, np.ndarray]:
+    """Uniform average of the middleware pool — deployment only."""
+    if not middleware:
+        raise ValueError("middleware pool is empty")
+    return weighted_average(middleware)

@@ -1,0 +1,147 @@
+"""The FedCross server (Algorithm 1).
+
+Maintains K middleware models; each round:
+
+* line 4-5: sample K clients and *shuffle* the model→client assignment
+  (without shuffling, a middleware model keeps meeting the same
+  clients — benched in the shuffle ablation);
+* line 7-10: local training of each middleware model on its client;
+* line 11-14: ``CoModelSel`` + ``CrossAggr`` produce the next pool;
+* line 17: ``GlobalModelGen`` averages the pool into the
+  deployment-only global model (used here for per-round evaluation,
+  exactly like the paper's "pseudo-global model" for Figure 5).
+
+``method_params`` accepted (paper defaults in Section IV-A):
+
+========================  ========================  =============================================
+``alpha``                 fusion weight, default 0.99
+``selection``             in_order | highest | lowest (default lowest)
+``measure``               cosine (default) | euclidean
+``shuffle``               bool, Algorithm 1 line 5 (default True)
+``propeller_rounds``      rounds of propeller-model warm-up (default 0)
+``num_propellers``        propellers per model during warm-up (default 3)
+``dynamic_alpha_rounds``  rounds of alpha ramp 0.5→alpha (default 0)
+========================  ========================  =============================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.acceleration import DynamicAlphaSchedule, propeller_indices
+from repro.core.aggregation import cross_aggregate, global_model_generation, validate_alpha
+from repro.core.selection import CoModelSel, similarity_matrix
+from repro.fl.client import Client
+from repro.fl.registry import register_method
+from repro.fl.server import FederatedServer
+from repro.utils.params import weighted_average
+
+__all__ = ["FedCrossServer"]
+
+
+@register_method("fedcross")
+class FedCrossServer(FederatedServer):
+    """Multi-to-multi training with multi-model cross-aggregation."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        params = self.config.method_params
+        self.alpha = validate_alpha(params.get("alpha", 0.99))
+        self.shuffle = bool(params.get("shuffle", True))
+        param_keys = {name for name, _ in self.model.named_parameters()}
+        self.selector = CoModelSel(
+            strategy=params.get("selection", "lowest"),
+            measure=params.get("measure", "cosine"),
+            param_keys=param_keys,
+        )
+        self.propeller_rounds = int(params.get("propeller_rounds", 0))
+        self.num_propellers = int(params.get("num_propellers", 3))
+        da_rounds = int(params.get("dynamic_alpha_rounds", 0))
+        # PM-DA staging (Figure 9): propellers first, then the alpha ramp.
+        self._da_schedule = (
+            DynamicAlphaSchedule(self.alpha, da_rounds + self.propeller_rounds)
+            if da_rounds > 0
+            else None
+        )
+
+        k = self.config.clients_per_round
+        # Line 2 of Algorithm 1: all K middleware models start from the
+        # same deterministic init (so FedCross and the baselines share a
+        # starting point for fair curves).
+        self.middleware: list[dict] = [self.model.state_dict() for _ in range(k)]
+        self.result_extras: dict = {}
+
+    # -- alpha / acceleration -------------------------------------------------
+    def alpha_at(self, round_idx: int) -> float:
+        """Effective fusion weight for ``round_idx`` (dynamic-α aware)."""
+        if self._da_schedule is not None and round_idx >= self.propeller_rounds:
+            return self._da_schedule.alpha_at(round_idx)
+        return self.alpha
+
+    def _use_propellers(self, round_idx: int) -> bool:
+        return round_idx < self.propeller_rounds
+
+    # -- Algorithm 1 ------------------------------------------------------------
+    def run_round(self, active: list[Client]) -> dict:
+        k = len(self.middleware)
+        if len(active) != k:
+            raise RuntimeError(
+                f"FedCross needs exactly K={k} active clients, got {len(active)}"
+            )
+        # Line 5: shuffle the model -> client assignment.
+        assignment = list(range(k))
+        if self.shuffle:
+            self.rng.shuffle(assignment)
+
+        # Lines 7-10: local training of middleware model i on client
+        # assignment[i]; W[i] is replaced by the uploaded model v_i.
+        uploaded: list[dict] = [None] * k  # type: ignore[list-item]
+        results = []
+        for i in range(k):
+            client = active[assignment[i]]
+            result = client.train(self.trainer, self.middleware[i])
+            uploaded[i] = result.state
+            results.append(result)
+
+        # Lines 11-14: collaborative selection + cross-aggregation.
+        alpha = self.alpha_at(self.round_idx)
+        new_pool: list[dict] = []
+        co_indices: list[int] = []
+        for i in range(k):
+            if self._use_propellers(self.round_idx) and k > 1:
+                props = propeller_indices(i, self.round_idx, k, self.num_propellers)
+                collaborator = weighted_average([uploaded[j] for j in props])
+                co_indices.append(props[0])
+            else:
+                j = self.selector(i, uploaded, self.round_idx)
+                collaborator = uploaded[j]
+                co_indices.append(j)
+            if k == 1:
+                new_pool.append(dict(uploaded[i]))
+            else:
+                new_pool.append(cross_aggregate(uploaded[i], collaborator, alpha))
+        self.middleware = new_pool
+
+        self.charge_round_communication(active)
+        return {
+            "train_loss": self.mean_local_loss(results),
+            "alpha": alpha,
+            "co_indices": co_indices,
+        }
+
+    # -- deployment --------------------------------------------------------------
+    def global_state(self) -> dict:
+        """Line 17: deployment-only global model (uniform pool average)."""
+        return global_model_generation(self.middleware)
+
+    def middleware_similarity(self) -> np.ndarray:
+        """Pairwise cosine similarity of the current pool (diagnostic).
+
+        The paper argues middleware models grow increasingly similar
+        over training; the integration tests assert this trend.
+        """
+        return similarity_matrix(
+            self.middleware,
+            measure="cosine",
+            param_keys=self.selector.param_keys,
+        )

@@ -1,0 +1,202 @@
+"""Collaborative model selection (``CoModelSel``, Section III-B1).
+
+Three strategies trade off the paper's selection criteria:
+
+``in_order``
+    Adequacy-and-diversity: the i-th model collaborates with model
+    ``(i + (r % (K-1) + 1)) % K`` in round r, so within every K-1
+    rounds each middleware model meets every other exactly once.
+``highest``
+    Gradient-divergence minimisation: pick the *most* similar model.
+    The paper shows this is the worst choice — similar models cluster
+    and drift apart as groups (Table III).
+``lowest``
+    Knowledge maximisation: pick the *least* similar model; the paper's
+    recommended default (used with alpha = 0.99 in Table II).
+
+Similarity is cosine similarity over flattened parameters (the paper
+leaves other measures as future work; ``euclidean`` is provided for the
+extension ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.params import flatten_state_dict
+
+__all__ = [
+    "cosine_similarity",
+    "euclidean_similarity",
+    "select_in_order",
+    "select_highest_similarity",
+    "select_lowest_similarity",
+    "similarity_matrix",
+    "CoModelSel",
+]
+
+SIMILARITY_MEASURES: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {}
+
+
+def _register_measure(name: str):
+    def decorator(fn):
+        SIMILARITY_MEASURES[name] = fn
+        return fn
+
+    return decorator
+
+
+@_register_measure("cosine")
+def cosine_similarity(x: np.ndarray, y: np.ndarray) -> float:
+    """Standard cosine similarity of two flattened parameter vectors."""
+    nx = np.linalg.norm(x)
+    ny = np.linalg.norm(y)
+    if nx == 0.0 or ny == 0.0:
+        return 0.0
+    return float(np.dot(x, y) / (nx * ny))
+
+
+@_register_measure("euclidean")
+def euclidean_similarity(x: np.ndarray, y: np.ndarray) -> float:
+    """Negative Euclidean distance (higher = more similar).
+
+    The measure the paper defers to future work; included for the
+    similarity-measure ablation bench.
+    """
+    return -float(np.linalg.norm(x - y))
+
+
+def _flatten_all(
+    states: Sequence[Mapping[str, np.ndarray]], param_keys: set[str] | None
+) -> np.ndarray:
+    vectors = []
+    for state in states:
+        if param_keys is not None:
+            state = {k: v for k, v in state.items() if k in param_keys}
+        vectors.append(flatten_state_dict(state))
+    return np.stack(vectors)
+
+
+def similarity_matrix(
+    states: Sequence[Mapping[str, np.ndarray]],
+    measure: str = "cosine",
+    param_keys: set[str] | None = None,
+) -> np.ndarray:
+    """Pairwise similarity matrix of a middleware model pool.
+
+    ``param_keys`` restricts the comparison to trainable parameters
+    (excluding e.g. batch-norm running stats, whose scale would swamp
+    the cosine).
+    """
+    fn = SIMILARITY_MEASURES[measure]
+    vectors = _flatten_all(states, param_keys)
+    k = len(vectors)
+    out = np.zeros((k, k))
+    for i in range(k):
+        out[i, i] = fn(vectors[i], vectors[i])
+        for j in range(i + 1, k):
+            out[i, j] = out[j, i] = fn(vectors[i], vectors[j])
+    return out
+
+
+def select_in_order(index: int, round_idx: int, k: int) -> int:
+    """The paper's in-order rule: ``(i + (r % (K-1) + 1)) % K``.
+
+    For ``k == 1`` there is no other model; the model is its own
+    collaborator (cross-aggregation degenerates to identity).
+    """
+    if k <= 1:
+        return index
+    return (index + (round_idx % (k - 1) + 1)) % k
+
+
+def _select_by_similarity(
+    index: int,
+    states: Sequence[Mapping[str, np.ndarray]],
+    measure: str,
+    param_keys: set[str] | None,
+    want_highest: bool,
+) -> int:
+    k = len(states)
+    if k <= 1:
+        return index
+    fn = SIMILARITY_MEASURES[measure]
+    vectors = _flatten_all(states, param_keys)
+    best_idx = -1
+    best_val = -np.inf if want_highest else np.inf
+    for j in range(k):
+        if j == index:
+            continue
+        val = fn(vectors[index], vectors[j])
+        if (want_highest and val > best_val) or (not want_highest and val < best_val):
+            best_val, best_idx = val, j
+    return best_idx
+
+
+def select_highest_similarity(
+    index: int,
+    states: Sequence[Mapping[str, np.ndarray]],
+    measure: str = "cosine",
+    param_keys: set[str] | None = None,
+) -> int:
+    """argmax_{j != i} Similarity(v_i, v_j)."""
+    return _select_by_similarity(index, states, measure, param_keys, want_highest=True)
+
+
+def select_lowest_similarity(
+    index: int,
+    states: Sequence[Mapping[str, np.ndarray]],
+    measure: str = "cosine",
+    param_keys: set[str] | None = None,
+) -> int:
+    """argmin_{j != i} Similarity(v_i, v_j) — the recommended default."""
+    return _select_by_similarity(index, states, measure, param_keys, want_highest=False)
+
+
+class CoModelSel:
+    """Configured collaborative-model selector.
+
+    Parameters
+    ----------
+    strategy:
+        ``"in_order"`` | ``"highest"`` | ``"lowest"``.
+    measure:
+        Similarity measure name for the similarity strategies
+        (``"cosine"`` — the paper's choice — or ``"euclidean"``).
+    param_keys:
+        Optional restriction of the comparison to these state keys.
+    """
+
+    STRATEGIES = ("in_order", "highest", "lowest")
+
+    def __init__(
+        self,
+        strategy: str = "lowest",
+        measure: str = "cosine",
+        param_keys: set[str] | None = None,
+    ) -> None:
+        strategy = strategy.lower()
+        if strategy not in self.STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {self.STRATEGIES}")
+        if measure not in SIMILARITY_MEASURES:
+            raise ValueError(
+                f"unknown measure {measure!r}; expected one of {sorted(SIMILARITY_MEASURES)}"
+            )
+        self.strategy = strategy
+        self.measure = measure
+        self.param_keys = param_keys
+
+    def __call__(
+        self,
+        index: int,
+        states: Sequence[Mapping[str, np.ndarray]],
+        round_idx: int,
+    ) -> int:
+        """Index of the collaborative model for ``states[index]``."""
+        if self.strategy == "in_order":
+            return select_in_order(index, round_idx, len(states))
+        if self.strategy == "highest":
+            return select_highest_similarity(index, states, self.measure, self.param_keys)
+        return select_lowest_similarity(index, states, self.measure, self.param_keys)

@@ -1,0 +1,44 @@
+"""Datasets, synthetic generators and federated partitioning.
+
+The paper evaluates on CIFAR-10/100 (Dirichlet-partitioned) and three
+naturally non-IID LEAF datasets (FEMNIST, Shakespeare, Sent140). None
+are available offline, so :mod:`repro.data.synthetic` provides
+generators reproducing each dataset's *federated structure* (class
+count, task shape, per-client skew); see DESIGN.md for the substitution
+argument. :mod:`repro.data.partition` implements the Dirichlet(β)
+label-skew scheme of Hsu et al. 2019 used throughout the paper.
+"""
+
+from repro.data.dataset import ArrayDataset, Subset, DataLoader, train_test_split
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    quantity_skew_partition,
+    partition_class_counts,
+    render_partition_grid,
+)
+from repro.data.federated import FederatedDataset, build_federated_dataset
+from repro.data.synthetic import (
+    make_synthetic_image_data,
+    make_synthetic_femnist,
+    make_synthetic_chars,
+    make_synthetic_sentiment,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "train_test_split",
+    "dirichlet_partition",
+    "iid_partition",
+    "quantity_skew_partition",
+    "partition_class_counts",
+    "render_partition_grid",
+    "FederatedDataset",
+    "build_federated_dataset",
+    "make_synthetic_image_data",
+    "make_synthetic_femnist",
+    "make_synthetic_chars",
+    "make_synthetic_sentiment",
+]

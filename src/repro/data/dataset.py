@@ -1,0 +1,110 @@
+"""In-memory datasets and minibatch loading."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "Subset", "DataLoader", "train_test_split"]
+
+
+class ArrayDataset:
+    """A dataset backed by aligned feature/label ndarrays.
+
+    Features may be images ``(N, C, H, W)``, flat vectors ``(N, D)`` or
+    integer token sequences ``(N, T)``; labels are integer class ids.
+    """
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray) -> None:
+        features = np.asarray(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features ({len(features)}) and labels ({len(labels)}) length mismatch"
+            )
+        self.features = features
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __getitem__(self, index) -> tuple[np.ndarray, np.ndarray]:
+        return self.features[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes present (max label + 1)."""
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def class_counts(self, num_classes: int | None = None) -> np.ndarray:
+        """Histogram of labels (used for Figure 3 and FedGen label stats)."""
+        k = num_classes if num_classes is not None else self.num_classes
+        return np.bincount(self.labels, minlength=k)
+
+    def subset(self, indices: Sequence[int]) -> "Subset":
+        return Subset(self, np.asarray(indices, dtype=np.int64))
+
+
+class Subset(ArrayDataset):
+    """A view of a parent dataset restricted to ``indices``."""
+
+    def __init__(self, parent: ArrayDataset, indices: np.ndarray) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        super().__init__(parent.features[indices], parent.labels[indices])
+        self.indices = indices
+
+
+class DataLoader:
+    """Minibatch iterator with optional per-epoch reshuffling.
+
+    The shuffling RNG is owned by the loader, so a client's data order
+    is reproducible given its seed yet varies across local epochs.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if len(idx) == 0:
+                continue
+            yield self.dataset.features[idx], self.dataset.labels[idx]
+
+
+def train_test_split(
+    dataset: ArrayDataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[Subset, Subset]:
+    """Random split into train/test subsets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(dataset)
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    order = rng.permutation(n)
+    # Clamp so both sides stay non-empty even at extreme fractions.
+    n_test = min(max(1, int(round(n * test_fraction))), n - 1)
+    return dataset.subset(order[n_test:]), dataset.subset(order[:n_test])

@@ -1,0 +1,48 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every harness is a pure function ``(scale, seed, overrides) -> result
+dataclass`` plus a printer that reproduces the paper's rows/series as
+ASCII. The ``benchmarks/`` suite is a thin pytest-benchmark wrapper
+around these functions; the examples call them directly.
+
+Scaling: the paper's experiments run 1000-3000 GPU rounds over up to
+1000 clients. The ``scale`` argument selects CPU-feasible presets
+("quick" for CI, "full" for overnight runs) without touching the
+algorithms; see :mod:`repro.experiments.scale`.
+"""
+
+from repro.experiments.scale import resolve_scale, ExperimentScale
+from repro.experiments.printers import format_table, format_series
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    convergence,
+    ablations,
+)
+
+__all__ = [
+    "resolve_scale",
+    "ExperimentScale",
+    "format_table",
+    "format_series",
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "convergence",
+    "ablations",
+]

@@ -1,0 +1,94 @@
+"""Design-choice ablations beyond the paper's tables (see DESIGN.md).
+
+``run_shuffle_ablation``
+    Algorithm 1 line 5 shuffles the model→client assignment each round.
+    Without it each middleware model tends to revisit the same clients,
+    sees less data diversity, and the pool unifies more slowly.
+``run_similarity_measure_ablation``
+    The paper uses cosine similarity in CoModelSel and defers other
+    measures to future work; this ablation compares cosine vs negative
+    Euclidean distance under the lowest-similarity strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.federated import build_federated_dataset
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.fl.config import FLConfig
+from repro.fl.metrics import TrainingHistory
+from repro.fl.simulation import run_simulation
+
+__all__ = [
+    "AblationResult",
+    "run_shuffle_ablation",
+    "run_similarity_measure_ablation",
+]
+
+
+@dataclass
+class AblationResult:
+    """Histories keyed by ablation arm."""
+
+    histories: dict[str, TrainingHistory]
+
+    def tail_accuracies(self, window: int = 2) -> dict[str, float]:
+        return {k: h.tail_accuracy(window) for k, h in self.histories.items()}
+
+
+def _base_config(preset: ExperimentScale, seed: int, beta: float) -> FLConfig:
+    return FLConfig(
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=beta,
+        num_clients=preset.num_clients,
+        participation=preset.participation,
+        rounds=preset.rounds_long,
+        local_epochs=preset.local_epochs,
+        batch_size=preset.batch_size,
+        eval_every=preset.eval_every,
+        seed=seed,
+    )
+
+
+def run_shuffle_ablation(
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    beta: float = 0.1,
+    alpha: float = 0.9,
+) -> AblationResult:
+    """FedCross with vs without the Algorithm-1 dispatch shuffle."""
+    preset = resolve_scale(scale)
+    base = _base_config(preset, seed, beta)
+    fed = build_federated_dataset(
+        base.dataset, num_clients=base.num_clients, heterogeneity=beta, seed=seed
+    )
+    histories = {}
+    for label, shuffle in (("shuffle_on", True), ("shuffle_off", False)):
+        config = base.with_method(
+            "fedcross", alpha=alpha, selection="lowest", shuffle=shuffle
+        )
+        histories[label] = run_simulation(config, fed_dataset=fed).history
+    return AblationResult(histories=histories)
+
+
+def run_similarity_measure_ablation(
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    beta: float = 1.0,
+    alpha: float = 0.9,
+) -> AblationResult:
+    """Cosine vs negative-Euclidean similarity inside CoModelSel."""
+    preset = resolve_scale(scale)
+    base = _base_config(preset, seed, beta)
+    fed = build_federated_dataset(
+        base.dataset, num_clients=base.num_clients, heterogeneity=beta, seed=seed
+    )
+    histories = {}
+    for measure in ("cosine", "euclidean"):
+        config = base.with_method(
+            "fedcross", alpha=alpha, selection="lowest", measure=measure
+        )
+        histories[measure] = run_simulation(config, fed_dataset=fed).history
+    return AblationResult(histories=histories)

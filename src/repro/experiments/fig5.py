@@ -1,0 +1,76 @@
+"""Figure 5 — learning curves of the six methods on CIFAR-10.
+
+The paper plots per-round global-model accuracy for all six methods
+over CNN / ResNet-20 / VGG-16 × {β=0.1, 0.5, 1.0, IID}. The scaled
+harness runs one (model, heterogeneity) panel per call; the bench
+iterates panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.printers import format_series
+from repro.experiments.runner import ALL_METHODS, MethodComparison, run_comparison
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.fl.config import FLConfig
+
+__all__ = ["Fig5Result", "run_fig5_panel", "format_fig5"]
+
+
+@dataclass
+class Fig5Result:
+    model: str
+    heterogeneity: str | float
+    comparison: MethodComparison
+
+    def curves(self) -> dict[str, list[float]]:
+        return self.comparison.curves()
+
+    def final_ranking(self) -> list[str]:
+        """Methods sorted by final accuracy, best first."""
+        finals = self.comparison.final_accuracies()
+        return sorted(finals, key=finals.get, reverse=True)
+
+
+def run_fig5_panel(
+    model: str = "mlp",
+    heterogeneity: str | float = 0.1,
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    methods: list[str] | None = None,
+) -> Fig5Result:
+    """One Figure 5 panel: six learning curves under a shared dataset."""
+    preset = resolve_scale(scale)
+    rounds = preset.rounds_long
+    eval_every = max(1, rounds // preset.curve_points)
+    config = FLConfig(
+        dataset="synth_cifar10",
+        model=model,
+        heterogeneity=heterogeneity,
+        num_clients=preset.num_clients,
+        participation=preset.participation,
+        rounds=rounds,
+        local_epochs=preset.local_epochs,
+        batch_size=preset.batch_size,
+        eval_every=eval_every,
+        seed=seed,
+    )
+    comparison = run_comparison(
+        config,
+        methods=methods or ALL_METHODS,
+        method_params={"fedcross": {"alpha": 0.9, "selection": "lowest"}},
+    )
+    return Fig5Result(model=model, heterogeneity=heterogeneity, comparison=comparison)
+
+
+def format_fig5(result: Fig5Result) -> str:
+    rounds = [r + 1 for r in result.comparison.eval_rounds()]
+    return format_series(
+        result.curves(),
+        x_values=rounds,
+        title=(
+            f"Figure 5 panel (scaled): {result.model}, "
+            f"heterogeneity={result.heterogeneity} — accuracy vs round"
+        ),
+    )

@@ -1,0 +1,76 @@
+"""Figure 6 — impact of the number of activated clients K.
+
+The paper fixes CIFAR-10 / ResNet-20 / β=0.1 with N=100 total clients
+and sweeps K ∈ {5, 10, 20, 50, 100}; FedCross wins at every K, accuracy
+saturating beyond K≈20. The scaled sweep keeps the population fixed and
+varies K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.printers import format_table
+from repro.experiments.runner import MethodComparison, run_comparison
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.fl.config import FLConfig
+
+__all__ = ["Fig6Result", "run_fig6", "format_fig6"]
+
+DEFAULT_METHODS = ["fedavg", "scaffold", "fedcross"]
+
+
+@dataclass
+class Fig6Result:
+    k_values: tuple[int, ...]
+    comparisons: dict[int, MethodComparison]
+
+    def accuracy_by_k(self) -> dict[str, list[float]]:
+        methods = next(iter(self.comparisons.values())).results.keys()
+        return {
+            m: [self.comparisons[k].results[m].history.tail_accuracy(2) for k in self.k_values]
+            for m in methods
+        }
+
+
+def run_fig6(
+    k_values: tuple[int, ...] = (2, 5, 10),
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    model: str = "mlp",
+    methods: list[str] | None = None,
+    beta: float = 0.1,
+) -> Fig6Result:
+    """Sweep the number of activated clients at fixed population."""
+    preset = resolve_scale(scale)
+    num_clients = max(preset.num_clients, max(k_values))
+    comparisons: dict[int, MethodComparison] = {}
+    for k in k_values:
+        config = FLConfig(
+            dataset="synth_cifar10",
+            model=model,
+            heterogeneity=beta,
+            num_clients=num_clients,
+            participation=k / num_clients,
+            k_active=k,
+            rounds=preset.rounds,
+            local_epochs=preset.local_epochs,
+            batch_size=preset.batch_size,
+            eval_every=preset.eval_every,
+            seed=seed,
+        )
+        comparisons[k] = run_comparison(
+            config,
+            methods=methods or DEFAULT_METHODS,
+            method_params={"fedcross": {"alpha": 0.9, "selection": "lowest"}},
+        )
+    return Fig6Result(k_values=tuple(k_values), comparisons=comparisons)
+
+
+def format_fig6(result: Fig6Result) -> str:
+    by_k = result.accuracy_by_k()
+    headers = ["Method"] + [f"K={k}" for k in result.k_values]
+    body = [[m] + [100.0 * a for a in accs] for m, accs in by_k.items()]
+    return format_table(
+        headers, body, title="Figure 6 (scaled): tail accuracy (%) vs activated clients K"
+    )

@@ -1,0 +1,78 @@
+"""Figure 7 — impact of the total number of clients N.
+
+The paper fixes the global sample budget, sweeps N ∈ {50, ..., 1000}
+with 10% participation (β=0.5), and observes that more clients (hence
+less data per client) slows everyone's convergence while FedCross stays
+best. The scaled sweep divides a fixed sample budget across N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.printers import format_table
+from repro.experiments.runner import MethodComparison, run_comparison
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.fl.config import FLConfig
+
+__all__ = ["Fig7Result", "run_fig7", "format_fig7"]
+
+DEFAULT_METHODS = ["fedavg", "scaffold", "fedcross"]
+
+
+@dataclass
+class Fig7Result:
+    n_values: tuple[int, ...]
+    comparisons: dict[int, MethodComparison]
+
+    def accuracy_by_n(self) -> dict[str, list[float]]:
+        methods = next(iter(self.comparisons.values())).results.keys()
+        return {
+            m: [self.comparisons[n].results[m].history.tail_accuracy(2) for n in self.n_values]
+            for m in methods
+        }
+
+
+def run_fig7(
+    n_values: tuple[int, ...] = (10, 20, 40),
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    model: str = "mlp",
+    methods: list[str] | None = None,
+    beta: float = 0.5,
+    total_samples: int | None = None,
+) -> Fig7Result:
+    """Sweep total clients N at a fixed global sample budget."""
+    preset = resolve_scale(scale)
+    budget = total_samples or preset.samples_per_client * preset.num_clients
+    comparisons: dict[int, MethodComparison] = {}
+    for n in n_values:
+        config = FLConfig(
+            dataset="synth_cifar10",
+            model=model,
+            heterogeneity=beta,
+            num_clients=n,
+            participation=0.1 if n >= 10 else 0.5,
+            k_active=max(2, n // 10),
+            rounds=preset.rounds,
+            local_epochs=preset.local_epochs,
+            batch_size=preset.batch_size,
+            eval_every=preset.eval_every,
+            seed=seed,
+            dataset_params={"samples_per_client": max(10, budget // n)},
+        )
+        comparisons[n] = run_comparison(
+            config,
+            methods=methods or DEFAULT_METHODS,
+            method_params={"fedcross": {"alpha": 0.9, "selection": "lowest"}},
+        )
+    return Fig7Result(n_values=tuple(n_values), comparisons=comparisons)
+
+
+def format_fig7(result: Fig7Result) -> str:
+    by_n = result.accuracy_by_n()
+    headers = ["Method"] + [f"N={n}" for n in result.n_values]
+    body = [[m] + [100.0 * a for a in accs] for m, accs in by_n.items()]
+    return format_table(
+        headers, body, title="Figure 7 (scaled): tail accuracy (%) vs total clients N"
+    )

@@ -1,0 +1,80 @@
+"""Figure 8 — learning curves of FedCross across α settings.
+
+The paper plots CNN/CIFAR-10 (β=1.0) curves for
+α ∈ {0.5, 0.8, 0.9, 0.95, 0.99, 0.999} under the in-order and
+lowest-similarity strategies (FedAvg as reference), showing a collapse
+at α=0.999 and best late-stage accuracy at α=0.99.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.federated import build_federated_dataset
+from repro.experiments.printers import format_series
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.fl.config import FLConfig
+from repro.fl.metrics import TrainingHistory
+from repro.fl.simulation import run_simulation
+
+__all__ = ["Fig8Result", "run_fig8", "format_fig8"]
+
+
+@dataclass
+class Fig8Result:
+    strategy: str
+    alphas: tuple[float, ...]
+    histories: dict[str, TrainingHistory]  # label -> history ("fedavg" + alphas)
+
+    def curves(self) -> dict[str, list[float]]:
+        return {label: h.accuracies for label, h in self.histories.items()}
+
+    def final_by_alpha(self) -> dict[float, float]:
+        return {a: self.histories[f"a={a}"].tail_accuracy(2) for a in self.alphas}
+
+
+def run_fig8(
+    strategy: str = "lowest",
+    alphas: tuple[float, ...] = (0.5, 0.9, 0.99, 0.999),
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    model: str = "mlp",
+) -> Fig8Result:
+    """α sweep of FedCross (+ FedAvg reference) on a shared dataset."""
+    preset = resolve_scale(scale)
+    rounds = preset.rounds_long
+    eval_every = max(1, rounds // preset.curve_points)
+    base = FLConfig(
+        dataset="synth_cifar10",
+        model=model,
+        heterogeneity=1.0,
+        num_clients=preset.num_clients,
+        participation=preset.participation,
+        rounds=rounds,
+        local_epochs=preset.local_epochs,
+        batch_size=preset.batch_size,
+        eval_every=eval_every,
+        seed=seed,
+    )
+    fed = build_federated_dataset(
+        base.dataset,
+        num_clients=base.num_clients,
+        heterogeneity=base.heterogeneity,
+        seed=base.seed,
+    )
+    histories: dict[str, TrainingHistory] = {}
+    histories["fedavg"] = run_simulation(base.with_method("fedavg"), fed_dataset=fed).history
+    for alpha in alphas:
+        config = base.with_method("fedcross", alpha=alpha, selection=strategy)
+        histories[f"a={alpha}"] = run_simulation(config, fed_dataset=fed).history
+    return Fig8Result(strategy=strategy, alphas=tuple(alphas), histories=histories)
+
+
+def format_fig8(result: Fig8Result) -> str:
+    sample = next(iter(result.histories.values()))
+    rounds = [r + 1 for r in sample.rounds]
+    return format_series(
+        result.curves(),
+        x_values=rounds,
+        title=f"Figure 8 (scaled): FedCross accuracy vs alpha — {result.strategy} strategy",
+    )

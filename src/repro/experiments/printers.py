@@ -1,0 +1,58 @@
+"""ASCII rendering of experiment results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width table with a header rule, like the paper's tables."""
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append(
+            [float_fmt.format(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label_to_series: dict[str, Sequence[float]],
+    x_values: Sequence[int] | None = None,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Aligned multi-series listing (learning curves as text).
+
+    One row per label; columns are the series values at ``x_values``
+    (round indices when given).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(label) for label in label_to_series), default=5)
+    if x_values is not None:
+        header = " " * (width + 2) + " ".join(f"{x:>7d}" for x in x_values)
+        lines.append(header)
+    for label, series in label_to_series.items():
+        values = " ".join(f"{float_fmt.format(v):>7s}" for v in series)
+        lines.append(f"{label.ljust(width)}: {values}")
+    return "\n".join(lines)

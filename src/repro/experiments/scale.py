@@ -1,0 +1,73 @@
+"""Experiment scaling presets.
+
+``quick``
+    Minutes-scale presets for CI and pytest-benchmark (default).
+``full``
+    A heavier preset for overnight CPU runs — closer to the paper's
+    round counts, still synthetic data.
+
+Selected by the ``REPRO_SCALE`` environment variable or an explicit
+``scale=`` argument; explicit always wins.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "resolve_scale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment harnesses."""
+
+    name: str
+    rounds: int  # default FL rounds
+    rounds_long: int  # rounds for slow-converging setups (FedCross curves)
+    num_clients: int  # population N
+    participation: float  # fraction active per round
+    local_epochs: int
+    batch_size: int
+    samples_per_client: int
+    eval_every: int
+    curve_points: int  # target number of points on learning curves
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "quick": ExperimentScale(
+        name="quick",
+        rounds=25,
+        rounds_long=40,
+        num_clients=10,
+        participation=0.5,
+        local_epochs=5,
+        batch_size=20,
+        samples_per_client=40,
+        eval_every=5,
+        curve_points=8,
+    ),
+    "full": ExperimentScale(
+        name="full",
+        rounds=120,
+        rounds_long=200,
+        num_clients=50,
+        participation=0.2,
+        local_epochs=5,
+        batch_size=50,
+        samples_per_client=60,
+        eval_every=10,
+        curve_points=20,
+    ),
+}
+
+
+def resolve_scale(scale: "str | ExperimentScale | None" = None) -> ExperimentScale:
+    """Resolve a scale preset from the argument or ``REPRO_SCALE``."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    name = scale or os.environ.get("REPRO_SCALE", "quick")
+    key = name.lower()
+    if key not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; available: {sorted(SCALES)}")
+    return SCALES[key]

@@ -1,0 +1,224 @@
+"""Table II — test accuracy of six methods across models × datasets ×
+heterogeneity settings.
+
+The paper's grid is {CNN, ResNet-20, VGG-16} × {CIFAR-10, CIFAR-100,
+FEMNIST} × {β=0.1, 0.5, 1.0, IID} plus LSTM × {Shakespeare, Sent140}.
+The scaled grid keeps every axis but swaps in the CPU presets
+(cnn_s / resnet8 / vgg_mini, synthetic datasets) and trims the slowest
+combinations at "quick" scale; ``row_set="grid"`` restores the full
+cross-product.
+
+The bench prints the same row layout as the paper and the result object
+exposes the per-row winner so shape checks ("FedCross wins the row") are
+one-liners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.printers import format_table
+from repro.experiments.runner import ALL_METHODS, MethodComparison, run_comparison
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.fl.config import FLConfig
+
+__all__ = ["Table2Row", "Table2Result", "run_table2", "format_table2", "standard_rows"]
+
+# FedProx mu tuned per dataset in the paper (Section IV-A2).
+FEDPROX_MU = {
+    "synth_cifar10": 0.01,
+    "synth_cifar100": 0.001,
+    "synth_femnist": 0.1,
+    "synth_shakespeare": 0.01,
+    "synth_sent140": 0.01,
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: a (model, dataset, heterogeneity) cell."""
+
+    model: str
+    dataset: str
+    heterogeneity: str | float
+    rounds_scale: float = 1.0  # multiplier on the preset round count
+    lr: float = 0.01  # client learning rate (paper default)
+    momentum: float = 0.5
+    dataset_params: dict = field(default_factory=dict, hash=False)
+    model_params: dict = field(default_factory=dict, hash=False)
+
+    @property
+    def label(self) -> tuple[str, str, str]:
+        het = (
+            "IID"
+            if self.heterogeneity == "iid"
+            else ("-" if self.heterogeneity == "natural" else f"b={self.heterogeneity}")
+        )
+        return (self.model, self.dataset, het)
+
+
+def standard_rows(row_set: str = "standard") -> list[Table2Row]:
+    """Row sets: ``smoke`` (4 rows), ``standard`` (13), ``grid`` (29)."""
+    betas: list[str | float] = [0.1, 0.5, 1.0, "iid"]
+    # Per-task tuning: the conv presets want a slightly hotter LR at the
+    # short scaled horizon; the LSTM rows (as in the integration tests)
+    # need lr 0.1 / momentum 0.9 plus easier generator settings to learn
+    # within the scaled round budget.
+    # Momentum stays at the paper's 0.5 for the LSTM rows: SCAFFOLD's
+    # control-variate correction assumes near-raw gradients and diverges
+    # on recurrent nets under heavy momentum.
+    char_row = Table2Row(
+        "charlstm",
+        "synth_shakespeare",
+        "natural",
+        rounds_scale=0.8,
+        lr=0.2,
+        momentum=0.5,
+        dataset_params={
+            "samples_per_client": 100,
+            "vocab_size": 12,
+            "concentration": 0.1,
+            "client_deviation": 0.2,
+        },
+        model_params={"hidden_size": 16, "embed_dim": 8, "num_layers": 1},
+    )
+    sent_row = Table2Row(
+        "sentlstm",
+        "synth_sent140",
+        "natural",
+        rounds_scale=0.6,
+        lr=0.1,
+        momentum=0.5,
+        dataset_params={"samples_per_user_mean": 150},
+        model_params={"hidden_size": 16, "embed_dim": 8},
+    )
+    if row_set == "smoke":
+        return [
+            Table2Row("mlp", "synth_cifar10", 0.1, rounds_scale=1.6),
+            Table2Row("mlp", "synth_cifar10", "iid", rounds_scale=1.6),
+            Table2Row("cnn_s", "synth_cifar10", 0.1, rounds_scale=0.8, lr=0.03),
+            Table2Row("mlp", "synth_femnist", "natural"),
+        ]
+    if row_set == "standard":
+        rows = [Table2Row("mlp", "synth_cifar10", h, rounds_scale=1.6) for h in betas]
+        rows += [
+            Table2Row("cnn_s", "synth_cifar10", 0.1, rounds_scale=0.8, lr=0.03),
+            Table2Row("cnn_s", "synth_cifar10", "iid", rounds_scale=0.8, lr=0.03),
+            Table2Row("resnet8", "synth_cifar10", 0.1, rounds_scale=0.6, lr=0.03),
+            Table2Row("resnet8", "synth_cifar10", "iid", rounds_scale=0.6, lr=0.03),
+            Table2Row("mlp", "synth_cifar100", 0.1, rounds_scale=1.6),
+            Table2Row("mlp", "synth_cifar100", "iid", rounds_scale=1.6),
+            Table2Row("mlp", "synth_femnist", "natural"),
+            char_row,
+            sent_row,
+        ]
+        return rows
+    if row_set == "grid":
+        rows = []
+        for model, scale_mult in (("cnn_s", 0.8), ("resnet8", 0.6), ("vgg_mini", 0.5)):
+            for dataset in ("synth_cifar10", "synth_cifar100"):
+                for h in betas:
+                    rows.append(
+                        Table2Row(model, dataset, h, rounds_scale=scale_mult, lr=0.03)
+                    )
+            rows.append(
+                Table2Row(
+                    model, "synth_femnist", "natural", rounds_scale=scale_mult, lr=0.03
+                )
+            )
+        rows.append(char_row)
+        rows.append(sent_row)
+        return rows
+    raise KeyError(f"unknown row_set {row_set!r}; expected smoke|standard|grid")
+
+
+@dataclass
+class Table2Result:
+    """All row comparisons plus convenient winners/accuracy views."""
+
+    rows: list[Table2Row]
+    comparisons: list[MethodComparison]
+    methods: list[str]
+
+    def accuracy_grid(self) -> list[dict[str, float]]:
+        """Per-row dict of tail accuracy by method (the table cells)."""
+        return [
+            {m: comp.results[m].history.tail_accuracy(2) for m in self.methods}
+            for comp in self.comparisons
+        ]
+
+    def winners(self) -> list[str]:
+        """argmax method of every row."""
+        return [max(cells, key=cells.get) for cells in self.accuracy_grid()]
+
+    def fedcross_win_rate(self) -> float:
+        winners = self.winners()
+        return winners.count("fedcross") / len(winners) if winners else 0.0
+
+
+def run_table2(
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    row_set: str = "standard",
+    methods: list[str] | None = None,
+    fedcross_alpha: float | None = None,
+) -> Table2Result:
+    """Run the Table II grid at the given scale.
+
+    ``fedcross_alpha`` defaults to a scale-appropriate value: the
+    paper's 0.99 assumes thousands of rounds; at "quick" scale the
+    equivalent mixing budget needs a faster rate (0.9).
+    """
+    preset = resolve_scale(scale)
+    methods = methods or ALL_METHODS
+    alpha = fedcross_alpha if fedcross_alpha is not None else (
+        0.9 if preset.name == "quick" else 0.99
+    )
+    rows = standard_rows(row_set)
+    comparisons = []
+    for row in rows:
+        rounds = max(4, int(round(preset.rounds * row.rounds_scale)))
+        config = FLConfig(
+            dataset=row.dataset,
+            model=row.model,
+            heterogeneity=row.heterogeneity,
+            num_clients=preset.num_clients,
+            participation=preset.participation,
+            rounds=rounds,
+            local_epochs=preset.local_epochs,
+            batch_size=preset.batch_size,
+            lr=row.lr,
+            momentum=row.momentum,
+            eval_every=preset.eval_every,
+            seed=seed,
+            dataset_params=dict(row.dataset_params),
+            model_params=dict(row.model_params),
+        )
+        # Scaled-equivalent FedCross: the paper runs alpha=0.99 vanilla
+        # over thousands of rounds; at short horizons we enable the
+        # paper's own dynamic-alpha warm-up for the first quarter so the
+        # pool mixes at an equivalent budget (Section III-D).
+        fedcross_params = {"alpha": alpha, "selection": "lowest"}
+        if preset.name == "quick":
+            fedcross_params["dynamic_alpha_rounds"] = max(2, rounds // 4)
+        comparisons.append(
+            run_comparison(
+                config,
+                methods=methods,
+                method_params={
+                    "fedprox": {"mu": FEDPROX_MU.get(row.dataset, 0.01)},
+                    "fedcross": fedcross_params,
+                },
+            )
+        )
+    return Table2Result(rows=rows, comparisons=comparisons, methods=methods)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Paper-style accuracy table (percentages)."""
+    headers = ["Model", "Dataset", "Heterog."] + [m for m in result.methods]
+    body = []
+    for row, cells in zip(result.rows, result.accuracy_grid()):
+        model, dataset, het = row.label
+        body.append([model, dataset, het] + [100.0 * cells[m] for m in result.methods])
+    return format_table(headers, body, title="Table II (scaled reproduction): test accuracy (%)")

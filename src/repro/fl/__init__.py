@@ -1,0 +1,37 @@
+"""Federated-learning simulation substrate.
+
+Implements the cloud/client architecture of Section II: a
+:class:`~repro.fl.server.FederatedServer` coordinates rounds of
+(dispatch → local update → upload → aggregate) over
+:class:`~repro.fl.client.Client` objects holding private shards, with
+per-round metric recording and communication accounting. Concrete
+aggregation methods live in :mod:`repro.baselines` (FedAvg, FedProx,
+SCAFFOLD, FedGen, CluSamp) and :mod:`repro.core` (FedCross).
+"""
+
+from repro.fl.config import FLConfig
+from repro.fl.client import Client
+from repro.fl.trainer import LocalTrainer, LocalResult
+from repro.fl.server import FederatedServer
+from repro.fl.metrics import evaluate_model, RoundRecord, TrainingHistory
+from repro.fl.comm import CommunicationLedger
+from repro.fl.registry import register_method, build_server, available_methods
+from repro.fl.simulation import FLSimulation, SimulationResult, run_simulation
+
+__all__ = [
+    "FLConfig",
+    "Client",
+    "LocalTrainer",
+    "LocalResult",
+    "FederatedServer",
+    "evaluate_model",
+    "RoundRecord",
+    "TrainingHistory",
+    "CommunicationLedger",
+    "register_method",
+    "build_server",
+    "available_methods",
+    "FLSimulation",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,97 @@
+"""Experiment configuration.
+
+One frozen dataclass describes an FL run end to end — dataset, model,
+client population, local-training hyper-parameters and method-specific
+options — mirroring the settings table of Section IV-A: batch size 50,
+five local epochs, SGD(lr=0.01, momentum=0.5), 10% participation.
+CPU-scaled defaults shrink the population/rounds, not the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["FLConfig"]
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Full specification of one federated-learning run.
+
+    Attributes
+    ----------
+    method:
+        Registered method name: ``fedavg``, ``fedprox``, ``scaffold``,
+        ``fedgen``, ``clusamp`` or ``fedcross``.
+    dataset / model:
+        Names resolved by :func:`repro.data.build_federated_dataset`
+        and :func:`repro.models.build_model`.
+    heterogeneity:
+        ``"iid"`` or a Dirichlet β (float) — the paper's Dir(β) knob.
+    num_clients:
+        Total population ``N`` (|C| in the paper).
+    participation:
+        Fraction of clients active per round; the paper uses 0.1.
+        ``k_active`` overrides with an absolute count (Figure 6).
+    local_epochs / batch_size / lr / momentum:
+        Client-side SGD settings (paper: 5 / 50 / 0.01 / 0.5).
+    rounds:
+        FL training rounds.
+    eval_every:
+        Global-model evaluation cadence in rounds.
+    method_params:
+        Method-specific options, e.g. ``{"mu": 0.01}`` for FedProx or
+        ``{"alpha": 0.99, "selection": "lowest"}`` for FedCross.
+    """
+
+    method: str = "fedavg"
+    dataset: str = "synth_cifar10"
+    model: str = "mlp"
+    heterogeneity: str | float = "iid"
+    num_clients: int = 20
+    participation: float = 0.5
+    k_active: int | None = None
+    local_epochs: int = 5
+    batch_size: int = 50
+    lr: float = 0.01
+    momentum: float = 0.5
+    weight_decay: float = 0.0
+    rounds: int = 20
+    eval_every: int = 1
+    eval_batch_size: int = 256
+    seed: int = 0
+    dataset_params: dict[str, Any] = field(default_factory=dict)
+    model_params: dict[str, Any] = field(default_factory=dict)
+    method_params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not 0.0 < self.participation <= 1.0:
+            raise ValueError("participation must be in (0, 1]")
+        if self.k_active is not None and not 1 <= self.k_active <= self.num_clients:
+            raise ValueError("k_active must be in [1, num_clients]")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.local_epochs <= 0:
+            raise ValueError("local_epochs must be positive")
+
+    @property
+    def clients_per_round(self) -> int:
+        """K — the number of active clients per round."""
+        if self.k_active is not None:
+            return self.k_active
+        return max(1, int(round(self.participation * self.num_clients)))
+
+    def with_method(self, method: str, **method_params) -> "FLConfig":
+        """Copy of this config running a different method.
+
+        Keeps everything else (dataset, seeds, client settings) fixed —
+        the comparison-fairness idiom used by every experiment.
+        """
+        return replace(self, method=method, method_params=dict(method_params))
+
+    def replace(self, **changes) -> "FLConfig":
+        """Dataclass ``replace`` with a friendlier name."""
+        return replace(self, **changes)

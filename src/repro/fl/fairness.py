@@ -1,0 +1,84 @@
+"""Per-client evaluation and accuracy-fairness metrics.
+
+The paper's Figure 1 narrative is about a global model that "works well
+for client 1 [but] is unsuitable for client 2". These helpers quantify
+that: evaluate the deployment model on every client's own shard and
+summarise the dispersion of per-client accuracy. A flatter-valley
+global model (FedCross's goal) should serve clients more evenly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.fl.metrics import evaluate_model
+from repro.nn.module import Module
+
+__all__ = ["ClientEvaluation", "evaluate_per_client", "fairness_summary"]
+
+
+@dataclass
+class ClientEvaluation:
+    """Per-client accuracy/loss of one global model."""
+
+    client_ids: list[int]
+    accuracies: np.ndarray
+    losses: np.ndarray
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(self.accuracies.mean())
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(self.accuracies.std())
+
+    @property
+    def worst_accuracy(self) -> float:
+        return float(self.accuracies.min())
+
+    @property
+    def best_accuracy(self) -> float:
+        return float(self.accuracies.max())
+
+
+def evaluate_per_client(
+    model: Module,
+    state: dict,
+    clients: Sequence[Client],
+    batch_size: int = 256,
+) -> ClientEvaluation:
+    """Evaluate ``state`` on every client's local shard."""
+    model.load_state_dict(state)
+    ids, accs, losses = [], [], []
+    for client in clients:
+        acc, loss = evaluate_model(model, client.dataset, batch_size=batch_size)
+        ids.append(client.client_id)
+        accs.append(acc)
+        losses.append(loss)
+    return ClientEvaluation(
+        client_ids=ids, accuracies=np.array(accs), losses=np.array(losses)
+    )
+
+
+def fairness_summary(evaluation: ClientEvaluation) -> dict[str, float]:
+    """Summary statistics of accuracy dispersion across clients.
+
+    Returns mean / std / worst / best accuracy plus the Jain fairness
+    index ``(sum a)^2 / (n * sum a^2)`` — 1.0 when all clients are
+    served equally, 1/n in the maximally unfair case.
+    """
+    a = evaluation.accuracies
+    denom = len(a) * float((a**2).sum())
+    jain = float(a.sum()) ** 2 / denom if denom > 0 else 1.0
+    return {
+        "mean": evaluation.mean_accuracy,
+        "std": evaluation.std_accuracy,
+        "worst": evaluation.worst_accuracy,
+        "best": evaluation.best_accuracy,
+        "jain_index": jain,
+    }

@@ -1,0 +1,116 @@
+"""Evaluation and per-round history recording."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.autograd import no_grad
+from repro.tensor.tensor import Tensor
+
+__all__ = ["evaluate_model", "RoundRecord", "TrainingHistory"]
+
+
+def evaluate_model(
+    model: Module, dataset: ArrayDataset, batch_size: int = 256
+) -> tuple[float, float]:
+    """Return ``(accuracy, mean_loss)`` of ``model`` on ``dataset``.
+
+    Runs in eval mode (batch-norm uses running stats, dropout off) and
+    without autograd recording; restores the previous training mode.
+    """
+    was_training = model.training
+    model.eval()
+    correct = 0
+    loss_total = 0.0
+    n = len(dataset)
+    try:
+        with no_grad():
+            for start in range(0, n, batch_size):
+                x = dataset.features[start : start + batch_size]
+                y = dataset.labels[start : start + batch_size]
+                inputs = x if x.dtype.kind in "iu" else Tensor(x)
+                logits = model(inputs)
+                loss = F.cross_entropy(logits, y, reduction="sum")
+                loss_total += float(loss.item())
+                pred = logits.numpy().argmax(axis=1)
+                correct += int((pred == y).sum())
+    finally:
+        model.train(was_training)
+    return correct / n, loss_total / n
+
+
+@dataclass
+class RoundRecord:
+    """Metrics of one FL round."""
+
+    round_idx: int
+    accuracy: float | None = None
+    loss: float | None = None
+    train_loss: float | None = None
+    comm_up_params: int = 0
+    comm_down_params: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-round records of one FL run."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def rounds(self) -> list[int]:
+        return [r.round_idx for r in self.records if r.accuracy is not None]
+
+    @property
+    def accuracies(self) -> list[float]:
+        """Accuracy series (evaluated rounds only) — Figure 5's y-axis."""
+        return [r.accuracy for r in self.records if r.accuracy is not None]
+
+    @property
+    def final_accuracy(self) -> float:
+        accs = self.accuracies
+        if not accs:
+            raise ValueError("history holds no evaluated rounds")
+        return accs[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        accs = self.accuracies
+        if not accs:
+            raise ValueError("history holds no evaluated rounds")
+        return max(accs)
+
+    def tail_accuracy(self, window: int = 5) -> float:
+        """Mean accuracy over the last ``window`` evaluations.
+
+        The paper reports mean±std of final accuracy across repetitions;
+        within a single run the tail mean is the stable analogue.
+        """
+        accs = self.accuracies
+        if not accs:
+            raise ValueError("history holds no evaluated rounds")
+        return float(np.mean(accs[-window:]))
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round reaching ``target`` accuracy (communication-
+        efficiency metric of Section IV-C3), or None if never reached."""
+        for r in self.records:
+            if r.accuracy is not None and r.accuracy >= target:
+                return r.round_idx
+        return None
+
+    def total_comm_params(self) -> int:
+        """Total up+down communication in parameter counts."""
+        return sum(r.comm_up_params + r.comm_down_params for r in self.records)

@@ -1,0 +1,87 @@
+"""Differential-privacy hooks (paper Section IV-F).
+
+The paper argues FedCross "can easily integrate existing privacy-
+preserving techniques that are suitable for FedAvg". This module makes
+that claim concrete: a DP-SGD-style gradient hook (per-step global-norm
+clipping + calibrated Gaussian noise) that plugs into the shared
+:class:`~repro.fl.trainer.LocalTrainer` of *every* method in this repo,
+FedCross included.
+
+This is the local-DP mechanism of Abadi et al. 2016 at the granularity
+of minibatch gradients; the privacy accountant is deliberately simple
+(per-step sigma, not Renyi composition) — enough to study the
+utility/noise trade-off the paper alludes to.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["DPConfig", "make_dp_grad_hook", "gaussian_sigma_for"]
+
+
+class DPConfig:
+    """Clipping bound and noise scale for DP local training.
+
+    Parameters
+    ----------
+    clip_norm:
+        Global L2 bound applied jointly across all parameter gradients.
+    noise_multiplier:
+        Gaussian noise std as a multiple of ``clip_norm`` (sigma = z*C).
+        0 disables noise (clipping only).
+    seed:
+        Seed of the noise stream.
+    """
+
+    def __init__(self, clip_norm: float = 1.0, noise_multiplier: float = 0.0, seed: int = 0):
+        if clip_norm <= 0:
+            raise ValueError(f"clip_norm must be positive, got {clip_norm}")
+        if noise_multiplier < 0:
+            raise ValueError(f"noise_multiplier must be >= 0, got {noise_multiplier}")
+        self.clip_norm = float(clip_norm)
+        self.noise_multiplier = float(noise_multiplier)
+        self._rng = np.random.default_rng(seed)
+
+    def __repr__(self) -> str:
+        return f"DPConfig(clip={self.clip_norm}, z={self.noise_multiplier})"
+
+
+def make_dp_grad_hook(config: DPConfig):
+    """Build a ``grad_hook`` for LocalTrainer applying clip + noise.
+
+    The hook computes the joint L2 norm over all parameter gradients,
+    rescales them to at most ``clip_norm``, then adds
+    ``N(0, (z * clip_norm)^2)`` noise element-wise.
+    """
+
+    def hook(named_params: dict) -> None:
+        grads = [
+            (name, p) for name, p in named_params.items() if p.grad is not None
+        ]
+        if not grads:
+            return
+        total = math.sqrt(sum(float((p.grad**2).sum()) for _, p in grads))
+        scale = min(1.0, config.clip_norm / max(total, 1e-12))
+        sigma = config.noise_multiplier * config.clip_norm
+        for _, p in grads:
+            g = p.grad * scale
+            if sigma > 0:
+                g = g + config._rng.normal(0.0, sigma, size=g.shape).astype(g.dtype)
+            p.grad = g
+
+    return hook
+
+
+def gaussian_sigma_for(epsilon: float, delta: float, sensitivity: float = 1.0) -> float:
+    """Classic Gaussian-mechanism calibration (one release).
+
+    sigma >= sqrt(2 ln(1.25/delta)) * sensitivity / epsilon
+    (Dwork & Roth 2014, Thm 3.22). For per-step DP-SGD accounting this
+    is loose; it gives the right order of magnitude for experiments.
+    """
+    if epsilon <= 0 or not 0 < delta < 1:
+        raise ValueError("require epsilon > 0 and 0 < delta < 1")
+    return math.sqrt(2.0 * math.log(1.25 / delta)) * sensitivity / epsilon

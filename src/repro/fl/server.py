@@ -1,0 +1,129 @@
+"""Federated server base class.
+
+Owns the round loop shared by every method: sample K clients, delegate
+to the method's ``run_round``, account communication, periodically
+evaluate the deployable global model on the held-out test set, and
+record history. Subclasses implement ``run_round`` (the aggregation
+scheme — the only place the six reproduced methods differ) and
+``global_state`` (what gets deployed/evaluated).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.federated import FederatedDataset
+from repro.fl.client import Client
+from repro.fl.comm import CommunicationLedger
+from repro.fl.config import FLConfig
+from repro.fl.metrics import RoundRecord, TrainingHistory, evaluate_model
+from repro.fl.trainer import LocalTrainer
+from repro.nn.module import Module
+
+__all__ = ["FederatedServer"]
+
+
+class FederatedServer:
+    """Base class for all FL methods.
+
+    Parameters
+    ----------
+    config:
+        The run specification.
+    fed_dataset:
+        Client shards + global test set.
+    model:
+        The shared scratch model (also used for evaluation).
+    trainer:
+        Local-training engine bound to ``model``.
+    clients:
+        The full client population.
+    rng:
+        Server-side generator (client sampling, shuffling, ...).
+    """
+
+    method_name = "base"
+
+    def __init__(
+        self,
+        config: FLConfig,
+        fed_dataset: FederatedDataset,
+        model: Module,
+        trainer: LocalTrainer,
+        clients: Sequence[Client],
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.fed_dataset = fed_dataset
+        self.model = model
+        self.trainer = trainer
+        self.clients = list(clients)
+        self.rng = rng
+        self.ledger = CommunicationLedger()
+        self.history = TrainingHistory()
+        self.model_size = model.num_parameters()
+        self.round_idx = 0
+
+    # -- hooks for subclasses -------------------------------------------
+    def run_round(self, active: list[Client]) -> dict:
+        """Execute one FL round over ``active`` clients.
+
+        Returns a dict of method-specific extras stored on the round
+        record (e.g. mean local loss, middleware similarity).
+        """
+        raise NotImplementedError
+
+    def global_state(self) -> dict:
+        """State dict of the deployable global model."""
+        raise NotImplementedError
+
+    # -- shared machinery ------------------------------------------------
+    def sample_clients(self) -> list[Client]:
+        """Uniformly sample K distinct active clients (paper: 10%)."""
+        k = self.config.clients_per_round
+        idx = self.rng.choice(len(self.clients), size=k, replace=False)
+        return [self.clients[i] for i in idx]
+
+    def evaluate(self) -> tuple[float, float]:
+        """Accuracy/loss of the deployable global model on the test set."""
+        self.model.load_state_dict(self.global_state())
+        return evaluate_model(
+            self.model, self.fed_dataset.test, batch_size=self.config.eval_batch_size
+        )
+
+    def fit(self, rounds: int | None = None) -> TrainingHistory:
+        """Run the full FL training loop and return the history."""
+        rounds = rounds if rounds is not None else self.config.rounds
+        eval_every = self.config.eval_every
+        for _ in range(rounds):
+            active = self.sample_clients()
+            extras = self.run_round(active) or {}
+            up, down = self.ledger.end_round()
+            record = RoundRecord(
+                round_idx=self.round_idx,
+                train_loss=extras.pop("train_loss", None),
+                comm_up_params=up,
+                comm_down_params=down,
+                extras=extras,
+            )
+            if (self.round_idx + 1) % eval_every == 0 or self.round_idx == rounds - 1:
+                record.accuracy, record.loss = self.evaluate()
+            self.history.append(record)
+            self.round_idx += 1
+        return self.history
+
+    # -- convenience -------------------------------------------------------
+    def mean_local_loss(self, results) -> float:
+        """Sample-weighted mean of local losses (progress diagnostic)."""
+        total = sum(r.num_samples for r in results)
+        if total == 0:
+            return float("nan")
+        return sum(r.mean_loss * r.num_samples for r in results) / total
+
+    def charge_round_communication(self, active: list[Client], extra_down: int = 0, extra_up: int = 0) -> None:
+        """Charge the standard 2K-model round cost plus method extras."""
+        k = len(active)
+        self.ledger.record_down(k * self.model_size + extra_down)
+        self.ledger.record_up(k * self.model_size + extra_up)

@@ -1,0 +1,123 @@
+"""Client-side local training.
+
+``LocalTrainer`` owns a single reusable model instance per simulation:
+for each (client, round) it loads the dispatched state dict, runs E
+epochs of minibatch SGD, and returns the trained state dict — the
+"local updating" step of the standard FL iteration. Method-specific
+behaviour (FedProx's proximal term, SCAFFOLD's control-variate
+correction, FedGen's distillation term) is injected through two hooks
+rather than subclassing, so every method shares the exact same training
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.module import Module
+from repro.optim.sgd import SGD
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+__all__ = ["LocalTrainer", "LocalResult"]
+
+# loss_hook(model, logits, targets) -> extra loss Tensor or None
+LossHook = Callable[[Module, Tensor, np.ndarray], "Tensor | None"]
+# grad_hook(named_params) -> None, mutates .grad in place
+GradHook = Callable[[dict], None]
+
+
+@dataclass
+class LocalResult:
+    """Outcome of one local-training call."""
+
+    state: dict
+    num_samples: int
+    num_steps: int
+    mean_loss: float
+
+
+class LocalTrainer:
+    """Runs the paper's local-update step on a reusable model template.
+
+    Parameters
+    ----------
+    model:
+        The shared model instance; its weights are overwritten on every
+        ``train`` call, so callers must treat it as scratch space.
+    local_epochs / batch_size / lr / momentum / weight_decay:
+        SGD settings (paper defaults: 5 / 50 / 0.01 / 0.5 / 0).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        local_epochs: int = 5,
+        batch_size: int = 50,
+        lr: float = 0.01,
+        momentum: float = 0.5,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.model = model
+        self.local_epochs = local_epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+
+    def train(
+        self,
+        state: Mapping[str, np.ndarray],
+        dataset: ArrayDataset,
+        rng: np.random.Generator,
+        loss_hook: LossHook | None = None,
+        grad_hook: GradHook | None = None,
+        lr_override: float | None = None,
+    ) -> LocalResult:
+        """Train from ``state`` on ``dataset`` and return the new state.
+
+        The optimiser (and its momentum buffers) is created fresh per
+        call: clients are stateless between rounds, as in the paper's
+        cross-device setting.
+        """
+        model = self.model
+        model.load_state_dict(dict(state))
+        model.train()
+        optimizer = SGD(
+            model.parameters(),
+            lr=lr_override if lr_override is not None else self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=True, rng=rng)
+        named = dict(model.named_parameters())
+
+        total_loss = 0.0
+        steps = 0
+        for _ in range(self.local_epochs):
+            for x, y in loader:
+                optimizer.zero_grad()
+                inputs = x if x.dtype.kind in "iu" else Tensor(x)
+                logits = model(inputs)
+                loss = F.cross_entropy(logits, y)
+                if loss_hook is not None:
+                    extra = loss_hook(model, logits, y)
+                    if extra is not None:
+                        loss = loss + extra
+                loss.backward()
+                if grad_hook is not None:
+                    grad_hook(named)
+                optimizer.step()
+                total_loss += float(loss.item())
+                steps += 1
+
+        return LocalResult(
+            state=model.state_dict(),
+            num_samples=len(dataset),
+            num_steps=steps,
+            mean_loss=total_loss / max(steps, 1),
+        )

@@ -1,0 +1,37 @@
+"""Model zoo for the paper's evaluation.
+
+The paper investigates three vision models — the FedAvg CNN, ResNet-20
+and VGG-16 — plus an LSTM for the two text datasets. Each family is
+implemented here at full fidelity together with width/depth-scaled
+presets (``resnet8``, ``vgg_mini``, ...) that keep CPU experiments
+tractable while preserving the family's architectural character
+(plain-conv vs residual vs deep-VGG vs recurrent).
+
+``build_model(name, ...)`` is the single entry point used by the FL
+harness; it guarantees deterministic init from an explicit seed so every
+FL method under comparison starts from identical weights.
+"""
+
+from repro.models.registry import build_model, register_model, available_models
+from repro.models.cnn import FedAvgCNN
+from repro.models.mlp import MLP, LogisticRegression
+from repro.models.resnet import ResNet, resnet20, resnet8
+from repro.models.vgg import VGG, vgg16, vgg_mini
+from repro.models.lstm import CharLSTM, SentimentLSTM
+
+__all__ = [
+    "build_model",
+    "register_model",
+    "available_models",
+    "FedAvgCNN",
+    "MLP",
+    "LogisticRegression",
+    "ResNet",
+    "resnet20",
+    "resnet8",
+    "VGG",
+    "vgg16",
+    "vgg_mini",
+    "CharLSTM",
+    "SentimentLSTM",
+]

@@ -1,0 +1,80 @@
+"""The FedAvg CNN.
+
+The paper's CNN baseline "was obtained from FedAvg, consisting of two
+convolutional and fully-connected layers" (McMahan et al. 2017): two
+5x5 conv + maxpool stages followed by a two-layer classifier head. We
+parameterise input size and width so the same architecture runs on
+CIFAR-shaped 32x32 inputs or the scaled synthetic images used by the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.registry import register_model
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+__all__ = ["FedAvgCNN"]
+
+
+class FedAvgCNN(nn.Module):
+    """Two conv + two fully-connected layers (McMahan et al. 2017).
+
+    Parameters
+    ----------
+    input_shape:
+        ``(C, H, W)`` of the input images. H and W must be divisible by
+        4 (two 2x2 max-pools).
+    num_classes:
+        Output dimensionality.
+    width:
+        Channel multiplier; the canonical model uses ``width=32``
+        (32/64 conv channels, 512 hidden units).
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int, int] = (3, 32, 32),
+        num_classes: int = 10,
+        width: int = 32,
+        hidden: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        c, h, w = input_shape
+        if h % 4 or w % 4:
+            raise ValueError(f"FedAvgCNN needs H, W divisible by 4, got {input_shape}")
+        hidden = hidden if hidden is not None else max(16 * width, 64)
+        self.input_shape = input_shape
+        self.num_classes = num_classes
+        self.conv1 = nn.Conv2d(c, width, kernel_size=5, padding=2, rng=rng)
+        self.conv2 = nn.Conv2d(width, 2 * width, kernel_size=5, padding=2, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+        flat = 2 * width * (h // 4) * (w // 4)
+        self.fc1 = nn.Linear(flat, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool(self.conv1(x).relu())
+        x = self.pool(self.conv2(x).relu())
+        x = x.flatten(start_dim=1)
+        x = self.fc1(x).relu()
+        return self.fc2(x)
+
+
+@register_model("cnn")
+def _build_cnn(rng: np.random.Generator, **kwargs) -> FedAvgCNN:
+    return FedAvgCNN(rng=rng, **kwargs)
+
+
+@register_model("cnn_s")
+def _build_cnn_small(rng: np.random.Generator, **kwargs) -> FedAvgCNN:
+    """CPU-scaled preset: 8/16 channels on 8x8 inputs."""
+    kwargs.setdefault("input_shape", (3, 8, 8))
+    kwargs.setdefault("width", 8)
+    kwargs.setdefault("hidden", 32)
+    return FedAvgCNN(rng=rng, **kwargs)

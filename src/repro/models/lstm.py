@@ -1,0 +1,100 @@
+"""LSTM models for the paper's two text tasks.
+
+``CharLSTM`` mirrors the LEAF Shakespeare model: embedding → stacked
+LSTM → linear head predicting the next character from the final hidden
+state. ``SentimentLSTM`` mirrors the Sent140 model: embedding → LSTM →
+binary (or n-ary) sentiment head over mean-pooled hidden states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.registry import register_model
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+__all__ = ["CharLSTM", "SentimentLSTM"]
+
+
+class CharLSTM(nn.Module):
+    """Next-character prediction model (Shakespeare task).
+
+    Input is an integer ndarray ``(N, T)`` of character ids; output is
+    ``(N, vocab_size)`` logits for the character following the sequence.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 80,
+        embed_dim: int = 8,
+        hidden_size: int = 32,
+        num_layers: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.vocab_size = vocab_size
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.lstm = nn.LSTM(embed_dim, hidden_size, num_layers=num_layers, rng=rng)
+        self.head = nn.Linear(hidden_size, vocab_size, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        embedded = self.embedding(np.asarray(tokens, dtype=np.int64))
+        return self.forward_embedded(embedded)
+
+    def forward_embedded(self, embedded: Tensor) -> Tensor:
+        """Classify from pre-embedded ``(N, T, embed_dim)`` sequences.
+
+        Entry point for FedGen's embedding-space generator, which cannot
+        produce discrete tokens.
+        """
+        _, (h, _) = self.lstm(embedded)
+        return self.head(h)
+
+
+class SentimentLSTM(nn.Module):
+    """Sequence classification model (Sent140 task).
+
+    Mean-pools the LSTM outputs over time before the classifier, which
+    is markedly more stable than last-state classification on the short
+    noisy sequences the synthetic Sent140 generator produces.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 400,
+        embed_dim: int = 16,
+        hidden_size: int = 32,
+        num_classes: int = 2,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.vocab_size = vocab_size
+        self.num_classes = num_classes
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.lstm = nn.LSTM(embed_dim, hidden_size, num_layers=num_layers, rng=rng)
+        self.head = nn.Linear(hidden_size, num_classes, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        embedded = self.embedding(np.asarray(tokens, dtype=np.int64))
+        return self.forward_embedded(embedded)
+
+    def forward_embedded(self, embedded: Tensor) -> Tensor:
+        """Classify from pre-embedded sequences (see :class:`CharLSTM`)."""
+        outputs, _ = self.lstm(embedded)
+        pooled = outputs.mean(axis=1)
+        return self.head(pooled)
+
+
+@register_model("charlstm")
+def _build_charlstm(rng: np.random.Generator, **kwargs) -> CharLSTM:
+    return CharLSTM(rng=rng, **kwargs)
+
+
+@register_model("sentlstm")
+def _build_sentlstm(rng: np.random.Generator, **kwargs) -> SentimentLSTM:
+    return SentimentLSTM(rng=rng, **kwargs)

@@ -1,0 +1,77 @@
+"""MLP and logistic-regression heads.
+
+These are not in the paper's Table II but are essential infrastructure:
+the fastest models for the wide parameter sweeps (Figures 6-8 run
+6 methods x 5 settings x many rounds), and the convex case
+(LogisticRegression) is the setting in which the paper's Theorem 1
+convergence analysis actually applies — the convergence-rate bench uses
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.registry import register_model
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+__all__ = ["MLP", "LogisticRegression"]
+
+
+class MLP(nn.Module):
+    """Fully-connected ReLU network over flattened inputs."""
+
+    def __init__(
+        self,
+        input_dim: int = 192,
+        num_classes: int = 10,
+        hidden_sizes: tuple[int, ...] = (64, 32),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        dims = [input_dim, *hidden_sizes]
+        layers: list[nn.Module] = []
+        for d_in, d_out in zip(dims[:-1], dims[1:]):
+            layers.append(nn.Linear(d_in, d_out, rng=rng))
+            layers.append(nn.ReLU())
+        layers.append(nn.Linear(dims[-1], num_classes, rng=rng))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.flatten(start_dim=1)
+        return self.body(x)
+
+
+class LogisticRegression(nn.Module):
+    """Single affine layer — the mu-convex model of the convergence theory."""
+
+    def __init__(
+        self,
+        input_dim: int = 192,
+        num_classes: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.linear = nn.Linear(input_dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.flatten(start_dim=1)
+        return self.linear(x)
+
+
+@register_model("mlp")
+def _build_mlp(rng: np.random.Generator, **kwargs) -> MLP:
+    return MLP(rng=rng, **kwargs)
+
+
+@register_model("logreg")
+def _build_logreg(rng: np.random.Generator, **kwargs) -> LogisticRegression:
+    return LogisticRegression(rng=rng, **kwargs)

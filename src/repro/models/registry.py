@@ -1,0 +1,55 @@
+"""Model registry: names → constructors.
+
+Keeps experiment configs declarative (``model="resnet8"``) and gives a
+single seam where determinism is enforced: every builder receives a
+fresh generator derived from the caller's seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.module import Module
+from repro.utils.rng import default_rng
+
+__all__ = ["register_model", "build_model", "available_models"]
+
+_REGISTRY: dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str) -> Callable[[Callable[..., Module]], Callable[..., Module]]:
+    """Class/function decorator adding a builder under ``name``."""
+
+    def decorator(builder: Callable[..., Module]) -> Callable[..., Module]:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise KeyError(f"model {name!r} is already registered")
+        _REGISTRY[key] = builder
+        return builder
+
+    return decorator
+
+
+def available_models() -> list[str]:
+    """Sorted list of registered model names."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, seed: int = 0, **kwargs) -> Module:
+    """Instantiate a registered model deterministically.
+
+    Parameters
+    ----------
+    name:
+        Registered model name (case-insensitive), e.g. ``"cnn"``,
+        ``"resnet20"``, ``"vgg_mini"``, ``"charlstm"``.
+    seed:
+        Root seed for weight initialisation.
+    kwargs:
+        Forwarded to the model constructor (``num_classes``,
+        ``input_shape``, ...).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[key](rng=default_rng(seed), **kwargs)

@@ -1,0 +1,139 @@
+"""ResNet family (He et al. 2016), CIFAR variant.
+
+``resnet20`` is the paper's 3-stage (16/32/64 channels), 3-blocks-per-
+stage network; ``resnet8`` is the one-block-per-stage preset the
+CPU-scaled benchmarks use. Either batch or group normalisation can be
+selected — group norm avoids the tiny-batch statistics problem that
+batch norm has in federated settings (a standard substitution in FL
+reproductions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.registry import register_model
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+__all__ = ["BasicBlock", "ResNet", "resnet20", "resnet8"]
+
+
+def _make_norm(norm: str, channels: int) -> nn.Module:
+    if norm == "batch":
+        return nn.BatchNorm2d(channels)
+    if norm == "group":
+        groups = min(8, channels)
+        while channels % groups:
+            groups -= 1
+        return nn.GroupNorm(groups, channels)
+    raise ValueError(f"unknown norm {norm!r}; expected 'batch' or 'group'")
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convs with identity (or 1x1-projected) shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        norm: str = "batch",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.conv1 = nn.Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.norm1 = _make_norm(norm, out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.norm2 = _make_norm(norm, out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                _make_norm(norm, out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.norm1(self.conv1(x)).relu()
+        out = self.norm2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(nn.Module):
+    """CIFAR-style ResNet: stem conv, three stages, global pool, linear head.
+
+    Parameters
+    ----------
+    blocks_per_stage:
+        ``n`` gives a ``6n+2``-layer network (n=3 → ResNet-20).
+    widths:
+        Channel counts of the three stages.
+    norm:
+        ``"batch"`` (paper) or ``"group"`` (small-batch-friendly).
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int, int] = (3, 32, 32),
+        num_classes: int = 10,
+        blocks_per_stage: int = 3,
+        widths: tuple[int, int, int] = (16, 32, 64),
+        norm: str = "batch",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        c, _, _ = input_shape
+        self.input_shape = input_shape
+        self.num_classes = num_classes
+        self.stem = nn.Conv2d(c, widths[0], 3, padding=1, bias=False, rng=rng)
+        self.stem_norm = _make_norm(norm, widths[0])
+        stages = []
+        in_ch = widths[0]
+        for stage_idx, width in enumerate(widths):
+            stride = 1 if stage_idx == 0 else 2
+            blocks = [BasicBlock(in_ch, width, stride=stride, norm=norm, rng=rng)]
+            for _ in range(blocks_per_stage - 1):
+                blocks.append(BasicBlock(width, width, norm=norm, rng=rng))
+            stages.append(nn.Sequential(*blocks))
+            in_ch = width
+        self.stages = nn.ModuleList(stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(widths[-1], num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem_norm(self.stem(x)).relu()
+        for stage in self.stages:
+            x = stage(x)
+        return self.fc(self.pool(x))
+
+
+def resnet20(rng: np.random.Generator | None = None, **kwargs) -> ResNet:
+    """The paper's ResNet-20 (3 blocks per stage, 16/32/64 channels)."""
+    kwargs.setdefault("blocks_per_stage", 3)
+    kwargs.setdefault("widths", (16, 32, 64))
+    return ResNet(rng=rng, **kwargs)
+
+
+def resnet8(rng: np.random.Generator | None = None, **kwargs) -> ResNet:
+    """CPU-scaled preset: one block per stage, 8/16/32 channels."""
+    kwargs.setdefault("blocks_per_stage", 1)
+    kwargs.setdefault("widths", (8, 16, 32))
+    kwargs.setdefault("input_shape", (3, 8, 8))
+    kwargs.setdefault("norm", "group")
+    return ResNet(rng=rng, **kwargs)
+
+
+@register_model("resnet20")
+def _build_resnet20(rng: np.random.Generator, **kwargs) -> ResNet:
+    return resnet20(rng=rng, **kwargs)
+
+
+@register_model("resnet8")
+def _build_resnet8(rng: np.random.Generator, **kwargs) -> ResNet:
+    return resnet8(rng=rng, **kwargs)

@@ -1,0 +1,106 @@
+"""VGG family (Simonyan & Zisserman 2014).
+
+``vgg16`` follows the canonical 13-conv + 3-FC configuration (with
+CIFAR-sized classifier head); ``vgg_mini`` is the CPU preset — three
+conv/pool stages — preserving the family's signature (deep plain
+stacks, heavy classifier) at benchmark-friendly size. The paper uses
+VGG-16 as its "connection-intensive" large model whose early-round
+convergence lag motivates the acceleration methods (Figure 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.registry import register_model
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+__all__ = ["VGG", "vgg16", "vgg_mini", "VGG16_CONFIG", "VGG_MINI_CONFIG"]
+
+# 'M' denotes a 2x2 max-pool; integers are 3x3 conv output channels.
+VGG16_CONFIG: tuple = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+                       512, 512, 512, "M", 512, 512, 512, "M")
+VGG_MINI_CONFIG: tuple = (16, "M", 32, "M", 64, "M")
+
+
+class VGG(nn.Module):
+    """Plain conv stacks from a config tuple + 2-layer classifier head."""
+
+    def __init__(
+        self,
+        config: tuple = VGG16_CONFIG,
+        input_shape: tuple[int, int, int] = (3, 32, 32),
+        num_classes: int = 10,
+        classifier_width: int = 512,
+        norm: str | None = "batch",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        c, h, w = input_shape
+        self.input_shape = input_shape
+        self.num_classes = num_classes
+        self.config = tuple(config)
+
+        layers: list[nn.Module] = []
+        in_ch = c
+        spatial = h
+        for item in config:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                spatial //= 2
+                if spatial < 1:
+                    raise ValueError(
+                        f"VGG config {config} downsamples below 1x1 for input {input_shape}"
+                    )
+                continue
+            out_ch = int(item)
+            layers.append(nn.Conv2d(in_ch, out_ch, 3, padding=1, bias=norm is None, rng=rng))
+            if norm == "batch":
+                layers.append(nn.BatchNorm2d(out_ch))
+            elif norm == "group":
+                groups = min(8, out_ch)
+                while out_ch % groups:
+                    groups -= 1
+                layers.append(nn.GroupNorm(groups, out_ch))
+            layers.append(nn.ReLU())
+            in_ch = out_ch
+        self.features = nn.Sequential(*layers)
+        flat = in_ch * spatial * spatial
+        self.classifier = nn.Sequential(
+            nn.Linear(flat, classifier_width, rng=rng),
+            nn.ReLU(),
+            nn.Linear(classifier_width, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = x.flatten(start_dim=1)
+        return self.classifier(x)
+
+
+def vgg16(rng: np.random.Generator | None = None, **kwargs) -> VGG:
+    """Canonical VGG-16 with batch norm (CIFAR classifier head)."""
+    kwargs.setdefault("config", VGG16_CONFIG)
+    return VGG(rng=rng, **kwargs)
+
+
+def vgg_mini(rng: np.random.Generator | None = None, **kwargs) -> VGG:
+    """CPU-scaled three-stage VGG used by the benchmark harness."""
+    kwargs.setdefault("config", VGG_MINI_CONFIG)
+    kwargs.setdefault("input_shape", (3, 8, 8))
+    kwargs.setdefault("classifier_width", 64)
+    kwargs.setdefault("norm", "group")
+    return VGG(rng=rng, **kwargs)
+
+
+@register_model("vgg16")
+def _build_vgg16(rng: np.random.Generator, **kwargs) -> VGG:
+    return vgg16(rng=rng, **kwargs)
+
+
+@register_model("vgg_mini")
+def _build_vgg_mini(rng: np.random.Generator, **kwargs) -> VGG:
+    return vgg_mini(rng=rng, **kwargs)

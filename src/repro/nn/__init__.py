@@ -1,0 +1,45 @@
+"""Neural-network layer library on top of :mod:`repro.tensor`.
+
+Mirrors the subset of ``torch.nn`` the paper's models need: module
+containers with state-dict (de)serialisation, dense/convolutional
+layers, batch/group normalisation, recurrent cells, and classification
+losses.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.layers import Linear, Conv2d, Flatten, Dropout, Identity, Embedding
+from repro.nn.activations import ReLU, LeakyReLU, Tanh, Sigmoid
+from repro.nn.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.norm import BatchNorm2d, GroupNorm, LayerNorm
+from repro.nn.recurrent import LSTMCell, LSTM
+from repro.nn.loss import CrossEntropyLoss, MSELoss, BCEWithLogitsLoss
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Embedding",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "LayerNorm",
+    "LSTMCell",
+    "LSTM",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "BCEWithLogitsLoss",
+    "init",
+]

@@ -1,0 +1,109 @@
+"""Recurrent layers: LSTMCell and a (possibly stacked) LSTM.
+
+Used by the Shakespeare-like next-character and Sent140-like sentiment
+tasks in the paper's Table II. Gates are computed with a single fused
+matmul per step (PyTorch's ``[i, f, g, o]`` gate layout), so state
+dicts have the familiar ``weight_ih/weight_hh/bias_ih/bias_hh`` keys.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, concatenate, stack
+from repro.utils.rng import default_rng
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate projections."""
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / math.sqrt(hidden_size)
+        self.weight_ih = Parameter(init.uniform(rng, (4 * hidden_size, input_size), bound))
+        self.weight_hh = Parameter(init.uniform(rng, (4 * hidden_size, hidden_size), bound))
+        self.bias_ih = Parameter(init.uniform(rng, (4 * hidden_size,), bound))
+        self.bias_hh = Parameter(init.uniform(rng, (4 * hidden_size,), bound))
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """One step: ``x`` is ``(N, input_size)``; returns ``(h, c)``."""
+        n = x.shape[0]
+        if state is None:
+            h = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+            c = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+        else:
+            h, c = state
+        gates = F.linear(x, self.weight_ih, self.bias_ih) + F.linear(h, self.weight_hh, self.bias_hh)
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+    def __repr__(self) -> str:
+        return f"LSTMCell({self.input_size}, {self.hidden_size})"
+
+
+class LSTM(Module):
+    """Batch-first (``(N, T, D)``) LSTM with ``num_layers`` stacked cells."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cells.append(LSTMCell(in_size, hidden_size, rng=rng))
+        self.cells = ModuleList(cells)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Run the full sequence.
+
+        Returns
+        -------
+        outputs: ``(N, T, hidden_size)`` — top-layer hidden states.
+        (h, c): final hidden/cell states of the top layer.
+        """
+        n, t, _ = x.shape
+        layer_input = [x[:, step, :] for step in range(t)]
+        h_final = c_final = None
+        for cell in self.cells:
+            state: tuple[Tensor, Tensor] | None = None
+            outputs = []
+            for step_x in layer_input:
+                h, c = cell(step_x, state)
+                state = (h, c)
+                outputs.append(h)
+            layer_input = outputs
+            h_final, c_final = state  # type: ignore[misc]
+        out = stack(layer_input, axis=1)
+        return out, (h_final, c_final)
+
+    def __repr__(self) -> str:
+        return f"LSTM({self.input_size}, {self.hidden_size}, layers={self.num_layers})"

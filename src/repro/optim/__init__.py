@@ -1,0 +1,13 @@
+"""Optimisers and learning-rate schedules.
+
+The paper's experiments use SGD with learning rate 0.01 and momentum
+0.5 on every client; the convergence proof (Theorem 1) additionally
+assumes the inverse-time decay ``eta_t = 2 / (mu (t + lambda))``, which
+:class:`InverseTimeLR` implements for the convergence-rate bench.
+"""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import ConstantLR, StepLR, CosineLR, InverseTimeLR
+
+__all__ = ["SGD", "Adam", "ConstantLR", "StepLR", "CosineLR", "InverseTimeLR"]

@@ -1,0 +1,81 @@
+"""Learning-rate schedules.
+
+Schedulers mutate ``optimizer.lr`` when stepped, keeping the optimiser
+implementation schedule-agnostic. :class:`InverseTimeLR` realises the
+``eta_t = beta / (t + lambda)`` decay assumed by the paper's Theorem 1,
+enabling the empirical convergence-rate experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ConstantLR", "StepLR", "CosineLR", "InverseTimeLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer, base_lr: float | None = None) -> None:
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self.t = 0
+
+    def lr_at(self, t: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and install the new LR on the optimiser."""
+        self.t += 1
+        lr = self.lr_at(self.t)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(_Scheduler):
+    """No decay — the paper's default client configuration."""
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr * self.gamma ** (t // self.step_size)
+
+
+class CosineLR(_Scheduler):
+    """Cosine annealing to ``min_lr`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer, t_max: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def lr_at(self, t: int) -> float:
+        frac = min(t, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * frac))
+
+
+class InverseTimeLR(_Scheduler):
+    """``eta_t = beta / (t + lam)`` — Theorem 1's decaying step size."""
+
+    def __init__(self, optimizer, beta: float, lam: float) -> None:
+        super().__init__(optimizer)
+        if beta <= 0 or lam < 0:
+            raise ValueError("beta must be positive and lam non-negative")
+        self.beta = beta
+        self.lam = lam
+        optimizer.lr = self.lr_at(0)
+
+    def lr_at(self, t: int) -> float:
+        return self.beta / (t + self.lam + 1.0)

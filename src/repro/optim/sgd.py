@@ -1,0 +1,62 @@
+"""Stochastic gradient descent with momentum.
+
+Matches ``torch.optim.SGD`` semantics (momentum buffer ``b <- m b + g``,
+update ``p <- p - lr b``; Nesterov variant supported) so the paper's
+"SGD, lr 0.01, momentum 0.5" client configuration transfers unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._buffers: list[np.ndarray | None] = [None] * len(self.params)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently on the params."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = self._buffers[i]
+                buf = grad.copy() if buf is None else self.momentum * buf + grad
+                self._buffers[i] = buf
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            p.data = p.data - self.lr * grad
+
+    def reset_state(self) -> None:
+        """Drop momentum buffers (used when a client receives new weights)."""
+        self._buffers = [None] * len(self.params)

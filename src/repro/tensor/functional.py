@@ -1,0 +1,337 @@
+"""Differentiable functional layer primitives.
+
+Everything here is a pure function from :class:`~repro.tensor.Tensor`
+inputs to a ``Tensor`` output, with the backward pass registered on the
+autograd graph. The :mod:`repro.nn` module layer classes are thin
+stateful wrappers around these functions.
+
+Convolutions use the classic im2col lowering: each sliding window is
+unrolled into a column so the convolution becomes one large matrix
+multiply. On small CIFAR-scale inputs this is the fastest pure-NumPy
+strategy by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "dropout",
+    "embedding",
+    "one_hot",
+    "im2col_indices",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with PyTorch weight layout.
+
+    ``weight`` has shape ``(out_features, in_features)`` so that model
+    state-dicts match the layout the paper's PyTorch code would produce.
+    """
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Convolution via im2col
+# ----------------------------------------------------------------------
+def im2col_indices(
+    x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (k, i, j) fancy indices unrolling NCHW windows into columns.
+
+    For input of shape ``(N, C, H, W)`` (already padded), the returned
+    indices select an array of shape ``(C*kh*kw, out_h*out_w)`` per
+    sample when used as ``x[:, k, i, j]``.
+    """
+    _, c, h, w = x_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation over NCHW input.
+
+    Parameters
+    ----------
+    x: ``(N, C_in, H, W)`` input.
+    weight: ``(C_out, C_in, kH, kW)`` filters.
+    bias: optional ``(C_out,)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
+
+    if padding:
+        x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        x_pad = x.data
+    hp, wp = x_pad.shape[2], x_pad.shape[3]
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+
+    k_idx, i_idx, j_idx = im2col_indices(x_pad.shape, kh, kw, stride)
+    # cols: (N, C*kh*kw, out_h*out_w)
+    cols = x_pad[:, k_idx, i_idx, j_idx]
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
+    out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)  # (N, C_out, out_h, out_w)
+        g_mat = g.reshape(n, c_out, -1)  # (N, C_out, P)
+        if weight.requires_grad:
+            grad_w = np.einsum("nop,nkp->ok", g_mat, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.einsum("ok,nop->nkp", w_mat, g_mat, optimize=True)
+            grad_pad = np.zeros((n, c_in, hp, wp), dtype=x.data.dtype)
+            np.add.at(grad_pad, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+            if padding:
+                grad_pad = grad_pad[:, :, padding:-padding, padding:-padding]
+            x._accumulate(grad_pad)
+
+    return Tensor._make(out, parents, backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows, NCHW."""
+    x = as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    out_h = (h - kernel_size) // stride + 1
+    out_w = (w - kernel_size) // stride + 1
+
+    if stride == kernel_size and h % kernel_size == 0 and w % kernel_size == 0:
+        # Fast reshape-based path for the common exact-tiling case.
+        reshaped = x.data.reshape(n, c, out_h, kernel_size, out_w, kernel_size)
+        out = reshaped.max(axis=(3, 5))
+        maxes = out[:, :, :, None, :, None]
+        mask = (reshaped == maxes).astype(x.data.dtype)
+        # Break ties: distribute gradient evenly among tied maxima.
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+
+        def backward(g: np.ndarray) -> None:
+            g6 = np.asarray(g)[:, :, :, None, :, None]
+            grad = (mask / counts) * g6
+            x._accumulate(grad.reshape(n, c, h, w))
+
+        return Tensor._make(out, (x,), backward, "max_pool2d")
+
+    # General strided path via im2col.
+    k_idx, i_idx, j_idx = im2col_indices((n, c, h, w), kernel_size, kernel_size, stride)
+    cols = x.data[:, k_idx, i_idx, j_idx]  # (N, C*k*k, P)
+    cols = cols.reshape(n, c, kernel_size * kernel_size, -1)
+    arg = cols.argmax(axis=2)  # (N, C, P)
+    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward_general(g: np.ndarray) -> None:
+        g = np.asarray(g).reshape(n, c, -1)
+        grad_cols = np.zeros((n, c, kernel_size * kernel_size, g.shape[-1]), dtype=x.data.dtype)
+        np.put_along_axis(grad_cols, arg[:, :, None, :], g[:, :, None, :], axis=2)
+        grad_cols = grad_cols.reshape(n, c * kernel_size * kernel_size, -1)
+        grad = np.zeros_like(x.data)
+        np.add.at(grad, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+        x._accumulate(grad)
+
+    return Tensor._make(out, (x,), backward_general, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling over NCHW input (exact-tiling fast path)."""
+    x = as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    if stride == kernel_size and h % kernel_size == 0 and w % kernel_size == 0:
+        out_h, out_w = h // kernel_size, w // kernel_size
+        reshaped = x.data.reshape(n, c, out_h, kernel_size, out_w, kernel_size)
+        out = reshaped.mean(axis=(3, 5))
+        scale = 1.0 / (kernel_size * kernel_size)
+
+        def backward(g: np.ndarray) -> None:
+            g6 = np.asarray(g)[:, :, :, None, :, None]
+            grad = np.broadcast_to(g6 * scale, (n, c, out_h, kernel_size, out_w, kernel_size))
+            x._accumulate(grad.reshape(n, c, h, w))
+
+        return Tensor._make(out, (x,), backward, "avg_pool2d")
+    raise NotImplementedError("avg_pool2d only supports exact-tiling windows")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial axes: ``(N, C, H, W) -> (N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax with a fused backward pass."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+    softmax_vals = np.exp(out)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        x._accumulate(g - softmax_vals * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward, "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax with a fused backward pass."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        inner = (g * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (g - inner))
+
+    return Tensor._make(out, (x,), backward, "softmax")
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Plain ndarray one-hot encoding of integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.size, num_classes), dtype=dtype)
+    out[np.arange(labels.size), labels.reshape(-1)] = 1.0
+    return out.reshape(labels.shape + (num_classes,))
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log likelihood given ``log_softmax`` outputs.
+
+    ``targets`` is an integer ndarray of shape ``(N,)``.
+    """
+    log_probs = as_tensor(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs.data[np.arange(n), targets]
+    if reduction == "mean":
+        value = -picked.mean()
+        scale = 1.0 / n
+    elif reduction == "sum":
+        value = -picked.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(g: np.ndarray) -> None:
+        g = float(np.asarray(g))
+        grad = np.zeros_like(log_probs.data)
+        grad[np.arange(n), targets] = -g * scale
+        log_probs._accumulate(grad)
+
+    return Tensor._make(np.asarray(value, dtype=log_probs.dtype), (log_probs,), backward, "nll")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy from raw logits (the paper's classification loss)."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    pred = as_tensor(pred)
+    target = as_tensor(target)
+    diff = pred - target.detach()
+    sq = diff * diff
+    return sq.mean() if reduction == "mean" else sq.sum()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Stable BCE from logits: ``max(z,0) - z*y + log(1 + exp(-|z|))``."""
+    logits = as_tensor(logits)
+    z = logits.data
+    y = np.asarray(targets, dtype=z.dtype)
+    value = np.maximum(z, 0) - z * y + np.log1p(np.exp(-np.abs(z)))
+    out_val = value.mean()
+    # Stable sigmoid: exp only ever sees non-positive arguments.
+    pos = z >= 0
+    ez = np.exp(np.where(pos, -z, z))
+    sig = np.where(pos, 1.0 / (1.0 + ez), ez / (1.0 + ez))
+
+    def backward(g: np.ndarray) -> None:
+        g = float(np.asarray(g))
+        logits._accumulate(g * (sig - y) / z.size)
+
+    return Tensor._make(np.asarray(out_val, dtype=z.dtype), (logits,), backward, "bce_logits")
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = as_tensor(x)
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out = x.data * mask
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(np.asarray(g) * mask)
+
+    return Tensor._make(out, (x,), backward, "dropout")
+
+
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Lookup rows of ``weight`` (``(vocab, dim)``) by integer ``indices``."""
+    weight = as_tensor(weight)
+    idx = np.asarray(indices, dtype=np.int64)
+    out = weight.data[idx]
+
+    def backward(g: np.ndarray) -> None:
+        grad = np.zeros_like(weight.data)
+        np.add.at(grad, idx.reshape(-1), np.asarray(g).reshape(-1, weight.shape[1]))
+        weight._accumulate(grad)
+
+    return Tensor._make(out, (weight,), backward, "embedding")

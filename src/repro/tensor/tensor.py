@@ -1,0 +1,588 @@
+"""The autograd ``Tensor`` type.
+
+A ``Tensor`` wraps a ``numpy.ndarray`` and, while gradient mode is
+enabled (see :mod:`repro.tensor.autograd`), records enough information to
+run reverse-mode automatic differentiation: the parent tensors and a
+closure that maps the output gradient onto each parent's gradient.
+
+Design notes
+------------
+* Gradients accumulate into ``tensor.grad`` (a raw ndarray), mirroring
+  the PyTorch convention the paper's implementation relies on
+  (``zero_grad`` between steps, ``+=`` accumulation inside a step).
+* Broadcasting is fully supported: ``_unbroadcast`` reduces an upstream
+  gradient back onto a parent's shape by summing over broadcast axes.
+* The graph is a DAG of ``Tensor`` nodes; ``backward`` runs a
+  depth-first topological sort and applies each node's backward closure
+  exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.tensor.autograd import is_grad_enabled
+
+__all__ = ["Tensor", "as_tensor"]
+
+_DEFAULT_DTYPE = np.float32
+
+ArrayLike = "Tensor | np.ndarray | float | int | list | tuple"
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``.
+
+    NumPy broadcasting aligns shapes from the right and virtually repeats
+    size-1 (or missing) axes; the adjoint of a repeat is a sum, so the
+    gradient of a broadcast operand is the upstream gradient summed back
+    to the operand's original shape.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _coerce(value) -> np.ndarray:
+    """Convert ``value`` to a float ndarray without copying when possible."""
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind in "fc":
+            return value
+        return value.astype(_DEFAULT_DTYPE)
+    if isinstance(value, (float, int, np.floating, np.integer)):
+        return np.asarray(value, dtype=_DEFAULT_DTYPE)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float ndarray.
+    requires_grad:
+        When True (and grad mode is on), operations involving this
+        tensor extend the autograd graph and ``backward`` will populate
+        ``self.grad``.
+
+    Examples
+    --------
+    >>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+    >>> y = (x * x).sum()
+    >>> y.backward()
+    >>> x.grad
+    array([[2., 4.]], dtype=float32)
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __array_priority__ = 100.0  # ensure ndarray + Tensor dispatches to Tensor
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data: np.ndarray = _coerce(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._op: str = ""
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Create an op output, wiring the graph if grad mode requires it."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+            out._op = op
+        return out
+
+    # ------------------------------------------------------------------
+    # ndarray-ish properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_err()
+
+    def _item_err(self):
+        raise ValueError(f"item() requires a single-element tensor, got shape {self.shape}")
+
+    def detach(self) -> "Tensor":
+        """Return a view of this tensor cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a graph-detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_part})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient; defaults to ones (only valid for scalar
+            outputs, matching the usual loss.backward() idiom).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient is only supported for "
+                    f"scalar outputs; this tensor has shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (lazily allocated)."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad.astype(self.data.dtype, copy=False)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g)
+            other._accumulate(g)
+
+        return Tensor._make(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * other.data)
+            other._accumulate(g * self.data)
+
+        return Tensor._make(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g)
+            other._accumulate(-g)
+
+        return Tensor._make(out_data, (self, other), backward, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g / other.data)
+            other._accumulate(-g * self.data / (other.data * other.data))
+
+        return Tensor._make(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(-g)
+
+        return Tensor._make(out_data, (self,), backward, "neg")
+
+    def __pow__(self, exponent) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor ** only supports Python scalar exponents")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward, f"pow{exponent}")
+
+    # ------------------------------------------------------------------
+    # Comparisons (graph-free, return plain Tensors of 0/1)
+    # ------------------------------------------------------------------
+    def __gt__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor((self.data > other.data).astype(self.data.dtype))
+
+    def __lt__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor((self.data < other.data).astype(self.data.dtype))
+
+    def __ge__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor((self.data >= other.data).astype(self.data.dtype))
+
+    def __le__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor((self.data <= other.data).astype(self.data.dtype))
+
+    # ------------------------------------------------------------------
+    # Transcendental / unary ops
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * out_data)
+
+        return Tensor._make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g / self.data)
+
+        return Tensor._make(out_data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward, "sqrt")
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward, "abs")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * (1.0 - out_data * out_data))
+
+        return Tensor._make(out_data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic: exp only ever sees non-positive values.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, 0, None))),
+            np.exp(np.clip(self.data, None, 0)) / (1.0 + np.exp(np.clip(self.data, None, 0))),
+        ).astype(self.data.dtype)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0).astype(self.data.dtype)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * mask)
+
+        return Tensor._make(out_data, (self,), backward, "relu")
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, negative_slope * self.data).astype(self.data.dtype)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * np.where(mask, 1.0, negative_slope))
+
+        return Tensor._make(out_data, (self,), backward, "leaky_relu")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * mask)
+
+        return Tensor._make(out_data, (self,), backward, "clip")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward, "sum")
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0), differentiable."""
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+                maxes = self.data.max(axis=axis, keepdims=True)
+            else:
+                maxes = out_data if keepdims or axis is None else None
+                if maxes is None or np.ndim(maxes) != self.data.ndim:
+                    maxes = self.data.max(axis=axis, keepdims=True)
+            mask = self.data == maxes
+            # Split the gradient evenly across ties (subgradient choice).
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(grad * mask / counts)
+
+        return Tensor._make(out_data, (self,), backward, "max")
+
+    def min(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        return -(-self).max(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(np.asarray(g).reshape(original))
+
+        return Tensor._make(out_data, (self,), backward, "reshape")
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        """Flatten dimensions from ``start_dim`` onwards into one axis."""
+        lead = self.data.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        perm = axes if axes else tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(perm)
+        inverse = tuple(np.argsort(perm))
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(np.asarray(g).transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward, "transpose")
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            self._accumulate(grad)
+
+        return Tensor._make(out_data, (self,), backward, "getitem")
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.data.ndim - 2) + [(padding, padding), (padding, padding)]
+        out_data = np.pad(self.data, pad_width)
+        sl = (Ellipsis, slice(padding, -padding), slice(padding, -padding))
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(np.asarray(g)[sl])
+
+        return Tensor._make(out_data, (self,), backward, "pad2d")
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            g = np.asarray(g)
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
+                self._accumulate(g * b)
+                other._accumulate(g * a)
+                return
+            if a.ndim == 1:  # (k,) @ (..., k, n)
+                self._accumulate((np.expand_dims(g, -2) @ np.swapaxes(b, -1, -2)).reshape(a.shape))
+                other._accumulate(np.expand_dims(a, -1) @ np.expand_dims(g, -2))
+                return
+            if b.ndim == 1:  # (..., m, k) @ (k,)
+                self._accumulate(np.expand_dims(g, -1) @ np.expand_dims(b, -2))
+                other._accumulate(_unbroadcast(np.swapaxes(a, -1, -2) @ np.expand_dims(g, -1), b.shape + (1,)).reshape(b.shape))
+                return
+            grad_a = g @ np.swapaxes(b, -1, -2)
+            grad_b = np.swapaxes(a, -1, -2) @ g
+            self._accumulate(_unbroadcast(grad_a, a.shape))
+            other._accumulate(_unbroadcast(grad_b, b.shape))
+
+        return Tensor._make(out_data, (self, other), backward, "matmul")
+
+    def __matmul__(self, other) -> "Tensor":
+        return self.matmul(other)
+
+    def dot(self, other) -> "Tensor":
+        return self.matmul(other)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# Free functions building on the Tensor graph
+# ----------------------------------------------------------------------
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(start, stop)
+            t._accumulate(g[tuple(sl)])
+
+    return Tensor._make(out_data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        for i, t in enumerate(tensors):
+            t._accumulate(np.take(g, i, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward, "stack")
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Differentiable selection: ``condition`` is a plain boolean array."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        a._accumulate(np.where(cond, g, 0.0))
+        b._accumulate(np.where(cond, 0.0, g))
+
+    return Tensor._make(out_data, (a, b), backward, "where")

@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG streams, parameter flattening."""
+
+from repro.utils.rng import default_rng, spawn_rng, seed_sequence
+from repro.utils.params import (
+    flatten_state_dict,
+    unflatten_state_dict,
+    state_dict_like,
+    zeros_like_state,
+    tree_map,
+)
+
+__all__ = [
+    "default_rng",
+    "spawn_rng",
+    "seed_sequence",
+    "flatten_state_dict",
+    "unflatten_state_dict",
+    "state_dict_like",
+    "zeros_like_state",
+    "tree_map",
+]

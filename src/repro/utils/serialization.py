@@ -1,0 +1,90 @@
+"""Persistence for model states and experiment results.
+
+State dicts serialise to ``.npz`` (one array per key) and training
+histories / simulation results to JSON — the formats a downstream user
+needs to checkpoint long FL runs and archive experiment outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.fl.metrics import RoundRecord, TrainingHistory
+
+__all__ = [
+    "save_state_dict",
+    "load_state_dict",
+    "save_history",
+    "load_history",
+]
+
+
+def save_state_dict(path: "str | Path", state: Mapping[str, np.ndarray]) -> Path:
+    """Write a state dict to ``path`` (.npz appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+    return path
+
+
+def load_state_dict(path: "str | Path") -> dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    with np.load(Path(path)) as data:
+        return {k: data[k].copy() for k in data.files}
+
+
+def _record_to_dict(record: RoundRecord) -> dict:
+    return {
+        "round_idx": record.round_idx,
+        "accuracy": record.accuracy,
+        "loss": record.loss,
+        "train_loss": record.train_loss,
+        "comm_up_params": record.comm_up_params,
+        "comm_down_params": record.comm_down_params,
+        "extras": _jsonable(record.extras),
+    }
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into JSON-native types."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def save_history(path: "str | Path", history: TrainingHistory) -> Path:
+    """Write a training history as JSON."""
+    path = Path(path)
+    payload = {"records": [_record_to_dict(r) for r in history.records]}
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_history(path: "str | Path") -> TrainingHistory:
+    """Read a training history written by :func:`save_history`."""
+    payload = json.loads(Path(path).read_text())
+    history = TrainingHistory()
+    for rec in payload["records"]:
+        history.append(
+            RoundRecord(
+                round_idx=rec["round_idx"],
+                accuracy=rec["accuracy"],
+                loss=rec["loss"],
+                train_loss=rec["train_loss"],
+                comm_up_params=rec["comm_up_params"],
+                comm_down_params=rec["comm_down_params"],
+                extras=rec.get("extras", {}),
+            )
+        )
+    return history

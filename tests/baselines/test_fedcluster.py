@@ -1,0 +1,51 @@
+"""FedCluster extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.fl.simulation import FLSimulation, run_simulation
+
+
+class TestFedCluster:
+    def test_registered(self):
+        from repro.fl.registry import available_methods
+
+        assert "fedcluster" in available_methods()
+
+    def test_clusters_partition_population(self, tiny_config):
+        sim = FLSimulation(tiny_config.with_method("fedcluster", num_clusters=3))
+        ids = sorted(sum(sim.server._clusters, []))
+        assert ids == list(range(tiny_config.num_clients))
+        assert len(sim.server._clusters) == 3
+
+    def test_single_cluster_reduces_to_fedavg_style(self, tiny_config):
+        result = run_simulation(
+            tiny_config.with_method("fedcluster", num_clusters=1)
+        )
+        assert len(result.history) == tiny_config.rounds
+
+    def test_invalid_cluster_count(self, tiny_config):
+        with pytest.raises(ValueError):
+            FLSimulation(tiny_config.with_method("fedcluster", num_clusters=0))
+
+    def test_cyclic_visit_order_rotates(self, tiny_config):
+        sim = FLSimulation(tiny_config.with_method("fedcluster", num_clusters=2))
+        # round_idx changes the starting cluster
+        assert sim.server.round_idx % 2 == 0
+        sim.server.run_round(sim.server.sample_clients())
+        # no assertion on internals beyond it running; rotation covered
+        # by the deterministic schedule formula
+        sim.server.round_idx += 1
+        sim.server.run_round(sim.server.sample_clients())
+
+    def test_learns(self, tiny_config):
+        result = run_simulation(
+            tiny_config.replace(rounds=6, local_epochs=3).with_method(
+                "fedcluster", num_clusters=2
+            )
+        )
+        assert result.best_accuracy > 0.15
+
+    def test_communication_recorded(self, tiny_config):
+        result = run_simulation(tiny_config.with_method("fedcluster", num_clusters=2))
+        assert result.history.total_comm_params() > 0

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.config import FLConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_linear_dataset(rng) -> ArrayDataset:
+    """A linearly separable 3-class dataset (models should ace it)."""
+    n, d, k = 90, 6, 3
+    centers = rng.standard_normal((k, d)) * 4.0
+    labels = np.repeat(np.arange(k), n // k)
+    features = centers[labels] + rng.standard_normal((n, d)) * 0.3
+    return ArrayDataset(features.astype(np.float32), labels)
+
+
+@pytest.fixture
+def tiny_config() -> FLConfig:
+    """Smallest sensible FL config for fast end-to-end tests."""
+    return FLConfig(
+        method="fedavg",
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=0.5,
+        num_clients=6,
+        participation=0.5,
+        rounds=3,
+        local_epochs=1,
+        batch_size=16,
+        eval_every=1,
+        seed=7,
+        dataset_params={"samples_per_client": 30, "num_test": 120},
+    )

@@ -1,0 +1,68 @@
+"""Propeller models and dynamic alpha."""
+
+import pytest
+
+from repro.core.acceleration import DynamicAlphaSchedule, propeller_indices
+
+
+class TestPropellerIndices:
+    def test_returns_requested_count(self):
+        out = propeller_indices(0, 0, 8, 3)
+        assert len(out) == 3
+
+    def test_distinct_and_not_self(self):
+        for r in range(6):
+            for i in range(6):
+                out = propeller_indices(i, r, 6, 4)
+                assert i not in out
+                assert len(set(out)) == len(out)
+
+    def test_capped_at_k_minus_one(self):
+        out = propeller_indices(0, 0, 4, 99)
+        assert len(out) == 3
+        assert set(out) == {1, 2, 3}
+
+    def test_first_propeller_is_in_order_choice(self):
+        from repro.core.selection import select_in_order
+
+        for r in range(5):
+            for i in range(5):
+                assert propeller_indices(i, r, 5, 2)[0] == select_in_order(i, r, 5)
+
+    def test_k_one_self(self):
+        assert propeller_indices(0, 0, 1, 3) == [0]
+
+    def test_rotates_with_round(self):
+        a = propeller_indices(0, 0, 6, 2)
+        b = propeller_indices(0, 1, 6, 2)
+        assert a != b
+
+
+class TestDynamicAlpha:
+    def test_endpoints(self):
+        sched = DynamicAlphaSchedule(target=0.99, ramp_rounds=10)
+        assert sched.alpha_at(0) == pytest.approx(0.5)
+        assert sched.alpha_at(10) == pytest.approx(0.99)
+        assert sched.alpha_at(100) == pytest.approx(0.99)
+
+    def test_monotone_ramp(self):
+        sched = DynamicAlphaSchedule(target=0.9, ramp_rounds=8)
+        values = [sched.alpha_at(r) for r in range(9)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_zero_ramp_constant(self):
+        sched = DynamicAlphaSchedule(target=0.95, ramp_rounds=0)
+        assert sched.alpha_at(0) == 0.95
+
+    def test_custom_start(self):
+        sched = DynamicAlphaSchedule(target=0.9, ramp_rounds=4, start=0.7)
+        assert sched.alpha_at(0) == pytest.approx(0.7)
+        assert sched.alpha_at(2) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicAlphaSchedule(target=0.4, ramp_rounds=5)  # target < start
+        with pytest.raises(ValueError):
+            DynamicAlphaSchedule(target=1.0, ramp_rounds=5)
+        with pytest.raises(ValueError):
+            DynamicAlphaSchedule(target=0.9, ramp_rounds=-1)

@@ -1,0 +1,171 @@
+"""FedCross server: Algorithm 1 mechanics end to end."""
+
+import numpy as np
+import pytest
+
+from repro.fl.simulation import FLSimulation, run_simulation
+
+
+@pytest.fixture
+def fc_config(tiny_config):
+    return tiny_config.with_method("fedcross", alpha=0.8, selection="in_order")
+
+
+class TestPoolMechanics:
+    def test_pool_size_is_k(self, fc_config):
+        sim = FLSimulation(fc_config)
+        assert len(sim.server.middleware) == fc_config.clients_per_round
+
+    def test_pool_starts_identical(self, fc_config):
+        sim = FLSimulation(fc_config)
+        first = sim.server.middleware[0]
+        for state in sim.server.middleware[1:]:
+            for k in first:
+                np.testing.assert_array_equal(state[k], first[k])
+
+    def test_pool_diverges_after_round(self, fc_config):
+        sim = FLSimulation(fc_config)
+        sim.server.run_round(sim.server.sample_clients())
+        a, b = sim.server.middleware[0], sim.server.middleware[1]
+        assert any(not np.allclose(a[k], b[k]) for k in a)
+
+    def test_run_round_requires_k_clients(self, fc_config):
+        sim = FLSimulation(fc_config)
+        with pytest.raises(RuntimeError, match="exactly K"):
+            sim.server.run_round(sim.clients[:1])
+
+    def test_global_state_is_pool_mean(self, fc_config):
+        sim = FLSimulation(fc_config)
+        sim.server.run_round(sim.server.sample_clients())
+        got = sim.server.global_state()
+        pool = sim.server.middleware
+        for k in got:
+            expected = np.mean([s[k] for s in pool], axis=0)
+            np.testing.assert_allclose(got[k], expected, rtol=1e-5, atol=1e-7)
+
+    def test_round_extras_include_alpha_and_coindices(self, fc_config):
+        sim = FLSimulation(fc_config)
+        extras = sim.server.run_round(sim.server.sample_clients())
+        assert extras["alpha"] == 0.8
+        k = fc_config.clients_per_round
+        assert sorted(extras["co_indices"]) == list(range(k))  # in-order permutation
+
+
+class TestConfiguration:
+    def test_invalid_alpha_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            FLSimulation(tiny_config.with_method("fedcross", alpha=1.0))
+
+    def test_selection_strategies_all_run(self, tiny_config):
+        for strategy in ("in_order", "highest", "lowest"):
+            cfg = tiny_config.replace(rounds=2).with_method(
+                "fedcross", alpha=0.8, selection=strategy
+            )
+            result = run_simulation(cfg)
+            assert len(result.history) == 2
+
+    def test_euclidean_measure_runs(self, tiny_config):
+        cfg = tiny_config.replace(rounds=2).with_method(
+            "fedcross", alpha=0.8, selection="lowest", measure="euclidean"
+        )
+        run_simulation(cfg)
+
+    def test_k_equals_one_degenerates_gracefully(self, tiny_config):
+        cfg = tiny_config.replace(num_clients=4, participation=0.25, rounds=3).with_method(
+            "fedcross", alpha=0.8
+        )
+        assert cfg.clients_per_round == 1
+        result = run_simulation(cfg)
+        assert len(result.history) == 3
+
+
+class TestShuffle:
+    def test_shuffle_off_fixed_assignment(self, tiny_config):
+        """Without shuffle the i-th middleware model trains on active[i]."""
+        cfg = tiny_config.with_method("fedcross", alpha=0.8, shuffle=False)
+        a = run_simulation(cfg)
+        b = run_simulation(cfg)
+        for k in a.final_state:
+            np.testing.assert_array_equal(a.final_state[k], b.final_state[k])
+
+    def test_shuffle_changes_trajectories(self, tiny_config):
+        on = run_simulation(tiny_config.with_method("fedcross", alpha=0.8, shuffle=True))
+        off = run_simulation(tiny_config.with_method("fedcross", alpha=0.8, shuffle=False))
+        assert any(
+            not np.allclose(on.final_state[k], off.final_state[k])
+            for k in on.final_state
+        )
+
+
+class TestAcceleration:
+    def test_propeller_rounds_used_early(self, tiny_config):
+        cfg = tiny_config.with_method(
+            "fedcross", alpha=0.9, propeller_rounds=2, num_propellers=2
+        )
+        sim = FLSimulation(cfg)
+        assert sim.server._use_propellers(0)
+        assert sim.server._use_propellers(1)
+        assert not sim.server._use_propellers(2)
+
+    def test_dynamic_alpha_ramps(self, tiny_config):
+        cfg = tiny_config.with_method("fedcross", alpha=0.99, dynamic_alpha_rounds=10)
+        sim = FLSimulation(cfg)
+        early = sim.server.alpha_at(0)
+        late = sim.server.alpha_at(10)
+        assert early == pytest.approx(0.5)
+        assert late == pytest.approx(0.99)
+
+    def test_pm_da_staging(self, tiny_config):
+        cfg = tiny_config.with_method(
+            "fedcross", alpha=0.99, propeller_rounds=3, dynamic_alpha_rounds=3
+        )
+        sim = FLSimulation(cfg)
+        # during propeller phase alpha stays at target
+        assert sim.server.alpha_at(0) == 0.99
+        # afterwards the ramp continues from where the staging leaves it
+        assert sim.server.alpha_at(3) < 0.99
+        assert sim.server.alpha_at(6) == pytest.approx(0.99)
+
+    def test_acceleration_variants_run_end_to_end(self, tiny_config):
+        for params in (
+            {"propeller_rounds": 2},
+            {"dynamic_alpha_rounds": 2},
+            {"propeller_rounds": 1, "dynamic_alpha_rounds": 1},
+        ):
+            cfg = tiny_config.replace(rounds=3).with_method(
+                "fedcross", alpha=0.9, **params
+            )
+            result = run_simulation(cfg)
+            assert len(result.history) == 3
+
+
+class TestSimilarityTrend:
+    def test_middleware_similarity_diagnostic(self, tiny_config):
+        cfg = tiny_config.replace(rounds=4).with_method("fedcross", alpha=0.8)
+        sim = FLSimulation(cfg)
+        sim.server.fit()
+        sim_matrix = sim.server.middleware_similarity()
+        k = cfg.clients_per_round
+        assert sim_matrix.shape == (k, k)
+        np.testing.assert_allclose(np.diag(sim_matrix), np.ones(k), rtol=1e-6)
+
+    def test_cross_aggregation_contracts_pool(self, tiny_config):
+        """Dispersion after CrossAggr must shrink vs the uploaded pool."""
+        from repro.analysis.similarity import pool_dispersion
+
+        cfg = tiny_config.with_method("fedcross", alpha=0.8, selection="in_order")
+        sim = FLSimulation(cfg)
+        server = sim.server
+        active = server.sample_clients()
+        # reproduce the uploads manually, then compare dispersions
+        uploads = [c.train(sim.trainer, server.middleware[i]).state for i, c in enumerate(active)]
+        import copy
+
+        server2 = FLSimulation(cfg).server
+        server2.middleware = [dict(s) for s in server.middleware]
+        server2.run_round(active)
+        disp_uploads = pool_dispersion(uploads)
+        disp_pool = pool_dispersion(server2.middleware)
+        # not exactly comparable (different client rng states), but the
+        # aggregated pool must be far tighter than freshly trained uploads
+        assert disp_pool < disp_uploads

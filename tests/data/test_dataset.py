@@ -1,0 +1,104 @@
+"""ArrayDataset / Subset / DataLoader / splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader, train_test_split
+
+
+def make_ds(n=20, d=4, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.standard_normal((n, d)), rng.integers(0, k, n))
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self):
+        ds = make_ds(10)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x.shape == (4,)
+        assert np.isscalar(y) or y.shape == ()
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_num_classes(self):
+        ds = ArrayDataset(np.zeros((4, 1)), np.array([0, 2, 2, 1]))
+        assert ds.num_classes == 3
+
+    def test_class_counts(self):
+        ds = ArrayDataset(np.zeros((4, 1)), np.array([0, 2, 2, 0]))
+        np.testing.assert_array_equal(ds.class_counts(4), [2, 0, 2, 0])
+
+    def test_subset_view(self):
+        ds = make_ds(10)
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.features[0], ds.features[1])
+        np.testing.assert_array_equal(sub.indices, [1, 3, 5])
+
+    def test_empty_dataset_num_classes(self):
+        ds = ArrayDataset(np.zeros((0, 2)), np.zeros(0))
+        assert ds.num_classes == 0
+
+
+class TestDataLoader:
+    def test_batch_count_with_and_without_drop_last(self):
+        ds = make_ds(10)
+        assert len(DataLoader(ds, batch_size=3, drop_last=False)) == 4
+        assert len(DataLoader(ds, batch_size=3, drop_last=True)) == 3
+
+    def test_covers_all_samples(self):
+        ds = make_ds(11)
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        total = sum(len(y) for _, y in loader)
+        assert total == 11
+
+    def test_no_shuffle_preserves_order(self):
+        ds = make_ds(8)
+        loader = DataLoader(ds, batch_size=8, shuffle=False)
+        x, y = next(iter(loader))
+        np.testing.assert_array_equal(x, ds.features)
+
+    def test_shuffle_deterministic_given_rng(self):
+        ds = make_ds(16)
+        a = [y for _, y in DataLoader(ds, 4, rng=np.random.default_rng(5))]
+        b = [y for _, y in DataLoader(ds, 4, rng=np.random.default_rng(5))]
+        for ya, yb in zip(a, b):
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_shuffle_changes_between_epochs(self):
+        ds = make_ds(64)
+        loader = DataLoader(ds, 64, rng=np.random.default_rng(5))
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_drop_last_drops_partial(self):
+        ds = make_ds(10)
+        loader = DataLoader(ds, batch_size=4, shuffle=False, drop_last=True)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [4, 4]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_ds(4), batch_size=0)
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        ds = make_ds(100)
+        train, test = train_test_split(ds, 0.25, np.random.default_rng(0))
+        assert len(train) == 75
+        assert len(test) == 25
+
+    def test_split_disjoint_and_complete(self):
+        ds = make_ds(30)
+        train, test = train_test_split(ds, 0.3, np.random.default_rng(0))
+        all_idx = sorted(np.concatenate([train.indices, test.indices]).tolist())
+        assert all_idx == list(range(30))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_ds(10), 1.5, np.random.default_rng(0))

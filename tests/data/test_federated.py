@@ -1,0 +1,74 @@
+"""Federated dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.data.federated import DATASET_BUILDERS, build_federated_dataset
+
+
+class TestBuilder:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            build_federated_dataset("cifar10")
+
+    def test_all_builders_produce_valid_datasets(self):
+        for name in DATASET_BUILDERS:
+            fed = build_federated_dataset(
+                name,
+                num_clients=4,
+                heterogeneity=0.5,
+                seed=0,
+                samples_per_client=20,
+                num_test=30,
+            )
+            assert fed.num_clients == 4
+            assert len(fed.test) > 0
+            assert fed.num_classes >= 2
+            assert all(len(c) > 0 for c in fed.clients)
+
+    def test_iid_vs_dirichlet_heterogeneity_label(self):
+        iid = build_federated_dataset("synth_cifar10", num_clients=4, heterogeneity="iid")
+        dir_ = build_federated_dataset("synth_cifar10", num_clients=4, heterogeneity=0.5)
+        assert iid.heterogeneity == "iid"
+        assert dir_.heterogeneity == "dirichlet(0.5)"
+
+    def test_natural_datasets_ignore_heterogeneity(self):
+        fed = build_federated_dataset("synth_femnist", num_clients=5, heterogeneity=0.1)
+        assert fed.heterogeneity == "natural"
+
+    def test_deterministic_by_seed(self):
+        a = build_federated_dataset("synth_cifar10", num_clients=4, heterogeneity=0.5, seed=11)
+        b = build_federated_dataset("synth_cifar10", num_clients=4, heterogeneity=0.5, seed=11)
+        np.testing.assert_array_equal(a.test.features, b.test.features)
+        for ca, cb in zip(a.clients, b.clients):
+            np.testing.assert_array_equal(ca.labels, cb.labels)
+
+    def test_class_count_matrix(self):
+        fed = build_federated_dataset("synth_cifar10", num_clients=5, heterogeneity="iid")
+        counts = fed.class_count_matrix()
+        assert counts.shape == (5, 10)
+        assert counts.sum() == sum(len(c) for c in fed.clients)
+
+    def test_client_sizes(self):
+        fed = build_federated_dataset("synth_femnist", num_clients=6)
+        sizes = fed.client_sizes()
+        assert len(sizes) == 6
+        assert (sizes > 0).all()
+
+    def test_text_meta_has_vocab(self):
+        fed = build_federated_dataset("synth_shakespeare", num_clients=3)
+        assert fed.meta["vocab_size"] == fed.num_classes
+        fed2 = build_federated_dataset("synth_sent140", num_clients=3)
+        assert "vocab_size" in fed2.meta
+        assert fed2.num_classes == 2
+
+    def test_dataset_param_overrides(self):
+        fed = build_federated_dataset(
+            "synth_cifar10",
+            num_clients=3,
+            heterogeneity="iid",
+            samples_per_client=15,
+            num_test=77,
+        )
+        assert len(fed.test) == 77
+        assert sum(len(c) for c in fed.clients) == 45

@@ -1,0 +1,120 @@
+"""Partitioning schemes: completeness, disjointness, heterogeneity."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_class_counts,
+    quantity_skew_partition,
+    render_partition_grid,
+)
+from repro.experiments.fig3 import class_concentration
+
+
+def make_ds(n=300, k=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.standard_normal((n, 4)), rng.integers(0, k, n))
+
+
+def assert_valid_partition(ds, shards):
+    all_indices = np.concatenate([s.indices for s in shards])
+    assert len(all_indices) == len(ds)
+    assert len(np.unique(all_indices)) == len(ds)
+
+
+class TestIID:
+    def test_complete_and_disjoint(self, rng):
+        ds = make_ds()
+        shards = iid_partition(ds, 6, rng)
+        assert_valid_partition(ds, shards)
+
+    def test_near_equal_sizes(self, rng):
+        shards = iid_partition(make_ds(100), 7, rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_label_distributions_similar(self, rng):
+        ds = make_ds(2000, k=4)
+        shards = iid_partition(ds, 4, rng)
+        counts = partition_class_counts(shards, 4).astype(float)
+        fracs = counts / counts.sum(axis=1, keepdims=True)
+        assert np.abs(fracs - 0.25).max() < 0.08
+
+    def test_invalid_client_count(self, rng):
+        with pytest.raises(ValueError):
+            iid_partition(make_ds(), 0, rng)
+
+
+class TestDirichlet:
+    def test_complete_and_disjoint(self, rng):
+        ds = make_ds()
+        shards = dirichlet_partition(ds, 8, beta=0.5, rng=rng)
+        assert_valid_partition(ds, shards)
+
+    def test_min_samples_respected(self, rng):
+        shards = dirichlet_partition(make_ds(500), 10, beta=0.1, rng=rng, min_samples=3)
+        assert min(len(s) for s in shards) >= 3
+
+    def test_smaller_beta_more_concentrated(self):
+        ds = make_ds(3000, k=10, seed=1)
+        conc = {}
+        for beta in (0.1, 1.0, 100.0):
+            shards = dirichlet_partition(ds, 10, beta=beta, rng=np.random.default_rng(0))
+            conc[beta] = class_concentration(partition_class_counts(shards, 10))
+        assert conc[0.1] > conc[1.0] > conc[100.0]
+
+    def test_invalid_beta(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(make_ds(), 4, beta=0.0, rng=rng)
+
+    def test_too_many_clients_raises(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(make_ds(10), 20, beta=0.5, rng=rng, min_samples=2)
+
+    def test_deterministic_given_rng(self):
+        ds = make_ds()
+        a = dirichlet_partition(ds, 5, 0.5, np.random.default_rng(3))
+        b = dirichlet_partition(ds, 5, 0.5, np.random.default_rng(3))
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.indices, sb.indices)
+
+
+class TestQuantitySkew:
+    def test_complete_partition(self, rng):
+        ds = make_ds(200)
+        shards = quantity_skew_partition(ds, 6, rng)
+        total = sum(len(s) for s in shards)
+        assert total <= 200
+        assert total >= 200 - 6  # may trim a few for the floor
+
+    def test_sizes_are_skewed(self, rng):
+        shards = quantity_skew_partition(make_ds(1000), 10, rng, sigma=1.0)
+        sizes = np.array([len(s) for s in shards])
+        assert sizes.max() > 2 * sizes.min()
+
+
+class TestHelpers:
+    def test_partition_class_counts_shape(self, rng):
+        shards = iid_partition(make_ds(100, k=5), 4, rng)
+        counts = partition_class_counts(shards, 5)
+        assert counts.shape == (4, 5)
+        assert counts.sum() == 100
+
+    def test_render_grid_contains_rows(self, rng):
+        shards = iid_partition(make_ds(100, k=3), 4, rng)
+        text = render_partition_grid(partition_class_counts(shards, 3))
+        assert "cls  0:" in text
+        assert "client:" in text
+
+    def test_render_empty(self):
+        assert "empty" in render_partition_grid(np.zeros((0, 0)))
+
+    def test_class_concentration_bounds(self):
+        uniform = np.full((4, 5), 10)
+        assert class_concentration(uniform) == pytest.approx(0.25)
+        point = np.zeros((4, 5))
+        point[0] = 10
+        assert class_concentration(point) == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Communication ledger and the Table I analytic cost model."""
+
+import pytest
+
+from repro.fl.comm import COMM_OVERHEAD_CLASS, CommunicationLedger, analytic_round_cost
+
+
+class TestLedger:
+    def test_round_lifecycle(self):
+        ledger = CommunicationLedger()
+        ledger.record_down(100)
+        ledger.record_up(50)
+        up, down = ledger.end_round()
+        assert (up, down) == (50, 100)
+        assert ledger.up_params == 0  # reset
+
+    def test_total_includes_open_round(self):
+        ledger = CommunicationLedger()
+        ledger.record_down(10)
+        ledger.end_round()
+        ledger.record_up(5)
+        assert ledger.total() == 15
+
+    def test_history_grows(self):
+        ledger = CommunicationLedger()
+        for _ in range(3):
+            ledger.record_down(1)
+            ledger.end_round()
+        assert len(ledger.history) == 3
+
+
+class TestAnalyticCosts:
+    def test_fedavg_is_2k_models(self):
+        cost = analytic_round_cost("fedavg", k_clients=10, model_params=1000)
+        assert cost["total"] == 20_000
+        assert cost["model_equivalents"] == pytest.approx(20.0)
+
+    def test_scaffold_doubles_fedavg(self):
+        fa = analytic_round_cost("fedavg", 10, 1000)["total"]
+        sc = analytic_round_cost("scaffold", 10, 1000)["total"]
+        assert sc == 2 * fa
+
+    def test_fedgen_between_low_and_high(self):
+        fa = analytic_round_cost("fedavg", 10, 1000)["total"]
+        fg = analytic_round_cost("fedgen", 10, 1000, generator_params=200)["total"]
+        sc = analytic_round_cost("scaffold", 10, 1000)["total"]
+        assert fa < fg < sc
+
+    def test_fedcross_matches_fedavg(self):
+        """The paper's headline: multi-model training at FedAvg cost."""
+        fa = analytic_round_cost("fedavg", 7, 12345)
+        fc = analytic_round_cost("fedcross", 7, 12345)
+        assert fa == fc
+
+    def test_low_methods_all_equal(self):
+        costs = {
+            m: analytic_round_cost(m, 5, 100)["total"]
+            for m, klass in COMM_OVERHEAD_CLASS.items()
+            if klass == "Low"
+        }
+        assert len(set(costs.values())) == 1
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            analytic_round_cost("fedsgd", 1, 1)
+
+    def test_overhead_classes_complete(self):
+        assert set(COMM_OVERHEAD_CLASS) == {
+            "fedavg",
+            "fedprox",
+            "scaffold",
+            "fedgen",
+            "clusamp",
+            "fedcross",
+        }

@@ -1,0 +1,107 @@
+"""Per-client fairness metrics and result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.fl.fairness import ClientEvaluation, evaluate_per_client, fairness_summary
+from repro.fl.metrics import RoundRecord, TrainingHistory
+from repro.fl.simulation import FLSimulation
+from repro.utils.serialization import (
+    load_history,
+    load_state_dict,
+    save_history,
+    save_state_dict,
+)
+
+
+class TestFairness:
+    def test_evaluate_per_client_shapes(self, tiny_config):
+        sim = FLSimulation(tiny_config)
+        sim.server.fit()
+        evaluation = evaluate_per_client(
+            sim.model, sim.server.global_state(), sim.clients
+        )
+        assert len(evaluation.client_ids) == tiny_config.num_clients
+        assert evaluation.accuracies.shape == (tiny_config.num_clients,)
+        assert 0.0 <= evaluation.worst_accuracy <= evaluation.best_accuracy <= 1.0
+
+    def test_summary_uniform_is_fair(self):
+        evaluation = ClientEvaluation(
+            client_ids=[0, 1, 2],
+            accuracies=np.array([0.8, 0.8, 0.8]),
+            losses=np.zeros(3),
+        )
+        summary = fairness_summary(evaluation)
+        assert summary["jain_index"] == pytest.approx(1.0)
+        assert summary["std"] == pytest.approx(0.0)
+
+    def test_summary_unfair_low_jain(self):
+        evaluation = ClientEvaluation(
+            client_ids=[0, 1],
+            accuracies=np.array([1.0, 0.0]),
+            losses=np.zeros(2),
+        )
+        summary = fairness_summary(evaluation)
+        assert summary["jain_index"] == pytest.approx(0.5)
+        assert summary["worst"] == 0.0
+
+    def test_summary_all_zero_safe(self):
+        evaluation = ClientEvaluation(
+            client_ids=[0], accuracies=np.zeros(1), losses=np.zeros(1)
+        )
+        assert fairness_summary(evaluation)["jain_index"] == 1.0
+
+
+class TestStateDictSerialization:
+    def test_roundtrip(self, tmp_path, rng):
+        state = {"w": rng.standard_normal((3, 4)).astype(np.float32), "b": rng.standard_normal(4)}
+        path = save_state_dict(tmp_path / "model", state)
+        assert path.suffix == ".npz"
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"w", "b"}
+        for k in state:
+            np.testing.assert_array_equal(loaded[k], state[k])
+            assert loaded[k].dtype == state[k].dtype
+
+    def test_roundtrip_through_model(self, tmp_path, tiny_config):
+        sim = FLSimulation(tiny_config)
+        state = sim.model.state_dict()
+        path = save_state_dict(tmp_path / "ckpt.npz", state)
+        sim.model.load_state_dict(load_state_dict(path))  # must not raise
+
+
+class TestHistorySerialization:
+    def test_roundtrip(self, tmp_path):
+        history = TrainingHistory()
+        history.append(
+            RoundRecord(
+                round_idx=0,
+                accuracy=0.5,
+                loss=1.2,
+                train_loss=1.5,
+                comm_up_params=100,
+                comm_down_params=100,
+                extras={"alpha": 0.9, "co_indices": [1, 0]},
+            )
+        )
+        history.append(RoundRecord(round_idx=1))
+        path = save_history(tmp_path / "history.json", history)
+        loaded = load_history(path)
+        assert len(loaded) == 2
+        assert loaded.accuracies == [0.5]
+        assert loaded.records[0].extras["alpha"] == 0.9
+        assert loaded.records[1].accuracy is None
+
+    def test_numpy_extras_coerced(self, tmp_path):
+        history = TrainingHistory()
+        history.append(
+            RoundRecord(
+                round_idx=0,
+                accuracy=0.1,
+                extras={"vec": np.arange(3), "scalar": np.float32(1.5)},
+            )
+        )
+        path = save_history(tmp_path / "h.json", history)
+        loaded = load_history(path)
+        assert loaded.records[0].extras["vec"] == [0, 1, 2]
+        assert loaded.records[0].extras["scalar"] == 1.5

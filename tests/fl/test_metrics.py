@@ -1,0 +1,106 @@
+"""Evaluation and history recording."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.metrics import RoundRecord, TrainingHistory, evaluate_model
+from repro.models import build_model
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class Oracle(Module):
+    """Classifier that always outputs the true label given crafted inputs."""
+
+    def forward(self, x):
+        # inputs are one-hot label encodings scaled by 10
+        return x if isinstance(x, Tensor) else Tensor(x)
+
+
+class TestEvaluateModel:
+    def test_perfect_model_scores_one(self):
+        labels = np.array([0, 1, 2, 1])
+        feats = np.eye(3, dtype=np.float32)[labels] * 10
+        ds = ArrayDataset(feats, labels)
+        acc, loss = evaluate_model(Oracle(), ds)
+        assert acc == 1.0
+        assert loss < 0.01
+
+    def test_worst_model_scores_zero(self):
+        labels = np.array([0, 1])
+        feats = np.eye(2, dtype=np.float32)[1 - labels] * 10  # always wrong
+        ds = ArrayDataset(feats, labels)
+        acc, _ = evaluate_model(Oracle(), ds)
+        assert acc == 0.0
+
+    def test_batched_equals_full(self):
+        model = build_model("mlp", seed=0, input_dim=4, num_classes=3)
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(
+            rng.standard_normal((50, 4)).astype(np.float32), rng.integers(0, 3, 50)
+        )
+        acc_full, loss_full = evaluate_model(model, ds, batch_size=50)
+        acc_b, loss_b = evaluate_model(model, ds, batch_size=7)
+        assert acc_full == acc_b
+        assert loss_full == pytest.approx(loss_b, rel=1e-5)
+
+    def test_restores_training_mode(self):
+        model = build_model("mlp", seed=0, input_dim=4, num_classes=2)
+        ds = ArrayDataset(np.zeros((4, 4), dtype=np.float32), np.zeros(4, dtype=int))
+        model.train()
+        evaluate_model(model, ds)
+        assert model.training
+        model.eval()
+        evaluate_model(model, ds)
+        assert not model.training
+
+    def test_integer_features_passed_raw(self):
+        model = build_model("charlstm", seed=0, vocab_size=9, hidden_size=4, embed_dim=3)
+        ds = ArrayDataset(
+            np.random.default_rng(0).integers(0, 9, (10, 5)), np.zeros(10, dtype=int)
+        )
+        acc, loss = evaluate_model(model, ds)
+        assert 0.0 <= acc <= 1.0
+        assert np.isfinite(loss)
+
+
+def history_with(accs):
+    h = TrainingHistory()
+    for i, a in enumerate(accs):
+        h.append(RoundRecord(round_idx=i, accuracy=a, comm_up_params=10, comm_down_params=10))
+    return h
+
+
+class TestTrainingHistory:
+    def test_accuracy_series(self):
+        h = history_with([0.1, 0.5, 0.4])
+        assert h.accuracies == [0.1, 0.5, 0.4]
+        assert h.final_accuracy == 0.4
+        assert h.best_accuracy == 0.5
+
+    def test_unevaluated_rounds_skipped(self):
+        h = history_with([0.1])
+        h.append(RoundRecord(round_idx=1))  # no eval
+        assert h.accuracies == [0.1]
+        assert h.rounds == [0]
+
+    def test_tail_accuracy(self):
+        h = history_with([0.0, 0.0, 0.4, 0.6])
+        assert h.tail_accuracy(2) == pytest.approx(0.5)
+
+    def test_rounds_to_accuracy(self):
+        h = history_with([0.1, 0.3, 0.7, 0.8])
+        assert h.rounds_to_accuracy(0.65) == 2
+        assert h.rounds_to_accuracy(0.95) is None
+
+    def test_total_comm(self):
+        h = history_with([0.1, 0.2])
+        assert h.total_comm_params() == 40
+
+    def test_empty_history_raises(self):
+        h = TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = h.final_accuracy
+        with pytest.raises(ValueError):
+            h.tail_accuracy()

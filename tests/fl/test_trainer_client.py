@@ -1,0 +1,107 @@
+"""LocalTrainer and Client behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.client import Client
+from repro.fl.trainer import LocalTrainer
+from repro.models import build_model
+from repro.tensor.tensor import Tensor
+
+
+@pytest.fixture
+def setup(tiny_linear_dataset):
+    model = build_model("mlp", seed=0, input_dim=6, num_classes=3, hidden_sizes=(16,))
+    trainer = LocalTrainer(model, local_epochs=3, batch_size=16, lr=0.1, momentum=0.5)
+    return model, trainer, tiny_linear_dataset
+
+
+class TestLocalTrainer:
+    def test_training_reduces_loss(self, setup, rng):
+        model, trainer, ds = setup
+        state0 = model.state_dict()
+        result = trainer.train(state0, ds, rng)
+        assert result.mean_loss < np.log(3)  # better than uniform guessing
+        assert result.num_samples == len(ds)
+        assert result.num_steps == 3 * int(np.ceil(len(ds) / 16))
+
+    def test_returns_new_state_without_mutating_input(self, setup, rng):
+        model, trainer, ds = setup
+        state0 = model.state_dict()
+        frozen = {k: v.copy() for k, v in state0.items()}
+        trainer.train(state0, ds, rng)
+        for k in state0:
+            np.testing.assert_array_equal(state0[k], frozen[k])
+
+    def test_training_is_deterministic_given_rng(self, setup):
+        model, trainer, ds = setup
+        state0 = model.state_dict()
+        r1 = trainer.train(state0, ds, np.random.default_rng(3))
+        r2 = trainer.train(state0, ds, np.random.default_rng(3))
+        for k in r1.state:
+            np.testing.assert_array_equal(r1.state[k], r2.state[k])
+
+    def test_loss_hook_affects_update(self, setup, rng):
+        model, trainer, ds = setup
+        state0 = model.state_dict()
+        plain = trainer.train(state0, ds, np.random.default_rng(0))
+
+        def hook(m, logits, y):
+            # heavy L2 pull toward zero changes the trajectory
+            penalty = None
+            for p in m.parameters():
+                term = (p * p).sum()
+                penalty = term if penalty is None else penalty + term
+            return penalty * 10.0
+
+        hooked = trainer.train(state0, ds, np.random.default_rng(0), loss_hook=hook)
+        diffs = [
+            np.abs(plain.state[k] - hooked.state[k]).max() for k in plain.state
+        ]
+        assert max(diffs) > 1e-4
+
+    def test_grad_hook_applied(self, setup, rng):
+        model, trainer, ds = setup
+        state0 = model.state_dict()
+
+        def zero_grads(named):
+            for p in named.values():
+                if p.grad is not None:
+                    p.grad = np.zeros_like(p.grad)
+
+        result = trainer.train(state0, ds, rng, grad_hook=zero_grads)
+        # all gradients zeroed -> no movement at all
+        for k in state0:
+            np.testing.assert_allclose(result.state[k], state0[k], atol=1e-7)
+
+    def test_lr_override(self, setup):
+        model, trainer, ds = setup
+        state0 = model.state_dict()
+        moved = trainer.train(state0, ds, np.random.default_rng(0))
+        frozen = trainer.train(state0, ds, np.random.default_rng(0), lr_override=1e-12)
+        move_dist = sum(np.abs(moved.state[k] - state0[k]).sum() for k in state0)
+        frozen_dist = sum(np.abs(frozen.state[k] - state0[k]).sum() for k in state0)
+        assert frozen_dist < move_dist * 1e-3
+
+
+class TestClient:
+    def test_client_holds_shard(self, tiny_linear_dataset, rng):
+        client = Client(3, tiny_linear_dataset, rng)
+        assert client.client_id == 3
+        assert client.num_samples == len(tiny_linear_dataset)
+        assert len(client) == len(tiny_linear_dataset)
+
+    def test_class_counts(self, tiny_linear_dataset, rng):
+        client = Client(0, tiny_linear_dataset, rng)
+        counts = client.class_counts(3)
+        assert counts.sum() == len(tiny_linear_dataset)
+
+    def test_client_train_delegates(self, setup, rng):
+        model, trainer, ds = setup
+        client = Client(0, ds, np.random.default_rng(1))
+        result = client.train(trainer, model.state_dict())
+        assert result.num_samples == len(ds)
+
+    def test_repr(self, tiny_linear_dataset, rng):
+        assert "Client(id=2" in repr(Client(2, tiny_linear_dataset, rng))

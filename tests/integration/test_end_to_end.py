@@ -1,0 +1,154 @@
+"""Cross-method integration: fairness, determinism, learning, text tasks."""
+
+import numpy as np
+import pytest
+
+from repro.api import compare_methods, quick_fedcross, run_method
+from repro.fl.config import FLConfig
+
+ALL_METHODS = ["fedavg", "fedprox", "scaffold", "fedgen", "clusamp", "fedcross"]
+
+
+class TestQuickApi:
+    def test_quick_fedcross_runs(self):
+        result = quick_fedcross(seed=0, rounds=3, num_clients=6)
+        assert len(result.history) == 3
+        assert 0.0 <= result.final_accuracy <= 1.0
+
+    def test_run_method_kwargs(self):
+        result = run_method(
+            "fedavg",
+            dataset="synth_cifar10",
+            model="mlp",
+            num_clients=6,
+            participation=0.5,
+            rounds=2,
+            local_epochs=1,
+            seed=0,
+            dataset_params={"samples_per_client": 20, "num_test": 50},
+        )
+        assert len(result.history) == 2
+
+
+class TestCompareFairness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_methods(
+            ALL_METHODS,
+            dataset="synth_cifar10",
+            model="mlp",
+            heterogeneity=0.5,
+            num_clients=8,
+            participation=0.5,
+            rounds=6,
+            local_epochs=3,
+            batch_size=20,
+            seed=5,
+            dataset_params={"samples_per_client": 30, "num_test": 100},
+            method_params={"fedcross": {"alpha": 0.8}},
+        )
+
+    def test_all_methods_complete(self, results):
+        assert set(results) == set(ALL_METHODS)
+        for result in results.values():
+            assert len(result.history) == 6
+
+    def test_all_methods_above_chance(self, results):
+        for name, result in results.items():
+            assert result.best_accuracy > 0.12, f"{name} failed to learn"
+
+    def test_state_keys_identical_across_methods(self, results):
+        keys = {name: set(r.final_state) for name, r in results.items()}
+        reference = keys["fedavg"]
+        assert all(k == reference for k in keys.values())
+
+    def test_comm_ordering_matches_table1(self, results):
+        total = {m: r.history.total_comm_params() for m, r in results.items()}
+        assert total["scaffold"] > total["fedgen"] > total["fedavg"]
+        assert total["fedavg"] == total["fedprox"] == total["clusamp"] == total["fedcross"]
+
+
+class TestDeterminism:
+    def test_same_seed_bitwise_identical(self):
+        kwargs = dict(
+            dataset="synth_cifar10",
+            model="mlp",
+            num_clients=6,
+            participation=0.5,
+            rounds=3,
+            local_epochs=1,
+            seed=3,
+            dataset_params={"samples_per_client": 20, "num_test": 50},
+            method_params={"alpha": 0.9},
+        )
+        a = run_method("fedcross", **kwargs)
+        b = run_method("fedcross", **kwargs)
+        assert a.history.accuracies == b.history.accuracies
+        for k in a.final_state:
+            np.testing.assert_array_equal(a.final_state[k], b.final_state[k])
+
+
+class TestTextTasks:
+    def test_shakespeare_lstm_learns(self):
+        result = run_method(
+            "fedcross",
+            dataset="synth_shakespeare",
+            model="charlstm",
+            num_clients=6,
+            participation=0.5,
+            rounds=8,
+            local_epochs=3,
+            batch_size=20,
+            lr=0.1,
+            momentum=0.9,
+            seed=0,
+            dataset_params={
+                "samples_per_client": 100,
+                "num_test": 150,
+                "vocab_size": 12,
+                "concentration": 0.1,
+                "client_deviation": 0.2,
+            },
+            model_params={"hidden_size": 16, "embed_dim": 8, "num_layers": 1},
+            method_params={"alpha": 0.8},
+        )
+        # clearly better than uniform guessing over 12 chars
+        assert result.best_accuracy > 1.5 / 12
+
+    def test_sent140_lstm_learns(self):
+        result = run_method(
+            "fedavg",
+            dataset="synth_sent140",
+            model="sentlstm",
+            num_clients=8,
+            participation=0.5,
+            rounds=12,
+            local_epochs=3,
+            batch_size=20,
+            lr=0.1,
+            momentum=0.9,
+            seed=0,
+            dataset_params={"samples_per_user_mean": 150, "num_test": 200},
+            model_params={"hidden_size": 16, "embed_dim": 8},
+        )
+        assert result.best_accuracy > 0.7
+
+
+class TestVisionModels:
+    @pytest.mark.parametrize("model", ["cnn_s", "resnet8", "vgg_mini"])
+    def test_conv_models_run_federated(self, model):
+        result = run_method(
+            "fedcross",
+            dataset="synth_cifar10",
+            model=model,
+            num_clients=4,
+            participation=0.5,
+            rounds=2,
+            local_epochs=1,
+            batch_size=20,
+            seed=0,
+            dataset_params={"samples_per_client": 20, "num_test": 40},
+            method_params={"alpha": 0.8},
+        )
+        assert len(result.history) == 2
+        assert np.isfinite(result.final_accuracy)

@@ -1,0 +1,142 @@
+"""Qualitative shape checks against the paper's headline claims.
+
+These run small-but-real experiments on fixed seeds. They assert the
+*direction* of effects (who wins, orderings), not magnitudes, matching
+the reproduction contract in DESIGN.md. Marked slow-ish: ~60s total.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import compare_methods
+from repro.experiments.fig3 import class_concentration, run_fig3
+from repro.fl.config import FLConfig
+from repro.fl.simulation import run_simulation
+
+
+@pytest.fixture(scope="module")
+def noniid_run():
+    """Shared non-IID (beta=0.1) comparison, 40 rounds."""
+    return compare_methods(
+        ["fedavg", "fedcross"],
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=0.1,
+        num_clients=10,
+        participation=0.5,
+        rounds=40,
+        local_epochs=5,
+        batch_size=20,
+        eval_every=5,
+        seed=3,
+        method_params={"fedcross": {"alpha": 0.9, "selection": "lowest"}},
+    )
+
+
+class TestTable2Shape:
+    def test_fedcross_beats_fedavg_noniid(self, noniid_run):
+        """Paper Table II: FedCross achieves the highest accuracy."""
+        fc = noniid_run["fedcross"].best_accuracy
+        fa = noniid_run["fedavg"].best_accuracy
+        assert fc > fa
+
+    def test_fedcross_lags_early_leads_late(self, noniid_run):
+        """Paper Fig. 5: FedCross starts slower, finishes higher."""
+        fc = noniid_run["fedcross"].history.accuracies
+        fa = noniid_run["fedavg"].history.accuracies
+        assert fc[-1] > fa[-1]
+
+    def test_iid_beats_noniid_for_fedavg(self, noniid_run):
+        """Paper Section IV-D1: heterogeneity degrades accuracy. We
+        assert it on FedAvg — FedCross is precisely the method that
+        *erases* most of the non-IID penalty at this scale, so the
+        cleanest visible degradation is the baseline's."""
+        iid = compare_methods(
+            ["fedavg"],
+            dataset="synth_cifar10",
+            model="mlp",
+            heterogeneity="iid",
+            num_clients=10,
+            participation=0.5,
+            rounds=40,
+            local_epochs=5,
+            batch_size=20,
+            eval_every=5,
+            seed=3,
+        )["fedavg"]
+        assert iid.best_accuracy > noniid_run["fedavg"].best_accuracy
+
+
+class TestFig3Shape:
+    def test_concentration_monotone_in_beta(self):
+        result = run_fig3(betas=(0.1, 0.5, 1.0), num_clients=40, seed=0)
+        c = result.concentrations
+        assert c[0.1] > c[0.5] > c[1.0]
+
+
+class TestAlphaCollapse:
+    def test_alpha_0999_underperforms_moderate_alpha(self):
+        """Paper Table III / Fig. 8: alpha=0.999 collapses."""
+        base = FLConfig(
+            dataset="synth_cifar10",
+            model="mlp",
+            heterogeneity=1.0,
+            num_clients=10,
+            participation=0.5,
+            rounds=25,
+            local_epochs=5,
+            batch_size=20,
+            eval_every=5,
+            seed=4,
+        )
+        from repro.data.federated import build_federated_dataset
+
+        fed = build_federated_dataset(
+            base.dataset, num_clients=10, heterogeneity=1.0, seed=4
+        )
+        moderate = run_simulation(
+            base.with_method("fedcross", alpha=0.9, selection="lowest"),
+            fed_dataset=fed,
+        )
+        extreme = run_simulation(
+            base.with_method("fedcross", alpha=0.999, selection="lowest"),
+            fed_dataset=fed,
+        )
+        assert moderate.history.tail_accuracy(2) > extreme.history.tail_accuracy(2)
+
+
+class TestMiddlewareUnification:
+    def test_small_alpha_keeps_pool_tighter(self):
+        """Paper Section III-B2/IV-E2: a smaller alpha mixes middleware
+        models harder, so the pool stays tighter; at alpha -> 1 the
+        models drift apart (the alpha=0.999 collapse). We compare final
+        pool dispersion under alpha=0.8 vs alpha=0.999 on shared data."""
+        from repro.analysis.similarity import pool_dispersion
+        from repro.data.federated import build_federated_dataset
+        from repro.fl.simulation import FLSimulation
+
+        base = FLConfig(
+            method="fedcross",
+            dataset="synth_cifar10",
+            model="mlp",
+            heterogeneity=0.5,
+            num_clients=8,
+            participation=0.5,
+            rounds=10,
+            local_epochs=3,
+            batch_size=20,
+            eval_every=10,
+            seed=2,
+        )
+        fed = build_federated_dataset(
+            base.dataset, num_clients=8, heterogeneity=0.5, seed=2
+        )
+        dispersions = {}
+        for alpha in (0.8, 0.999):
+            cfg = base.with_method("fedcross", alpha=alpha, selection="lowest")
+            sim = FLSimulation(cfg, fed_dataset=fed)
+            sim.server.fit()
+            dispersions[alpha] = pool_dispersion(
+                sim.server.middleware, param_keys=sim.server.selector.param_keys
+            )
+        assert dispersions[0.8] < dispersions[0.999]

@@ -1,0 +1,58 @@
+"""Weight-initialisation schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.utils.rng import default_rng
+
+
+class TestFanComputation:
+    def test_dense_fans(self):
+        fan_in, fan_out = init._fan_in_out((8, 4))
+        assert (fan_in, fan_out) == (4, 8)
+
+    def test_conv_fans_include_receptive_field(self):
+        fan_in, fan_out = init._fan_in_out((16, 3, 5, 5))
+        assert fan_in == 3 * 25
+        assert fan_out == 16 * 25
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((10,))
+
+
+class TestDistributions:
+    def test_kaiming_uniform_bound(self):
+        w = init.kaiming_uniform(default_rng(0), (64, 32))
+        gain = np.sqrt(2.0 / (1 + 5.0))
+        bound = gain * np.sqrt(3.0 / 32)
+        assert np.abs(w).max() <= bound + 1e-7
+
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal(default_rng(0), (2000, 50))
+        expected = np.sqrt(2.0 / 50)
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform(default_rng(0), (30, 20))
+        bound = np.sqrt(6.0 / 50)
+        assert np.abs(w).max() <= bound + 1e-7
+
+    def test_xavier_normal_std(self):
+        w = init.xavier_normal(default_rng(0), (1000, 100))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1100), rel=0.1)
+
+    def test_uniform_bound_and_dtype(self):
+        w = init.uniform(default_rng(0), (100,), 0.3)
+        assert np.abs(w).max() <= 0.3
+        assert w.dtype == np.float32
+
+    def test_zeros_ones(self):
+        assert init.zeros((3, 3)).sum() == 0
+        assert init.ones((3, 3)).sum() == 9
+
+    def test_determinism(self):
+        a = init.kaiming_uniform(default_rng(7), (10, 10))
+        b = init.kaiming_uniform(default_rng(7), (10, 10))
+        np.testing.assert_array_equal(a, b)

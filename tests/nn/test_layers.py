@@ -1,0 +1,146 @@
+"""Individual layer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import gradcheck
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(3, 2, rng=default_rng(0))
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        out = layer(Tensor(x)).numpy()
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert {n for n, _ in layer.named_parameters()} == {"weight"}
+
+    def test_deterministic_init_by_seed(self):
+        a = nn.Linear(5, 5, rng=default_rng(42))
+        b = nn.Linear(5, 5, rng=default_rng(42))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_different_seeds_differ(self):
+        a = nn.Linear(5, 5, rng=default_rng(1))
+        b = nn.Linear(5, 5, rng=default_rng(2))
+        assert not np.allclose(a.weight.data, b.weight.data)
+
+    def test_gradient_flow(self, rng):
+        layer = nn.Linear(3, 2, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((2, 3)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert x.grad is not None
+
+
+class TestConv2dLayer:
+    def test_output_shape(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=1, padding=1, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert layer(x).shape == (2, 8, 8, 8)
+
+    def test_no_bias_option(self):
+        layer = nn.Conv2d(1, 1, 3, bias=False)
+        assert layer.bias is None
+
+    def test_repr_mentions_config(self):
+        assert "k=3" in repr(nn.Conv2d(1, 2, 3))
+
+
+class TestEmbeddingLayer:
+    def test_lookup_shape(self):
+        layer = nn.Embedding(10, 4, rng=default_rng(0))
+        out = layer(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 4)
+
+    def test_grad_reaches_table(self):
+        layer = nn.Embedding(10, 4, rng=default_rng(0))
+        layer(np.array([0, 0, 5])).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad[0]).sum() > 0
+        assert np.abs(layer.weight.grad[1]).sum() == 0
+
+
+class TestDropoutLayer:
+    def test_train_drops_eval_does_not(self):
+        layer = nn.Dropout(0.5, seed=3)
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        layer.train()
+        assert (layer(x).numpy() == 0).any()
+        layer.eval()
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+
+    def test_reseed_reproduces_mask(self):
+        layer = nn.Dropout(0.5, seed=3)
+        x = Tensor(np.ones((50,), dtype=np.float32))
+        layer.reseed(9)
+        a = layer(x).numpy().copy()
+        layer.reseed(9)
+        b = layer(x).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestFlattenIdentity:
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert nn.Flatten()(x).shape == (2, 12)
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x
+
+
+class TestActivationModules:
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.numpy(), [0.0, 2.0])
+
+    def test_tanh_sigmoid_ranges(self, rng):
+        x = Tensor(rng.standard_normal(100) * 5)
+        assert (np.abs(nn.Tanh()(x).numpy()) <= 1).all()
+        s = nn.Sigmoid()(x).numpy()
+        assert ((s >= 0) & (s <= 1)).all()
+
+    def test_leaky_relu_module(self):
+        out = nn.LeakyReLU(0.2)(Tensor(np.array([-5.0])))
+        np.testing.assert_allclose(out.numpy(), [-1.0])
+
+
+class TestPoolingModules:
+    def test_maxpool_module(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        assert nn.MaxPool2d(2)(x).shape == (1, 1, 2, 2)
+
+    def test_avgpool_module(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        assert nn.AvgPool2d(2)(x).shape == (1, 1, 2, 2)
+
+    def test_global_avgpool_module(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 3, 3)).astype(np.float32))
+        assert nn.GlobalAvgPool2d()(x).shape == (2, 5)
+
+
+class TestLossModules:
+    def test_cross_entropy_module(self, rng):
+        loss = nn.CrossEntropyLoss()(Tensor(np.zeros((2, 4))), np.array([0, 1]))
+        assert loss.item() == pytest.approx(np.log(4), rel=1e-5)
+
+    def test_mse_module(self):
+        loss = nn.MSELoss()(Tensor(np.array([2.0])), np.array([0.0]))
+        assert loss.item() == pytest.approx(4.0)
+
+    def test_bce_module(self):
+        loss = nn.BCEWithLogitsLoss()(Tensor(np.zeros(4)), np.array([1.0, 0, 1, 0]))
+        assert loss.item() == pytest.approx(np.log(2), rel=1e-5)

@@ -1,0 +1,158 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=default_rng(0))
+        self.fc2 = nn.Linear(8, 2, rng=default_rng(1))
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+        self.register_buffer("steps", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        net = Net()
+        names = {name for name, _ in net.named_parameters()}
+        assert names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias", "scale"}
+
+    def test_buffers_discovered(self):
+        net = Net()
+        names = {name for name, _ in net.named_buffers()}
+        assert names == {"steps"}
+
+    def test_reassignment_replaces_registration(self):
+        net = Net()
+        net.fc1 = nn.Linear(4, 4, rng=default_rng(2))
+        assert dict(net.named_parameters())["fc1.weight"].shape == (4, 4)
+
+    def test_plain_attribute_not_registered(self):
+        net = Net()
+        net.note = "hello"
+        assert "note" not in dict(net.named_parameters())
+
+    def test_num_parameters(self):
+        net = Net()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert net.num_parameters() == expected
+
+    def test_named_modules_paths(self):
+        net = Net()
+        paths = {name for name, _ in net.named_modules()}
+        assert paths == {"", "fc1", "fc2"}
+
+
+class TestStateDict:
+    def test_roundtrip_exact(self):
+        net = Net()
+        state = net.state_dict()
+        other = Net()
+        # perturb then restore
+        for p in other.parameters():
+            p.data = p.data + 1.0
+        other.load_state_dict(state)
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        np.testing.assert_allclose(net(x).numpy(), other(x).numpy(), rtol=1e-6)
+
+    def test_state_dict_copies_not_aliases(self):
+        net = Net()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_load_copies_not_aliases(self):
+        net = Net()
+        state = net.state_dict()
+        net.load_state_dict(state)
+        state["fc1.weight"][:] = 7.0
+        assert not np.allclose(net.fc1.weight.data, 7.0)
+
+    def test_strict_load_missing_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_strict_load_unexpected_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_non_strict_load_ignores_mismatch(self):
+        net = Net()
+        state = net.state_dict()
+        del state["scale"]
+        state["ghost"] = np.zeros(1)
+        net.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+    def test_buffers_roundtrip(self):
+        net = Net()
+        net._set_buffer("steps", np.array([42.0]))
+        state = net.state_dict()
+        other = Net()
+        other.load_state_dict(state)
+        np.testing.assert_allclose(other.steps, [42.0])
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5), nn.Linear(2, 2))
+        net.eval()
+        assert all(not m.training for _, m in net.named_modules())
+        net.train()
+        assert all(m.training for _, m in net.named_modules())
+
+    def test_zero_grad_clears_all(self):
+        net = Net()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        net(x).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestContainers:
+    def test_sequential_order_and_len(self):
+        seq = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+        assert [type(m).__name__ for m in seq] == ["Linear", "ReLU", "Linear"]
+
+    def test_sequential_forward_chains(self):
+        seq = nn.Sequential(nn.Linear(2, 2, rng=default_rng(0)), nn.ReLU())
+        out = seq(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert out.shape == (1, 2)
+        assert (out.numpy() >= 0).all()
+
+    def test_module_list_append_and_index(self):
+        ml = nn.ModuleList([nn.Linear(2, 2)])
+        ml.append(nn.Linear(2, 3))
+        assert len(ml) == 2
+        assert ml[1].out_features == 3
+        # parameters from both registered
+        assert len(list(ml.parameters())) == 4

@@ -1,0 +1,102 @@
+"""Normalisation layers: statistics, modes, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import gradcheck
+from repro.tensor.tensor import Tensor
+
+
+class TestBatchNorm2d:
+    def test_train_output_normalised(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)).astype(np.float32) * 5 + 2)
+        out = bn(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(3), atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.ones((4, 2, 3, 3), dtype=np.float32) * 10)
+        bn(x)
+        # running_mean moved halfway from 0 toward 10
+        np.testing.assert_allclose(bn.running_mean, [5.0, 5.0], rtol=1e-5)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(1)
+        bn._set_buffer("running_mean", np.array([2.0], dtype=np.float32))
+        bn._set_buffer("running_var", np.array([4.0], dtype=np.float32))
+        bn.eval()
+        x = Tensor(np.full((1, 1, 1, 1), 4.0, dtype=np.float32))
+        out = bn(x).item()
+        assert out == pytest.approx((4.0 - 2.0) / np.sqrt(4.0 + 1e-5), rel=1e-4)
+
+    def test_eval_does_not_update_running_stats(self, rng):
+        bn = nn.BatchNorm2d(1)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.standard_normal((2, 1, 2, 2)).astype(np.float32)))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+    def test_affine_params_in_state_dict(self):
+        bn = nn.BatchNorm2d(2)
+        state = bn.state_dict()
+        assert set(state) == {"weight", "bias", "running_mean", "running_var"}
+
+    def test_gradcheck_through_bn(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((3, 2, 2, 2)))
+
+        def f(inp):
+            bn._set_buffer("running_mean", np.zeros(2, dtype=np.float32))
+            bn._set_buffer("running_var", np.ones(2, dtype=np.float32))
+            return bn(inp)
+
+        gradcheck(f, [x])
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(Tensor(np.zeros((2, 2))))
+
+
+class TestGroupNorm:
+    def test_batch_size_independence(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x1 = rng.standard_normal((1, 4, 3, 3)).astype(np.float32)
+        x8 = np.concatenate([x1] * 8)
+        out1 = gn(Tensor(x1)).numpy()
+        out8 = gn(Tensor(x8)).numpy()
+        np.testing.assert_allclose(out1, out8[:1], rtol=1e-4, atol=1e-5)
+
+    def test_group_statistics_normalised(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor(rng.standard_normal((2, 4, 5, 5)).astype(np.float32) * 3 + 1)
+        out = gn(x).numpy().reshape(2, 2, 2, 5, 5)
+        means = out.mean(axis=(2, 3, 4))
+        np.testing.assert_allclose(means, np.zeros((2, 2)), atol=1e-4)
+
+    def test_channel_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+    def test_gradcheck(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        gradcheck(lambda a: gn(a), [Tensor(rng.standard_normal((2, 4, 2, 2)))])
+
+
+class TestLayerNorm:
+    def test_last_axis_normalised(self, rng):
+        ln = nn.LayerNorm(8)
+        x = Tensor(rng.standard_normal((4, 8)).astype(np.float32) * 7 + 3)
+        out = ln(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+
+    def test_works_on_3d(self, rng):
+        ln = nn.LayerNorm(6)
+        out = ln(Tensor(rng.standard_normal((2, 5, 6)).astype(np.float32)))
+        assert out.shape == (2, 5, 6)
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(5)
+        gradcheck(lambda a: ln(a), [Tensor(rng.standard_normal((3, 5)))])

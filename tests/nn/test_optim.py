@@ -1,0 +1,163 @@
+"""Optimisers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, CosineLR, InverseTimeLR, StepLR
+
+
+def make_param(value=1.0):
+    p = Parameter(np.array([value], dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param(1.0)
+        p.grad = np.array([0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # buf = 1, p = -1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # buf = 1.5, p = -2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        p1, p2 = make_param(0.0), make_param(0.0)
+        o1 = SGD([p1], lr=1.0, momentum=0.5)
+        o2 = SGD([p2], lr=1.0, momentum=0.5, nesterov=True)
+        for opt, p in ((o1, p1), (o2, p2)):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+        assert p1.data[0] != p2.data[0]
+
+    def test_weight_decay_shrinks_param(self):
+        p = make_param(10.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.1 * 0.5 * 10.0])
+
+    def test_none_grad_skipped(self):
+        p = make_param(3.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [3.0])
+
+    def test_reset_state_clears_momentum(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        opt.reset_state()
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        # second step behaves like a fresh first step from -1
+        np.testing.assert_allclose(p.data, [-2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, nesterov=True)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = make_param()
+        p.grad = np.ones(1, dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_converges_on_quadratic(self):
+        # minimise (x - 3)^2 by hand-computed gradients
+        p = make_param(0.0)
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            p.grad = 2 * (p.data - 3.0)
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-3)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        p = make_param(0.0)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([7.0], dtype=np.float32)
+        opt.step()
+        # bias-corrected first step is ~ -lr * sign(grad)
+        np.testing.assert_allclose(p.data, [-0.1], rtol=1e-4)
+
+    def test_converges_on_quadratic(self):
+        p = make_param(0.0)
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.grad = 2 * (p.data - 3.0)
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-2)
+
+    def test_weight_decay(self):
+        p = make_param(1.0)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_reset_state(self):
+        p = make_param(0.0)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        opt.reset_state()
+        assert opt._t == 0
+        assert opt._m[0] is None
+
+
+class TestSchedulers:
+    def test_constant(self):
+        p = make_param()
+        opt = SGD([p], lr=0.5)
+        sched = ConstantLR(opt)
+        for _ in range(3):
+            assert sched.step() == 0.5
+
+    def test_step_lr_decays(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineLR(opt, t_max=10, min_lr=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-9)
+        assert lrs[0] < 1.0
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_inverse_time_matches_formula(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = InverseTimeLR(opt, beta=2.0, lam=3.0)
+        # installed at construction for t=0
+        assert opt.lr == pytest.approx(2.0 / 4.0)
+        sched.step()
+        assert opt.lr == pytest.approx(2.0 / 5.0)
+
+    def test_scheduler_updates_optimizer(self):
+        opt = SGD([make_param()], lr=1.0)
+        StepLR(opt, step_size=1, gamma=0.5).step()
+        assert opt.lr == 0.5
+
+    def test_validation(self):
+        opt = SGD([make_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(opt, t_max=0)
+        with pytest.raises(ValueError):
+            InverseTimeLR(opt, beta=0.0, lam=1.0)

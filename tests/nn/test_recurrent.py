@@ -1,0 +1,86 @@
+"""LSTM cell and stacked LSTM."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import gradcheck
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import default_rng
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = nn.LSTMCell(4, 6, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        h, c = cell(x)
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_state_threading_changes_output(self, rng):
+        cell = nn.LSTMCell(4, 6, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+        h0, c0 = cell(x)
+        h1, _ = cell(x, (h0, c0))
+        assert not np.allclose(h0.numpy(), h1.numpy())
+
+    def test_gate_layout_parameters(self):
+        cell = nn.LSTMCell(3, 5)
+        assert cell.weight_ih.shape == (20, 3)
+        assert cell.weight_hh.shape == (20, 5)
+        assert cell.bias_ih.shape == (20,)
+
+    def test_cell_state_bounded_hidden(self, rng):
+        cell = nn.LSTMCell(2, 4, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((2, 2)).astype(np.float32) * 100)
+        h, _ = cell(x)
+        assert (np.abs(h.numpy()) <= 1.0).all()  # o * tanh(c) is in [-1, 1]
+
+    def test_gradcheck_through_cell(self, rng):
+        cell = nn.LSTMCell(3, 4, rng=default_rng(1))
+        x = Tensor(rng.standard_normal((2, 3)))
+        gradcheck(lambda a: cell(a)[0], [x])
+
+
+class TestLSTM:
+    def test_output_shapes_stacked(self, rng):
+        lstm = nn.LSTM(4, 6, num_layers=2, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((3, 5, 4)).astype(np.float32))
+        out, (h, c) = lstm(x)
+        assert out.shape == (3, 5, 6)
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_final_state_equals_last_output(self, rng):
+        lstm = nn.LSTM(4, 6, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((2, 7, 4)).astype(np.float32))
+        out, (h, _) = lstm(x)
+        np.testing.assert_allclose(out.numpy()[:, -1], h.numpy(), rtol=1e-5)
+
+    def test_gradient_flows_to_first_step(self, rng):
+        lstm = nn.LSTM(3, 4, rng=default_rng(0))
+        x = Tensor(rng.standard_normal((1, 6, 3)).astype(np.float32), requires_grad=True)
+        _, (h, _) = lstm(x)
+        h.sum().backward()
+        # BPTT must reach the earliest timestep
+        assert np.abs(x.grad[:, 0, :]).sum() > 0
+
+    def test_sequence_order_matters(self, rng):
+        lstm = nn.LSTM(3, 4, rng=default_rng(0))
+        x = rng.standard_normal((1, 5, 3)).astype(np.float32)
+        _, (h1, _) = lstm(Tensor(x))
+        _, (h2, _) = lstm(Tensor(x[:, ::-1, :].copy()))
+        assert not np.allclose(h1.numpy(), h2.numpy())
+
+    def test_state_dict_keys(self):
+        lstm = nn.LSTM(3, 4, num_layers=2)
+        keys = set(lstm.state_dict())
+        assert "cells.0.weight_ih" in keys
+        assert "cells.1.weight_hh" in keys
+        assert len(keys) == 8
+
+    def test_deterministic_by_seed(self, rng):
+        x = rng.standard_normal((2, 4, 3)).astype(np.float32)
+        a = nn.LSTM(3, 4, rng=default_rng(5))(Tensor(x))[0].numpy()
+        b = nn.LSTM(3, 4, rng=default_rng(5))(Tensor(x))[0].numpy()
+        np.testing.assert_array_equal(a, b)

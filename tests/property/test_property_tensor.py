@@ -1,0 +1,129 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor
+from repro.tensor.tensor import _unbroadcast
+
+moderate = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+small_shapes = st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple)
+
+
+class TestUnbroadcast:
+    @given(
+        shape=small_shapes,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unbroadcast_inverts_broadcast_sum(self, shape, data):
+        """For x broadcast to a bigger shape B, summing the all-ones
+        gradient back must count how many B-cells each x-cell fed."""
+        extra = data.draw(st.lists(st.integers(1, 3), min_size=0, max_size=2))
+        big_shape = tuple(extra) + shape
+        grad = np.ones(big_shape)
+        out = _unbroadcast(grad, shape)
+        assert out.shape == shape
+        expected_count = np.prod(big_shape) / np.prod(shape)
+        np.testing.assert_allclose(out, np.full(shape, expected_count))
+
+    @given(arr=hnp.arrays(np.float64, (3, 4), elements=moderate))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_when_shapes_match(self, arr):
+        np.testing.assert_array_equal(_unbroadcast(arr, (3, 4)), arr)
+
+
+class TestAlgebraicGradientIdentities:
+    @given(
+        a=hnp.arrays(np.float64, (2, 3), elements=moderate),
+        b=hnp.arrays(np.float64, (2, 3), elements=moderate),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_rule(self, a, b):
+        """d/dx sum(x + y) = 1 elementwise."""
+        x, y = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+        np.testing.assert_allclose(y.grad, np.ones_like(b))
+
+    @given(
+        a=hnp.arrays(np.float64, (2, 3), elements=moderate),
+        b=hnp.arrays(np.float64, (2, 3), elements=moderate),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_product_rule(self, a, b):
+        x, y = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, b)
+        np.testing.assert_allclose(y.grad, a)
+
+    @given(a=hnp.arrays(np.float64, (3,), elements=moderate))
+    @settings(max_examples=50, deadline=None)
+    def test_linearity_of_backward(self, a):
+        """grad of (2x + 3x) equals grad of 5x."""
+        x1 = Tensor(a, requires_grad=True)
+        (x1 * 2.0 + x1 * 3.0).sum().backward()
+        x2 = Tensor(a, requires_grad=True)
+        (x2 * 5.0).sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad, rtol=1e-12)
+
+    @given(
+        a=hnp.arrays(
+            np.float64,
+            (2, 2),
+            elements=st.floats(0.1, 50.0, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_log_exp_inverse_grads(self, a):
+        """d/dx log(exp(x)) = 1."""
+        x = Tensor(a, requires_grad=True)
+        x.exp().log().sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a), rtol=1e-6)
+
+    @given(a=hnp.arrays(np.float64, (4,), elements=moderate))
+    @settings(max_examples=50, deadline=None)
+    def test_tanh_bounded_gradient(self, a):
+        x = Tensor(a, requires_grad=True)
+        x.tanh().sum().backward()
+        assert (x.grad <= 1.0 + 1e-12).all()
+        assert (x.grad >= 0.0 - 1e-12).all()
+
+
+class TestSoftmaxProperties:
+    @given(logits=hnp.arrays(np.float64, (3, 5), elements=moderate))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, logits):
+        from repro.tensor import functional as F
+
+        out = F.softmax(Tensor(logits)).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), rtol=1e-6)
+        assert (out >= 0).all()
+
+    @given(
+        logits=hnp.arrays(np.float64, (4, 3), elements=moderate),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cross_entropy_nonnegative(self, logits, data):
+        from repro.tensor import functional as F
+
+        targets = np.array(
+            data.draw(st.lists(st.integers(0, 2), min_size=4, max_size=4))
+        )
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        assert loss >= -1e-9
+
+    @given(logits=hnp.arrays(np.float64, (2, 4), elements=moderate))
+    @settings(max_examples=50, deadline=None)
+    def test_cross_entropy_grad_rows_sum_zero(self, logits):
+        """Softmax-CE gradient rows sum to zero (prob simplex tangent)."""
+        from repro.tensor import functional as F
+
+        x = Tensor(logits, requires_grad=True)
+        F.cross_entropy(x, np.array([0, 1])).backward()
+        np.testing.assert_allclose(x.grad.sum(axis=1), np.zeros(2), atol=1e-10)

@@ -1,0 +1,156 @@
+"""Autograd graph mechanics: accumulation, reuse, modes, errors."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad
+from repro.tensor.autograd import is_grad_enabled, set_grad_enabled
+
+
+class TestGraphMechanics:
+    def test_diamond_graph_accumulates_once(self):
+        # x feeds two branches that re-join; each backward must run once.
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        out = a + b
+        out.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_tensor_reused_in_same_op(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x * x).backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_deep_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.1**50], rtol=1e-5)
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad_clears(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_non_scalar_backward_requires_gradient(self):
+        x = Tensor([[1.0, 2.0]], requires_grad=True)
+        with pytest.raises(RuntimeError, match="scalar"):
+            (x * 2.0).backward()
+
+    def test_non_scalar_backward_with_explicit_grad(self):
+        x = Tensor([[1.0, 2.0]], requires_grad=True)
+        (x * 2.0).backward(np.array([[1.0, 10.0]]))
+        np.testing.assert_allclose(x.grad, [[2.0, 20.0]])
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_graph_only_tracks_required(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])  # constant
+        out = a * b
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+        assert b.grad is None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_on_exception(self):
+        assert is_grad_enabled()
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_set_grad_enabled_global(self):
+        set_grad_enabled(False)
+        try:
+            x = Tensor([1.0], requires_grad=True)
+            assert not (x * 2.0).requires_grad
+        finally:
+            set_grad_enabled(True)
+
+
+class TestTensorBasics:
+    def test_detach_shares_data(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data
+
+    def test_copy_is_independent(self):
+        x = Tensor([1.0])
+        c = x.copy()
+        c.data[0] = 99.0
+        assert x.data[0] == 1.0
+
+    def test_item_rejects_multi_element(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_int_input_coerced_to_float(self):
+        x = Tensor([1, 2, 3])
+        assert x.dtype.kind == "f"
+
+    def test_len_and_repr(self):
+        x = Tensor(np.zeros((4, 2)), requires_grad=True)
+        assert len(x) == 4
+        assert "requires_grad=True" in repr(x)
+
+    def test_properties(self):
+        x = Tensor(np.zeros((2, 3)))
+        assert x.shape == (2, 3)
+        assert x.ndim == 2
+        assert x.size == 6
+        assert x.T.shape == (3, 2)
+
+
+class TestGradcheckMeta:
+    def test_gradcheck_catches_wrong_gradient(self):
+        """gradcheck itself must fail when an op's backward is wrong."""
+        from repro.tensor.tensor import Tensor as T
+
+        def buggy(x):
+            out_data = x.data * 2.0
+
+            def backward(g):
+                x._accumulate(g * 3.0)  # wrong: should be 2.0
+
+            return T._make(out_data, (x,), backward, "buggy")
+
+        from repro.tensor import gradcheck
+
+        with pytest.raises(AssertionError, match="gradcheck failed"):
+            gradcheck(buggy, [T(np.ones((2, 2)))])
+
+    def test_gradcheck_requires_tensor_inputs(self):
+        from repro.tensor import gradcheck
+
+        with pytest.raises(TypeError):
+            gradcheck(lambda x: x, [np.ones(3)])

@@ -1,0 +1,173 @@
+"""Softmax family, losses, dropout, embedding."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, gradcheck
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)))
+        out = F.softmax(x).numpy()
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4), rtol=1e-6)
+        assert (out > 0).all()
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)))
+        np.testing.assert_allclose(
+            np.exp(F.log_softmax(x).numpy()), F.softmax(x).numpy(), rtol=1e-6
+        )
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((2, 4))
+        a = F.softmax(Tensor(logits)).numpy()
+        b = F.softmax(Tensor(logits + 100.0)).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_extreme_logits_no_overflow(self):
+        x = Tensor(np.array([[1000.0, -1000.0]]))
+        out = F.softmax(x).numpy()
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [[1.0, 0.0]], atol=1e-12)
+
+    def test_gradchecks(self, rng):
+        gradcheck(lambda a: F.softmax(a, axis=0), [Tensor(rng.standard_normal((4, 3)))])
+        gradcheck(lambda a: F.log_softmax(a, axis=1), [Tensor(rng.standard_normal((4, 3)))])
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((5, 3))
+        targets = np.array([0, 1, 2, 1, 0])
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert loss == pytest.approx(expected, rel=1e-5)
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2])).item()
+        assert loss < 1e-6
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        logits = np.zeros((4, 10))
+        loss = F.cross_entropy(Tensor(logits), np.zeros(4, dtype=int)).item()
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        F.cross_entropy(logits, targets).backward()
+        probs = F.softmax(Tensor(logits.data)).numpy()
+        onehot = F.one_hot(targets, 4)
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3.0, rtol=1e-4, atol=1e-6)
+
+    def test_sum_reduction(self, rng):
+        logits = rng.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        mean = F.cross_entropy(Tensor(logits), targets, reduction="mean").item()
+        total = F.cross_entropy(Tensor(logits), targets, reduction="sum").item()
+        assert total == pytest.approx(4 * mean, rel=1e-5)
+
+    def test_unknown_reduction_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(rng.standard_normal((2, 2))), np.array([0, 1]), reduction="x")
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.standard_normal((4, 5)))
+        targets = np.array([0, 4, 2, 1])
+        gradcheck(lambda a: F.cross_entropy(a, targets), [logits])
+
+
+class TestOtherLosses:
+    def test_mse_value_and_grad(self, rng):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        target = np.array([0.0, 0.0])
+        loss = F.mse_loss(pred, target)
+        loss.backward()
+        assert loss.item() == pytest.approx(2.5)
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+    def test_bce_with_logits_matches_manual(self, rng):
+        logits = rng.standard_normal(6)
+        y = (rng.random(6) > 0.5).astype(np.float64)
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), y).item()
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(expected, rel=1e-5)
+
+    def test_bce_extreme_logits_stable(self):
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor(np.array([1000.0, -1000.0])), np.array([1.0, 0.0])
+        ).item()
+        assert np.isfinite(loss) and loss < 1e-6
+
+    def test_bce_gradcheck(self, rng):
+        y = np.array([1.0, 0.0, 1.0])
+        gradcheck(
+            lambda a: F.binary_cross_entropy_with_logits(a, y),
+            [Tensor(rng.standard_normal(3))],
+        )
+
+    def test_nll_loss_picks_target_rows(self):
+        log_probs = Tensor(np.log(np.array([[0.7, 0.3], [0.2, 0.8]])))
+        loss = F.nll_loss(log_probs, np.array([0, 1])).item()
+        assert loss == pytest.approx(-(np.log(0.7) + np.log(0.8)) / 2, rel=1e-5)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_preserves_leading_shape(self):
+        out = F.one_hot(np.zeros((2, 3), dtype=int), 4)
+        assert out.shape == (2, 3, 4)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.numpy(), x.numpy())
+
+    def test_p_zero_is_identity(self, rng):
+        x = Tensor(rng.standard_normal(5))
+        out = F.dropout(x, 0.0, rng, training=True)
+        np.testing.assert_allclose(out.numpy(), x.numpy())
+
+    def test_scaling_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True).numpy()
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_grad_masked_like_forward(self, rng):
+        x = Tensor(np.ones(100), requires_grad=True)
+        out = F.dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        # gradient zero exactly where output was dropped
+        dropped = out.numpy() == 0
+        assert (x.grad[dropped] == 0).all()
+        assert (x.grad[~dropped] > 0).all()
+
+
+class TestEmbedding:
+    def test_lookup_values(self, rng):
+        w = rng.standard_normal((5, 3))
+        idx = np.array([[0, 4], [2, 2]])
+        out = F.embedding(idx, Tensor(w))
+        np.testing.assert_allclose(out.numpy(), w[idx])
+
+    def test_repeated_index_grad_accumulates(self, rng):
+        w = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        F.embedding(np.array([1, 1, 1]), w).sum().backward()
+        np.testing.assert_allclose(w.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(w.grad[0], [0.0, 0.0])

@@ -1,0 +1,103 @@
+"""CLI entry points (direct main() calls; no subprocess overhead)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "fedcross"
+        assert args.beta == "iid"
+
+    def test_bench_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "table99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fedcross" in out
+        assert "resnet20" in out
+        assert "synth_cifar10" in out
+
+    def test_run_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method", "fedavg",
+                "--clients", "4",
+                "--rounds", "2",
+                "--local-epochs", "1",
+                "--eval-every", "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "fedavg"
+        assert len(payload["accuracies"]) == 2
+
+    def test_run_human_readable(self, capsys):
+        main(
+            [
+                "run",
+                "--method", "fedcross",
+                "--clients", "4",
+                "--rounds", "2",
+                "--local-epochs", "1",
+                "--eval-every", "1",
+                "--alpha", "0.8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "final=" in out
+        assert "round" in out
+
+    def test_compare_json(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--methods", "fedavg,fedcross",
+                "--clients", "4",
+                "--rounds", "2",
+                "--local-epochs", "1",
+                "--eval-every", "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"fedavg", "fedcross"}
+
+    def test_bench_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        assert "Comm. Overhead" in capsys.readouterr().out
+
+    def test_bench_fig3(self, capsys):
+        assert main(["bench", "fig3"]) == 0
+        assert "Dir(0.1)" in capsys.readouterr().out
+
+    def test_beta_parsing(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method", "fedavg",
+                "--beta", "0.5",
+                "--clients", "4",
+                "--rounds", "2",
+                "--local-epochs", "1",
+                "--eval-every", "1",
+                "--json",
+            ]
+        )
+        assert code == 0

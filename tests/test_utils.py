@@ -1,0 +1,80 @@
+"""RNG streams and state-dict utilities (direct unit tests)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.params import (
+    flatten_state_dict,
+    state_dict_like,
+    tree_map,
+    unflatten_state_dict,
+    weighted_average,
+)
+from repro.utils.rng import default_rng, spawn_rng
+
+
+class TestRng:
+    def test_default_rng_deterministic(self):
+        assert default_rng(5).random() == default_rng(5).random()
+
+    def test_spawn_from_seed_independent_streams(self):
+        streams = spawn_rng(7, 3)
+        values = [s.random() for s in streams]
+        assert len(set(values)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [g.random() for g in spawn_rng(7, 3)]
+        b = [g.random() for g in spawn_rng(7, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        parent = default_rng(3)
+        children = spawn_rng(parent, 2)
+        assert len(children) == 2
+        assert children[0].random() != children[1].random()
+
+
+class TestParams:
+    def test_flatten_sorted_key_order(self):
+        state = {"b": np.array([3.0, 4.0]), "a": np.array([1.0, 2.0])}
+        np.testing.assert_array_equal(flatten_state_dict(state), [1, 2, 3, 4])
+
+    def test_flatten_empty(self):
+        assert flatten_state_dict({}).size == 0
+
+    def test_unflatten_preserves_dtype(self):
+        ref = {"w": np.zeros((2, 2), dtype=np.float32)}
+        out = unflatten_state_dict(np.arange(4.0), ref)
+        assert out["w"].dtype == np.float32
+        assert out["w"].shape == (2, 2)
+
+    def test_unflatten_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            unflatten_state_dict(np.zeros(5), {"w": np.zeros(3)})
+
+    def test_tree_map_key_mismatch_raises(self):
+        with pytest.raises(KeyError):
+            tree_map(lambda a, b: a + b, {"x": np.zeros(1)}, {"y": np.zeros(1)})
+
+    def test_tree_map_requires_states(self):
+        with pytest.raises(ValueError):
+            tree_map(lambda: None)
+
+    def test_weighted_average_weights(self):
+        a = {"w": np.array([0.0])}
+        b = {"w": np.array([10.0])}
+        out = weighted_average([a, b], [3.0, 1.0])
+        np.testing.assert_allclose(out["w"], [2.5])
+
+    def test_weighted_average_validation(self):
+        with pytest.raises(ValueError):
+            weighted_average([])
+        with pytest.raises(ValueError):
+            weighted_average([{"w": np.zeros(1)}], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_average([{"w": np.zeros(1)}], [0.0])
+
+    def test_state_dict_like(self):
+        ref = {"w": np.ones((2, 2))}
+        out = state_dict_like(ref, lambda v: v * 3)
+        np.testing.assert_allclose(out["w"], np.full((2, 2), 3.0))
