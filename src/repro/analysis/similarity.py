@@ -12,21 +12,23 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.pool import PoolBuffer
 from repro.core.selection import similarity_matrix
-from repro.utils.params import flatten_state_dict
 
 __all__ = ["pairwise_cosine", "mean_pairwise_similarity", "pool_dispersion"]
 
 
 def pairwise_cosine(
-    states: Sequence[Mapping[str, np.ndarray]], param_keys: set[str] | None = None
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
+    param_keys: set[str] | None = None,
 ) -> np.ndarray:
     """Pairwise cosine-similarity matrix of a model pool."""
     return similarity_matrix(states, measure="cosine", param_keys=param_keys)
 
 
 def mean_pairwise_similarity(
-    states: Sequence[Mapping[str, np.ndarray]], param_keys: set[str] | None = None
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
+    param_keys: set[str] | None = None,
 ) -> float:
     """Mean off-diagonal cosine similarity (1.0 = fully unified pool)."""
     sim = pairwise_cosine(states, param_keys)
@@ -38,18 +40,16 @@ def mean_pairwise_similarity(
 
 
 def pool_dispersion(
-    states: Sequence[Mapping[str, np.ndarray]], param_keys: set[str] | None = None
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
+    param_keys: set[str] | None = None,
 ) -> float:
     """RMS distance of pool members from their mean (0 = identical).
 
     The quantity the cross-aggregation contraction (Lemma 3.4) drives
-    down between local-training phases.
+    down between local-training phases.  One vectorized pass over the
+    pool buffer.
     """
-    vectors = []
-    for state in states:
-        if param_keys is not None:
-            state = {k: v for k, v in state.items() if k in param_keys}
-        vectors.append(flatten_state_dict(state))
-    stacked = np.stack(vectors)
-    center = stacked.mean(axis=0)
-    return float(np.sqrt(((stacked - center) ** 2).sum(axis=1).mean()))
+    pool = states if isinstance(states, PoolBuffer) else PoolBuffer.from_states(
+        list(states), dtype=np.float64
+    )
+    return pool.dispersion(param_keys=param_keys)

@@ -28,8 +28,13 @@ from repro.core.selection import (
     similarity_matrix,
 )
 from repro.core.aggregation import cross_aggregate, global_model_generation
-from repro.core.acceleration import DynamicAlphaSchedule, propeller_indices
+from repro.core.acceleration import (
+    DynamicAlphaSchedule,
+    propeller_index_matrix,
+    propeller_indices,
+)
 from repro.core.fedcross import FedCrossServer
+from repro.core.pool import PoolBuffer
 
 __all__ = [
     "CoModelSel",
@@ -42,6 +47,8 @@ __all__ = [
     "cross_aggregate",
     "global_model_generation",
     "DynamicAlphaSchedule",
+    "propeller_index_matrix",
     "propeller_indices",
     "FedCrossServer",
+    "PoolBuffer",
 ]

@@ -18,7 +18,9 @@ the warm-up and dynamic alpha for the second half.
 
 from __future__ import annotations
 
-__all__ = ["propeller_indices", "DynamicAlphaSchedule"]
+import numpy as np
+
+__all__ = ["propeller_indices", "propeller_index_matrix", "DynamicAlphaSchedule"]
 
 
 def propeller_indices(index: int, round_idx: int, k: int, num_propellers: int) -> list[int]:
@@ -41,6 +43,21 @@ def propeller_indices(index: int, round_idx: int, k: int, num_propellers: int) -
             continue
         out.append(candidate)
     return out
+
+
+def propeller_index_matrix(round_idx: int, k: int, num_propellers: int) -> np.ndarray:
+    """Propeller sets for the whole pool as a ``(K, num)`` index array.
+
+    Row i is :func:`propeller_indices` for model i — the form the
+    vectorized :class:`repro.core.pool.PoolBuffer` cross-aggregation
+    consumes (each model fuses with the mean of its row's members).
+    """
+    if k <= 1:
+        return np.zeros((max(k, 1), 1), dtype=np.int64)
+    return np.asarray(
+        [propeller_indices(i, round_idx, k, num_propellers) for i in range(k)],
+        dtype=np.int64,
+    )
 
 
 class DynamicAlphaSchedule:

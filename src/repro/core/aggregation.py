@@ -16,6 +16,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.pool import PoolBuffer
 from repro.utils.params import weighted_average
 
 __all__ = ["cross_aggregate", "global_model_generation", "validate_alpha"]
@@ -39,22 +40,38 @@ def cross_aggregate(
     collaborator: Mapping[str, np.ndarray],
     alpha: float,
 ) -> dict[str, np.ndarray]:
-    """Fuse ``model`` with its collaborative model at weight ``alpha``."""
+    """Fuse ``model`` with its collaborative model at weight ``alpha``.
+
+    Integer entries (step counters and other non-float buffers) are
+    carried from ``model`` unchanged — blending them in floating point
+    and truncating back silently corrupts them.
+    """
     alpha = validate_alpha(alpha)
     if set(model) != set(collaborator):
         raise KeyError("model and collaborator state dicts have mismatched keys")
     out: dict[str, np.ndarray] = {}
     for key, value in model.items():
+        value = np.asarray(value)
+        if value.dtype.kind in "iub":
+            out[key] = value.copy()
+            continue
         a = np.asarray(value, dtype=np.float64)
         b = np.asarray(collaborator[key], dtype=np.float64)
-        out[key] = (alpha * a + (1.0 - alpha) * b).astype(np.asarray(value).dtype)
+        out[key] = (alpha * a + (1.0 - alpha) * b).astype(value.dtype)
     return out
 
 
 def global_model_generation(
-    middleware: Sequence[Mapping[str, np.ndarray]],
+    middleware: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
 ) -> dict[str, np.ndarray]:
-    """Uniform average of the middleware pool — deployment only."""
+    """Uniform average of the middleware pool — deployment only.
+
+    Accepts either a sequence of state dicts (averaged key-wise via
+    :func:`weighted_average`) or a :class:`PoolBuffer`, in which case
+    the average is one vectorized row reduction.
+    """
+    if isinstance(middleware, PoolBuffer):
+        return middleware.mean_state()
     if not middleware:
         raise ValueError("middleware pool is empty")
     return weighted_average(middleware)

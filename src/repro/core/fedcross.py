@@ -11,6 +11,13 @@ Maintains K middleware models; each round:
   deployment-only global model (used here for per-round evaluation,
   exactly like the paper's "pseudo-global model" for Figure 5).
 
+The pool lives in a vectorized :class:`repro.core.pool.PoolBuffer`
+(one ``(K, P)`` float32 matrix) across rounds, so every server-side
+step — similarity ranking, cross-aggregation, global-model generation
+— is a handful of BLAS-level array ops instead of per-key dict loops.
+The ``middleware`` attribute remains a list-of-state-dicts view for
+diagnostics and tests.
+
 ``method_params`` accepted (paper defaults in Section IV-A):
 
 ========================  ========================  =============================================
@@ -26,15 +33,19 @@ Maintains K middleware models; each round:
 
 from __future__ import annotations
 
+from typing import Mapping, Sequence
+
 import numpy as np
 
-from repro.core.acceleration import DynamicAlphaSchedule, propeller_indices
-from repro.core.aggregation import cross_aggregate, global_model_generation, validate_alpha
-from repro.core.selection import CoModelSel, similarity_matrix
+from repro.core.acceleration import DynamicAlphaSchedule, propeller_index_matrix
+from repro.core.aggregation import global_model_generation, validate_alpha
+from repro.core.pool import PoolBuffer
+from repro.core.selection import CoModelSel
 from repro.fl.client import Client
+from repro.fl.metrics import TrainingHistory
 from repro.fl.registry import register_method
 from repro.fl.server import FederatedServer
-from repro.utils.params import weighted_average
+from repro.utils.layout import StateLayout
 
 __all__ = ["FedCrossServer"]
 
@@ -67,9 +78,29 @@ class FedCrossServer(FederatedServer):
         k = self.config.clients_per_round
         # Line 2 of Algorithm 1: all K middleware models start from the
         # same deterministic init (so FedCross and the baselines share a
-        # starting point for fair curves).
-        self.middleware: list[dict] = [self.model.state_dict() for _ in range(k)]
+        # starting point for fair curves).  The pool is one (K, P)
+        # float32 matrix, kept in buffer form for the whole run.
+        init_state = self.model.state_dict()
+        self._layout = StateLayout.from_state(init_state)
+        self._pool = PoolBuffer.broadcast(init_state, k, dtype=np.float32)
         self.result_extras: dict = {}
+
+    # -- pool access ---------------------------------------------------------
+    @property
+    def middleware(self) -> list[dict]:
+        """The pool as state dicts (zero-copy views into the buffer)."""
+        return self._pool.states()
+
+    @middleware.setter
+    def middleware(self, states: Sequence[Mapping[str, np.ndarray]]) -> None:
+        self._pool = PoolBuffer.from_states(
+            list(states), layout=self._layout, dtype=np.float32
+        )
+
+    @property
+    def pool(self) -> PoolBuffer:
+        """The live middleware pool buffer."""
+        return self._pool
 
     # -- alpha / acceleration -------------------------------------------------
     def alpha_at(self, round_idx: int) -> float:
@@ -83,7 +114,7 @@ class FedCrossServer(FederatedServer):
 
     # -- Algorithm 1 ------------------------------------------------------------
     def run_round(self, active: list[Client]) -> dict:
-        k = len(self.middleware)
+        k = len(self._pool)
         if len(active) != k:
             raise RuntimeError(
                 f"FedCross needs exactly K={k} active clients, got {len(active)}"
@@ -94,45 +125,47 @@ class FedCrossServer(FederatedServer):
             self.rng.shuffle(assignment)
 
         # Lines 7-10: local training of middleware model i on client
-        # assignment[i]; W[i] is replaced by the uploaded model v_i.
-        uploaded: list[dict] = [None] * k  # type: ignore[list-item]
+        # assignment[i]; the uploaded model v_i replaces row i.
+        uploaded = PoolBuffer.zeros(self._layout, k, dtype=np.float32)
         results = []
         for i in range(k):
             client = active[assignment[i]]
-            result = client.train(self.trainer, self.middleware[i])
-            uploaded[i] = result.state
+            result = client.train(self.trainer, self._pool.as_state(i))
+            uploaded.set_state(i, result.state)
             results.append(result)
 
-        # Lines 11-14: collaborative selection + cross-aggregation.
+        # Lines 11-14: collaborative selection + cross-aggregation,
+        # vectorized over the whole pool.
         alpha = self.alpha_at(self.round_idx)
-        new_pool: list[dict] = []
-        co_indices: list[int] = []
-        for i in range(k):
-            if self._use_propellers(self.round_idx) and k > 1:
-                props = propeller_indices(i, self.round_idx, k, self.num_propellers)
-                collaborator = weighted_average([uploaded[j] for j in props])
-                co_indices.append(props[0])
-            else:
-                j = self.selector(i, uploaded, self.round_idx)
-                collaborator = uploaded[j]
-                co_indices.append(j)
-            if k == 1:
-                new_pool.append(dict(uploaded[i]))
-            else:
-                new_pool.append(cross_aggregate(uploaded[i], collaborator, alpha))
-        self.middleware = new_pool
+        if k == 1:
+            co_indices = np.zeros(1, dtype=np.int64)
+            self._pool = uploaded
+        elif self._use_propellers(self.round_idx):
+            props = propeller_index_matrix(self.round_idx, k, self.num_propellers)
+            co_indices = props[:, 0]
+            self._pool = uploaded.cross_aggregate(props, alpha)
+        else:
+            co_indices = self.selector.select_all(uploaded, self.round_idx)
+            self._pool = uploaded.cross_aggregate(co_indices, alpha)
 
         self.charge_round_communication(active)
         return {
             "train_loss": self.mean_local_loss(results),
             "alpha": alpha,
-            "co_indices": co_indices,
+            "co_indices": [int(j) for j in co_indices],
         }
+
+    def fit(self, rounds: int | None = None) -> TrainingHistory:
+        history = super().fit(rounds)
+        # Surface the converged pool's similarity structure (the paper's
+        # "middleware models grow similar" narrative) on the result.
+        self.result_extras["middleware_similarity"] = self.middleware_similarity()
+        return history
 
     # -- deployment --------------------------------------------------------------
     def global_state(self) -> dict:
         """Line 17: deployment-only global model (uniform pool average)."""
-        return global_model_generation(self.middleware)
+        return global_model_generation(self._pool)
 
     def middleware_similarity(self) -> np.ndarray:
         """Pairwise cosine similarity of the current pool (diagnostic).
@@ -140,8 +173,6 @@ class FedCrossServer(FederatedServer):
         The paper argues middleware models grow increasingly similar
         over training; the integration tests assert this trend.
         """
-        return similarity_matrix(
-            self.middleware,
-            measure="cosine",
-            param_keys=self.selector.param_keys,
+        return self._pool.similarity_matrix(
+            measure="cosine", param_keys=self.selector.param_keys
         )

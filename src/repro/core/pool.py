@@ -1,0 +1,317 @@
+"""Vectorized middleware-pool engine (Algorithm 1 on one matrix).
+
+The FedCross server manipulates K middleware models per round.  The
+original implementation stored the pool as K state dicts and re-derived
+K full flattened vectors *per selection query* — an O(K²·P) copy storm.
+:class:`PoolBuffer` stores the entire pool as a single ``(K, P)``
+matrix over a cached :class:`repro.utils.layout.StateLayout`, so each
+Algorithm 1 server step is one (or a few) BLAS-level array operations:
+
+===========================  ==========================================
+Algorithm 1 step             PoolBuffer operation
+===========================  ==========================================
+line 2  (init K models)      :meth:`PoolBuffer.broadcast`
+line 7-10 (collect uploads)  :meth:`PoolBuffer.from_states` /
+                             :meth:`set_state` (one pack per upload)
+line 11-12 (``CoModelSel``)  :meth:`similarity_matrix` — normalized
+                             Gram matmul ``U @ U.T`` — and
+                             :meth:`select_collaborators` (masked
+                             row argmax/argmin)
+line 13 (``CrossAggr``)      :meth:`cross_aggregate` — fused row blend
+                             ``alpha * M + (1-alpha) * M[co]``
+line 17 (``GlobalModelGen``) :meth:`mean_state` — weighted row
+                             reduction (einsum)
+===========================  ==========================================
+
+Float arithmetic is performed in float64 and rounded back to the buffer
+dtype, mirroring the dict-based reference implementations in
+:mod:`repro.core.selection` / :mod:`repro.core.aggregation` /
+:mod:`repro.utils.params` bit-for-bit.  ``param_keys`` masks restrict
+similarity to trainable parameters exactly as the dict path does, and
+integer fields (step counters and other non-float buffers) are carried
+through aggregation unaveraged, never blended in floating point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.layout import StateLayout
+
+__all__ = ["PoolBuffer", "VECTORIZED_MEASURES"]
+
+# Measures with a vectorized whole-pool implementation.  Custom measures
+# registered on repro.core.selection.SIMILARITY_MEASURES fall back to
+# the per-pair reference loop there.
+VECTORIZED_MEASURES = ("cosine", "euclidean")
+_VALID_MEASURES = VECTORIZED_MEASURES
+
+
+def _check_integer_roundtrip(
+    layout: StateLayout, state: Mapping[str, np.ndarray], dtype: np.dtype
+) -> None:
+    """Refuse to pack integer fields that would be rounded by ``dtype``.
+
+    Integer buffers (step counters, ...) ride inside the float pool
+    matrix and are guaranteed to come back unchanged; a value outside
+    the float dtype's exact-integer range (2^24 for float32) would be
+    silently corrupted at pack time, so fail loudly instead.
+    """
+    if dtype.kind != "f":
+        return
+    for key in layout.integer_keys:
+        value = np.asarray(state[key])
+        if value.size and not np.array_equal(
+            value.astype(dtype).astype(value.dtype), value
+        ):
+            raise ValueError(
+                f"integer field {key!r} holds values that do not survive a "
+                f"{dtype} round-trip; use a wider pool dtype"
+            )
+
+
+class PoolBuffer:
+    """A pool of K model states stored as one ``(K, P)`` matrix.
+
+    Parameters
+    ----------
+    layout:
+        The shared :class:`StateLayout` of every pool member.
+    matrix:
+        ``(K, P)`` array; row i is the flattened state of model i.
+    """
+
+    def __init__(self, layout: StateLayout, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != layout.total_size:
+            raise ValueError(
+                f"matrix of shape {matrix.shape} does not match layout "
+                f"with {layout.total_size} scalars"
+            )
+        self.layout = layout
+        self.matrix = matrix
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def zeros(cls, layout: StateLayout, k: int, dtype=np.float32) -> "PoolBuffer":
+        return cls(layout, np.zeros((k, layout.total_size), dtype=dtype))
+
+    @classmethod
+    def from_states(
+        cls,
+        states: Sequence[Mapping[str, np.ndarray]],
+        layout: StateLayout | None = None,
+        dtype=np.float32,
+    ) -> "PoolBuffer":
+        """Pack a sequence of state dicts into a fresh buffer."""
+        if not states:
+            raise ValueError("cannot build a PoolBuffer from an empty pool")
+        if layout is None:
+            layout = StateLayout.from_state(states[0])
+        buf = cls.zeros(layout, len(states), dtype=dtype)
+        for i, state in enumerate(states):
+            buf.set_state(i, state)
+        return buf
+
+    @classmethod
+    def broadcast(
+        cls, state: Mapping[str, np.ndarray], k: int, dtype=np.float32
+    ) -> "PoolBuffer":
+        """K identical copies of one state (Algorithm 1 line 2)."""
+        layout = StateLayout.from_state(state)
+        _check_integer_roundtrip(layout, state, np.dtype(dtype))
+        row = layout.flatten(state, dtype=dtype)
+        return cls(layout, np.tile(row, (k, 1)))
+
+    def copy(self) -> "PoolBuffer":
+        return PoolBuffer(self.layout, self.matrix.copy())
+
+    # -- basic access ------------------------------------------------------
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_models(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_scalars(self) -> int:
+        return self.matrix.shape[1]
+
+    def set_state(self, index: int, state: Mapping[str, np.ndarray]) -> None:
+        """Pack ``state`` into row ``index`` (O(P) single pass)."""
+        if set(state) != set(self.layout.keys):
+            raise KeyError("state keys do not match pool layout")
+        _check_integer_roundtrip(self.layout, state, self.matrix.dtype)
+        self.layout.flatten_into(state, self.matrix[index])
+
+    def as_state(self, index: int, copy: bool = False) -> dict[str, np.ndarray]:
+        """State dict of model ``index``.
+
+        With ``copy=False`` the float entries are zero-copy views into
+        the buffer row — O(1) metadata, safe to hand to
+        ``load_state_dict`` (which copies) but not to mutate in place.
+        """
+        return self.layout.unflatten(self.matrix[index], copy=copy)
+
+    def states(self, copy: bool = False) -> list[dict[str, np.ndarray]]:
+        """All pool members as state dicts (views unless ``copy``)."""
+        return [self.as_state(i, copy=copy) for i in range(len(self))]
+
+    # -- similarity (CoModelSel, Section III-B1) ---------------------------
+    def _masked_f64(self, param_keys: Iterable[str] | None) -> np.ndarray:
+        mask = self.layout.mask(param_keys)
+        if mask.all():
+            return self.matrix.astype(np.float64, copy=False)
+        return np.asarray(self.matrix[:, mask], dtype=np.float64)
+
+    def similarity_matrix(
+        self, measure: str = "cosine", param_keys: Iterable[str] | None = None
+    ) -> np.ndarray:
+        """Pairwise ``(K, K)`` similarity of the pool.
+
+        ``cosine`` is a single normalized Gram matmul ``U @ U.T``
+        (zero-norm rows get similarity 0, matching the dict reference);
+        ``euclidean`` is negative pairwise distance computed row-wise to
+        avoid the cancellation of the ``‖x‖²+‖y‖²-2x·y`` expansion.
+        """
+        if measure not in _VALID_MEASURES:
+            raise KeyError(measure)
+        v = self._masked_f64(param_keys)
+        if measure == "cosine":
+            norms = np.sqrt(np.einsum("kp,kp->k", v, v))
+            safe = np.where(norms == 0.0, 1.0, norms)
+            u = v / safe[:, None]
+            sim = u @ u.T
+            zero = norms == 0.0
+            if zero.any():
+                sim[zero, :] = 0.0
+                sim[:, zero] = 0.0
+            return sim
+        out = np.zeros((len(self), len(self)))
+        for i in range(len(self)):
+            diff = v - v[i]
+            out[i] = -np.sqrt(np.einsum("kp,kp->k", diff, diff))
+        return out
+
+    def similarity_to(
+        self,
+        index: int,
+        measure: str = "cosine",
+        param_keys: Iterable[str] | None = None,
+    ) -> np.ndarray:
+        """``(K,)`` similarities of every pool member to model ``index``."""
+        if measure not in _VALID_MEASURES:
+            raise KeyError(measure)
+        v = self._masked_f64(param_keys)
+        if measure == "cosine":
+            norms = np.sqrt(np.einsum("kp,kp->k", v, v))
+            denom = norms * norms[index]
+            sims = v @ v[index]
+            return np.divide(sims, denom, out=np.zeros(len(self)), where=denom != 0.0)
+        diff = v - v[index]
+        return -np.sqrt(np.einsum("kp,kp->k", diff, diff))
+
+    def select_collaborators(
+        self,
+        strategy: str,
+        round_idx: int = 0,
+        measure: str = "cosine",
+        param_keys: Iterable[str] | None = None,
+    ) -> np.ndarray:
+        """Collaborative-model index for every pool member at once.
+
+        Vectorizes all three ``CoModelSel`` strategies: ``in_order`` is
+        the closed-form shift, the similarity strategies are a masked
+        row argmax/argmin of the Gram matrix (self excluded).  Ties
+        resolve to the lowest index, like the dict reference.
+        """
+        k = len(self)
+        if k <= 1:
+            return np.zeros(k, dtype=np.int64)
+        if strategy == "in_order":
+            shift = round_idx % (k - 1) + 1
+            return (np.arange(k) + shift) % k
+        if strategy not in ("highest", "lowest"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        sim = self.similarity_matrix(measure=measure, param_keys=param_keys)
+        eye = np.eye(k, dtype=bool)
+        if strategy == "highest":
+            np.place(sim, eye, -np.inf)
+            return sim.argmax(axis=1)
+        np.place(sim, eye, np.inf)
+        return sim.argmin(axis=1)
+
+    # -- aggregation (CrossAggr / GlobalModelGen, Sections III-B2/B3) ------
+    def cross_aggregate(self, co_indices: np.ndarray, alpha: float) -> "PoolBuffer":
+        """New pool ``alpha * M + (1 - alpha) * M[co]`` (Algorithm 1 line 13).
+
+        ``co_indices`` may be ``(K,)`` — one collaborator per model —
+        or ``(K, num)`` for the propeller variant, where each model
+        fuses with the *uniform mean* of its propeller set.  Integer
+        fields are carried from each model's own row, never averaged.
+        """
+        co_indices = np.asarray(co_indices, dtype=np.int64)
+        m = self.matrix.astype(np.float64, copy=False)
+        if co_indices.ndim == 1:
+            collab = m[co_indices]
+        elif co_indices.ndim == 2:
+            # Accumulate in propeller order so the result matches the
+            # dict reference (sequential weighted_average) bit-for-bit.
+            num = co_indices.shape[1]
+            collab = np.zeros_like(m)
+            for p in range(num):
+                collab += (1.0 / num) * m[co_indices[:, p]]
+        else:
+            raise ValueError("co_indices must be 1- or 2-dimensional")
+        fused = alpha * m + (1.0 - alpha) * collab
+        out = fused.astype(self.matrix.dtype)
+        int_mask = self.layout.integer_mask()
+        if int_mask.any():
+            out[:, int_mask] = self.matrix[:, int_mask]
+        return PoolBuffer(self.layout, out)
+
+    def mean_state(self, weights: Iterable[float] | None = None) -> dict[str, np.ndarray]:
+        """Weighted average of the pool as a state dict (line 17).
+
+        ``None`` means uniform — the paper's ``GlobalModelGen``.
+        Integer fields are taken from row 0 (the "first state"), exactly
+        like the dict-based :func:`repro.utils.params.weighted_average`.
+        """
+        k = len(self)
+        if weights is None:
+            w = np.full(k, 1.0 / k)
+        else:
+            w = np.asarray(list(weights), dtype=np.float64)
+            if len(w) != k:
+                raise ValueError("weights and pool size mismatch")
+            total = w.sum()
+            if total <= 0:
+                raise ValueError("weights must have a positive sum")
+            w = w / total
+        m = self.matrix.astype(np.float64, copy=False)
+        # Sequential accumulation in pool order mirrors the dict
+        # reference's summation order (bit-for-bit reproducible).
+        acc = np.zeros(self.num_scalars)
+        for i in range(k):
+            acc += w[i] * m[i]
+        row = acc.astype(self.matrix.dtype)
+        int_mask = self.layout.integer_mask()
+        if int_mask.any():
+            row[int_mask] = self.matrix[0, int_mask]
+        return self.layout.unflatten(row, copy=True)
+
+    # -- diagnostics -------------------------------------------------------
+    def dispersion(self, param_keys: Iterable[str] | None = None) -> float:
+        """RMS distance of pool members from their mean (Lemma 3.4)."""
+        v = self._masked_f64(param_keys)
+        centered = v - v.mean(axis=0)
+        return float(np.sqrt(np.einsum("kp,kp->k", centered, centered).mean()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PoolBuffer(K={self.num_models}, P={self.num_scalars}, "
+            f"dtype={self.matrix.dtype})"
+        )

@@ -17,6 +17,12 @@ Three strategies trade off the paper's selection criteria:
 Similarity is cosine similarity over flattened parameters (the paper
 leaves other measures as future work; ``euclidean`` is provided for the
 extension ablation).
+
+The public dict-taking functions are thin wrappers over the vectorized
+:class:`repro.core.pool.PoolBuffer` engine (one Gram matmul instead of
+O(K²) pairwise flatten+dot passes).  The original per-pair loops are
+kept as ``_reference_*`` implementations — the ground truth the
+property tests check the engine against.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.pool import VECTORIZED_MEASURES, PoolBuffer
 from repro.utils.params import flatten_state_dict
 
 __all__ = [
@@ -79,8 +86,21 @@ def _flatten_all(
     return np.stack(vectors)
 
 
+def _as_pool(
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
+) -> PoolBuffer:
+    """Accept either a PoolBuffer or a sequence of state dicts.
+
+    Dict inputs are packed into a float64 buffer so wrapper callers see
+    no precision change versus the historical float64 flatten path.
+    """
+    if isinstance(states, PoolBuffer):
+        return states
+    return PoolBuffer.from_states(states, dtype=np.float64)
+
+
 def similarity_matrix(
-    states: Sequence[Mapping[str, np.ndarray]],
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
     measure: str = "cosine",
     param_keys: set[str] | None = None,
 ) -> np.ndarray:
@@ -88,8 +108,25 @@ def similarity_matrix(
 
     ``param_keys`` restricts the comparison to trainable parameters
     (excluding e.g. batch-norm running stats, whose scale would swamp
-    the cosine).
+    the cosine).  Computed by the vectorized pool engine; accepts a
+    :class:`PoolBuffer` directly to skip the packing step.
     """
+    if measure not in SIMILARITY_MEASURES:
+        raise KeyError(measure)
+    if measure not in VECTORIZED_MEASURES:
+        # Custom registered measures keep working through the per-pair
+        # reference loop.
+        states = states.states() if isinstance(states, PoolBuffer) else states
+        return _reference_similarity_matrix(states, measure, param_keys)
+    return _as_pool(states).similarity_matrix(measure=measure, param_keys=param_keys)
+
+
+def _reference_similarity_matrix(
+    states: Sequence[Mapping[str, np.ndarray]],
+    measure: str = "cosine",
+    param_keys: set[str] | None = None,
+) -> np.ndarray:
+    """Original per-pair loop — ground truth for the engine tests."""
     fn = SIMILARITY_MEASURES[measure]
     vectors = _flatten_all(states, param_keys)
     k = len(vectors)
@@ -114,11 +151,38 @@ def select_in_order(index: int, round_idx: int, k: int) -> int:
 
 def _select_by_similarity(
     index: int,
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
+    measure: str,
+    param_keys: set[str] | None,
+    want_highest: bool,
+) -> int:
+    if measure not in SIMILARITY_MEASURES:
+        raise KeyError(measure)
+    if measure not in VECTORIZED_MEASURES:
+        states = states.states() if isinstance(states, PoolBuffer) else states
+        return _reference_select_by_similarity(
+            index, states, measure, param_keys, want_highest
+        )
+    pool = _as_pool(states)
+    k = len(pool)
+    if k <= 1:
+        return index
+    sims = pool.similarity_to(index, measure=measure, param_keys=param_keys)
+    if want_highest:
+        sims[index] = -np.inf
+        return int(sims.argmax())
+    sims[index] = np.inf
+    return int(sims.argmin())
+
+
+def _reference_select_by_similarity(
+    index: int,
     states: Sequence[Mapping[str, np.ndarray]],
     measure: str,
     param_keys: set[str] | None,
     want_highest: bool,
 ) -> int:
+    """Original per-pair loop — ground truth for the engine tests."""
     k = len(states)
     if k <= 1:
         return index
@@ -137,7 +201,7 @@ def _select_by_similarity(
 
 def select_highest_similarity(
     index: int,
-    states: Sequence[Mapping[str, np.ndarray]],
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
     measure: str = "cosine",
     param_keys: set[str] | None = None,
 ) -> int:
@@ -147,7 +211,7 @@ def select_highest_similarity(
 
 def select_lowest_similarity(
     index: int,
-    states: Sequence[Mapping[str, np.ndarray]],
+    states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
     measure: str = "cosine",
     param_keys: set[str] | None = None,
 ) -> int:
@@ -191,7 +255,7 @@ class CoModelSel:
     def __call__(
         self,
         index: int,
-        states: Sequence[Mapping[str, np.ndarray]],
+        states: "Sequence[Mapping[str, np.ndarray]] | PoolBuffer",
         round_idx: int,
     ) -> int:
         """Index of the collaborative model for ``states[index]``."""
@@ -200,3 +264,23 @@ class CoModelSel:
         if self.strategy == "highest":
             return select_highest_similarity(index, states, self.measure, self.param_keys)
         return select_lowest_similarity(index, states, self.measure, self.param_keys)
+
+    def select_all(self, pool: PoolBuffer, round_idx: int) -> np.ndarray:
+        """Collaborator indices for the whole pool in one engine call.
+
+        The server hot path: one Gram matmul covers all K queries,
+        instead of K independent ``__call__`` invocations.  Custom
+        registered measures fall back to the per-pair reference loop.
+        """
+        if self.strategy != "in_order" and self.measure not in VECTORIZED_MEASURES:
+            states = pool.states()
+            return np.asarray(
+                [self(i, states, round_idx) for i in range(len(pool))],
+                dtype=np.int64,
+            )
+        return pool.select_collaborators(
+            self.strategy,
+            round_idx=round_idx,
+            measure=self.measure,
+            param_keys=self.param_keys,
+        )

@@ -47,12 +47,46 @@ class ArrayDataset:
 
 
 class Subset(ArrayDataset):
-    """A view of a parent dataset restricted to ``indices``."""
+    """A lazy view of a parent dataset restricted to ``indices``.
+
+    No data is copied at construction: ``__getitem__`` indexes through
+    the parent, and ``features``/``labels`` materialize their fancy-
+    indexed copy on first access only (then cache it, so repeated
+    minibatch slicing costs one materialization, not one per batch).
+    """
 
     def __init__(self, parent: ArrayDataset, indices: np.ndarray) -> None:
+        # Deliberately skip ArrayDataset.__init__: features/labels are
+        # provided lazily via the properties below.
+        self.parent = parent
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index) -> tuple[np.ndarray, np.ndarray]:
+        parent_index = self.indices[index]
+        return self.parent.features[parent_index], self.parent.labels[parent_index]
+
+    @property
+    def features(self) -> np.ndarray:
+        if self._features is None:
+            self._features = self.parent.features[self.indices]
+        return self._features
+
+    @property
+    def labels(self) -> np.ndarray:
+        if self._labels is None:
+            self._labels = self.parent.labels[self.indices]
+        return self._labels
+
+    def subset(self, indices: Sequence[int]) -> "Subset":
+        # Compose index maps so nested subsets stay views of the root
+        # dataset instead of materializing every intermediate level.
         indices = np.asarray(indices, dtype=np.int64)
-        super().__init__(parent.features[indices], parent.labels[indices])
-        self.indices = indices
+        return Subset(self.parent, self.indices[indices])
 
 
 class DataLoader:

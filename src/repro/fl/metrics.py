@@ -28,6 +28,8 @@ def evaluate_model(
     correct = 0
     loss_total = 0.0
     n = len(dataset)
+    if n == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
     try:
         with no_grad():
             for start in range(0, n, batch_size):

@@ -97,7 +97,7 @@ class FederatedServer:
         """Run the full FL training loop and return the history."""
         rounds = rounds if rounds is not None else self.config.rounds
         eval_every = self.config.eval_every
-        for _ in range(rounds):
+        for local_round in range(rounds):
             active = self.sample_clients()
             extras = self.run_round(active) or {}
             up, down = self.ledger.end_round()
@@ -108,7 +108,10 @@ class FederatedServer:
                 comm_down_params=down,
                 extras=extras,
             )
-            if (self.round_idx + 1) % eval_every == 0 or self.round_idx == rounds - 1:
+            # Compare against the *local* round counter: ``self.round_idx``
+            # is global across fit() calls, so a resumed fit(n) would
+            # otherwise never hit its guaranteed final-round evaluation.
+            if (self.round_idx + 1) % eval_every == 0 or local_round == rounds - 1:
                 record.accuracy, record.loss = self.evaluate()
             self.history.append(record)
             self.round_idx += 1

@@ -1,6 +1,8 @@
-"""Shared utilities: deterministic RNG streams, parameter flattening."""
+"""Shared utilities: deterministic RNG streams, parameter flattening,
+cached flat-vector state layouts."""
 
 from repro.utils.rng import default_rng, spawn_rng, seed_sequence
+from repro.utils.layout import FieldSpec, StateLayout
 from repro.utils.params import (
     flatten_state_dict,
     unflatten_state_dict,
@@ -13,6 +15,8 @@ __all__ = [
     "default_rng",
     "spawn_rng",
     "seed_sequence",
+    "FieldSpec",
+    "StateLayout",
     "flatten_state_dict",
     "unflatten_state_dict",
     "state_dict_like",

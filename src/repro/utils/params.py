@@ -93,6 +93,9 @@ def weighted_average(
     """Weighted element-wise average of state dicts (FedAvg's core op).
 
     Weights are normalised to sum to 1; ``None`` means uniform.
+    Integer entries (e.g. step counters) are carried from the first
+    state instead of averaged — float-averaging then truncating back to
+    the integer dtype silently corrupts them.
     """
     states = list(states)
     if not states:
@@ -109,8 +112,12 @@ def weighted_average(
         w = w / total
     out: dict[str, np.ndarray] = {}
     for key in states[0]:
-        acc = np.zeros_like(np.asarray(states[0][key], dtype=np.float64))
+        first = np.asarray(states[0][key])
+        if first.dtype.kind in "iub":
+            out[key] = first.copy()
+            continue
+        acc = np.zeros_like(first, dtype=np.float64)
         for wi, state in zip(w, states):
             acc += wi * np.asarray(state[key], dtype=np.float64)
-        out[key] = acc.astype(np.asarray(states[0][key]).dtype)
+        out[key] = acc.astype(first.dtype)
     return out

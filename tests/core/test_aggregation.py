@@ -39,6 +39,15 @@ class TestCrossAggregate:
         assert out["w"].dtype == np.float32
         assert out["w"].shape == (2, 3)
 
+    def test_integer_buffers_carried_from_model(self):
+        """Regression: averaging int buffers then truncating back
+        silently corrupted step counters and the like."""
+        a = {"w": np.array([1.0]), "steps": np.array([3], dtype=np.int64)}
+        b = {"w": np.array([0.0]), "steps": np.array([100], dtype=np.int64)}
+        out = cross_aggregate(a, b, alpha=0.5)
+        np.testing.assert_array_equal(out["steps"], [3])
+        assert out["steps"].dtype == np.int64
+
     def test_key_mismatch_raises(self):
         with pytest.raises(KeyError):
             cross_aggregate({"a": np.zeros(1)}, {"b": np.zeros(1)}, 0.5)

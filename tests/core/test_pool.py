@@ -1,0 +1,271 @@
+"""StateLayout / PoolBuffer: the vectorized middleware-pool engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import PoolBuffer
+from repro.utils.layout import StateLayout
+from repro.utils.params import flatten_state_dict
+
+
+def make_state(rng, with_int=False):
+    state = {
+        "b.weight": rng.standard_normal((3, 2)).astype(np.float32),
+        "a.bias": rng.standard_normal(4).astype(np.float32),
+        "c.scale": rng.standard_normal(()).astype(np.float32),
+    }
+    if with_int:
+        state["c.steps"] = np.array([7], dtype=np.int64)
+    return state
+
+
+def make_pool(rng, k=4, with_int=False):
+    return [make_state(rng, with_int=with_int) for _ in range(k)]
+
+
+class TestStateLayout:
+    def test_sorted_key_order_matches_flatten_state_dict(self, rng):
+        state = make_state(rng)
+        layout = StateLayout.from_state(state)
+        assert list(layout.keys) == sorted(state)
+        np.testing.assert_array_equal(
+            layout.flatten(state), flatten_state_dict(state)
+        )
+
+    def test_cached_by_signature(self, rng):
+        a, b = make_state(rng), make_state(rng)
+        assert StateLayout.from_state(a) is StateLayout.from_state(b)
+
+    def test_unflatten_roundtrip(self, rng):
+        state = make_state(rng, with_int=True)
+        layout = StateLayout.from_state(state)
+        row = layout.flatten(state)
+        back = layout.unflatten(row)
+        assert set(back) == set(state)
+        for key in state:
+            np.testing.assert_array_equal(back[key], state[key])
+            assert back[key].dtype == state[key].dtype
+            assert back[key].shape == state[key].shape
+
+    def test_mask_selects_exactly_the_keys(self, rng):
+        state = make_state(rng)
+        layout = StateLayout.from_state(state)
+        mask = layout.mask({"a.bias"})
+        assert mask.sum() == 4
+        full = layout.flatten(state)
+        np.testing.assert_array_equal(full[mask], state["a.bias"])
+
+    def test_mask_is_cached(self, rng):
+        layout = StateLayout.from_state(make_state(rng))
+        assert layout.mask({"a.bias"}) is layout.mask({"a.bias"})
+        assert layout.mask(None) is layout.mask(None)
+
+    def test_integer_mask(self, rng):
+        state = make_state(rng, with_int=True)
+        layout = StateLayout.from_state(state)
+        assert layout.integer_keys == ("c.steps",)
+        assert layout.integer_mask().sum() == 1
+
+    def test_flatten_rejects_mismatched_keys(self, rng):
+        layout = StateLayout.from_state(make_state(rng))
+        with pytest.raises(KeyError):
+            layout.flatten({"other": np.zeros(2)})
+
+
+class TestPoolBufferBasics:
+    def test_from_states_roundtrip(self, rng):
+        pool = make_pool(rng, k=3, with_int=True)
+        buf = PoolBuffer.from_states(pool)
+        assert len(buf) == 3
+        for i, state in enumerate(pool):
+            back = buf.as_state(i)
+            for key in state:
+                np.testing.assert_array_equal(back[key], state[key])
+                assert back[key].dtype == state[key].dtype
+
+    def test_as_state_views_are_zero_copy(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=2))
+        view = buf.as_state(0)["a.bias"]
+        buf.matrix[0, buf.layout.by_key["a.bias"].offset] = 42.0
+        assert view.reshape(-1)[0] == 42.0
+
+    def test_broadcast_replicates_one_state(self, rng):
+        state = make_state(rng)
+        buf = PoolBuffer.broadcast(state, 5)
+        assert len(buf) == 5
+        np.testing.assert_array_equal(buf.matrix[0], buf.matrix[4])
+
+    def test_set_state_rejects_mismatched_keys(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=2))
+        with pytest.raises(KeyError):
+            buf.set_state(0, {"bogus": np.zeros(1)})
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PoolBuffer.from_states([])
+
+
+class TestVectorizedSimilarity:
+    def test_cosine_gram_unit_diagonal(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=5))
+        sim = buf.similarity_matrix("cosine")
+        np.testing.assert_allclose(np.diag(sim), np.ones(5), rtol=1e-6)
+        np.testing.assert_allclose(sim, sim.T, atol=1e-12)
+
+    def test_zero_norm_row_gets_zero_similarity(self, rng):
+        pool = make_pool(rng, k=3)
+        zeroed = {k: np.zeros_like(v) for k, v in pool[1].items()}
+        buf = PoolBuffer.from_states([pool[0], zeroed, pool[2]])
+        sim = buf.similarity_matrix("cosine")
+        np.testing.assert_array_equal(sim[1], np.zeros(3))
+        np.testing.assert_array_equal(sim[:, 1], np.zeros(3))
+
+    def test_euclidean_diag_is_zero(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=4))
+        sim = buf.similarity_matrix("euclidean")
+        np.testing.assert_allclose(np.diag(sim), np.zeros(4), atol=1e-12)
+        assert (sim <= 0).all()
+
+    def test_similarity_to_matches_matrix_row(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=5))
+        sim = buf.similarity_matrix("cosine")
+        for i in range(5):
+            np.testing.assert_allclose(
+                buf.similarity_to(i, "cosine"), sim[i], rtol=1e-12
+            )
+
+    def test_unknown_measure_rejected(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=2))
+        with pytest.raises(KeyError):
+            buf.similarity_matrix("manhattan")
+
+
+class TestVectorizedSelection:
+    def test_in_order_matches_closed_form(self, rng):
+        from repro.core.selection import select_in_order
+
+        buf = PoolBuffer.from_states(make_pool(rng, k=6))
+        for r in range(8):
+            co = buf.select_collaborators("in_order", round_idx=r)
+            expected = [select_in_order(i, r, 6) for i in range(6)]
+            np.testing.assert_array_equal(co, expected)
+
+    def test_never_selects_self(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=5))
+        for strategy in ("in_order", "highest", "lowest"):
+            co = buf.select_collaborators(strategy, round_idx=2)
+            assert all(co[i] != i for i in range(5))
+
+    def test_single_model_selects_self(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=1))
+        np.testing.assert_array_equal(
+            buf.select_collaborators("lowest"), np.zeros(1, dtype=np.int64)
+        )
+
+    def test_unknown_strategy_rejected(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=3))
+        with pytest.raises(ValueError, match="unknown strategy"):
+            buf.select_collaborators("random")
+
+
+class TestVectorizedAggregation:
+    def test_cross_aggregate_blends_rows(self, rng):
+        pool = make_pool(rng, k=3)
+        buf = PoolBuffer.from_states(pool)
+        co = np.array([1, 2, 0])
+        out = buf.cross_aggregate(co, alpha=0.75)
+        for i in range(3):
+            got = out.as_state(i)
+            for key in pool[i]:
+                expected = (
+                    0.75 * pool[i][key].astype(np.float64)
+                    + 0.25 * pool[co[i]][key].astype(np.float64)
+                ).astype(np.float32)
+                np.testing.assert_array_equal(got[key], expected)
+
+    def test_integer_fields_carried_not_averaged(self, rng):
+        pool = make_pool(rng, k=3, with_int=True)
+        for i, state in enumerate(pool):
+            state["c.steps"] = np.array([10 * (i + 1)], dtype=np.int64)
+        buf = PoolBuffer.from_states(pool)
+        out = buf.cross_aggregate(np.array([1, 2, 0]), alpha=0.5)
+        for i in range(3):
+            np.testing.assert_array_equal(
+                out.as_state(i)["c.steps"], pool[i]["c.steps"]
+            )
+        mean = buf.mean_state()
+        np.testing.assert_array_equal(mean["c.steps"], pool[0]["c.steps"])
+
+    def test_propeller_groups_fuse_with_group_mean(self, rng):
+        pool = make_pool(rng, k=4)
+        buf = PoolBuffer.from_states(pool)
+        groups = np.array([[1, 2], [2, 3], [3, 0], [0, 1]])
+        out = buf.cross_aggregate(groups, alpha=0.8)
+        for i in range(4):
+            got = out.as_state(i)
+            for key in pool[i]:
+                group_mean = 0.5 * pool[groups[i, 0]][key].astype(np.float64) + (
+                    0.5 * pool[groups[i, 1]][key].astype(np.float64)
+                )
+                expected = (
+                    0.8 * pool[i][key].astype(np.float64) + 0.2 * group_mean
+                ).astype(np.float32)
+                np.testing.assert_allclose(got[key], expected, rtol=1e-6)
+
+    def test_mean_state_matches_numpy_mean(self, rng):
+        pool = make_pool(rng, k=4)
+        buf = PoolBuffer.from_states(pool)
+        mean = buf.mean_state()
+        for key in pool[0]:
+            expected = np.mean([s[key] for s in pool], axis=0)
+            np.testing.assert_allclose(mean[key], expected, rtol=1e-5, atol=1e-7)
+
+    def test_mean_state_weight_validation(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=2))
+        with pytest.raises(ValueError):
+            buf.mean_state(weights=[1.0])
+        with pytest.raises(ValueError):
+            buf.mean_state(weights=[0.0, 0.0])
+
+    def test_dispersion_zero_for_identical_pool(self, rng):
+        state = make_state(rng)
+        buf = PoolBuffer.broadcast(state, 4)
+        assert buf.dispersion() == 0.0
+
+    def test_float32_pool_rejects_unrepresentable_integers(self, rng):
+        state = make_state(rng, with_int=True)
+        state["c.steps"] = np.array([2**24 + 1], dtype=np.int64)
+        with pytest.raises(ValueError, match="round-trip"):
+            PoolBuffer.broadcast(state, 2, dtype=np.float32)
+        # a wider pool dtype accepts the same value
+        buf = PoolBuffer.broadcast(state, 2, dtype=np.float64)
+        np.testing.assert_array_equal(buf.as_state(0)["c.steps"], [2**24 + 1])
+
+
+class TestCustomMeasureFallback:
+    def test_registered_measure_still_works_via_reference_loop(self, rng):
+        """Custom measures on SIMILARITY_MEASURES (the module's
+        extension point) must keep working even though the vectorized
+        engine only knows cosine/euclidean."""
+        from repro.core import selection
+
+        def manhattan(x, y):
+            return -float(np.abs(x - y).sum())
+
+        selection.SIMILARITY_MEASURES["manhattan"] = manhattan
+        try:
+            pool = make_pool(rng, k=4)
+            sim = selection.similarity_matrix(pool, measure="manhattan")
+            assert sim.shape == (4, 4)
+            ref = selection._reference_similarity_matrix(pool, "manhattan", None)
+            np.testing.assert_array_equal(sim, ref)
+
+            sel = selection.CoModelSel("lowest", measure="manhattan")
+            buf = PoolBuffer.from_states(pool, dtype=np.float64)
+            co = sel.select_all(buf, round_idx=0)
+            for i in range(4):
+                assert co[i] == selection._reference_select_by_similarity(
+                    i, pool, "manhattan", None, want_highest=False
+                )
+        finally:
+            del selection.SIMILARITY_MEASURES["manhattan"]

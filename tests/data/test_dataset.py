@@ -43,6 +43,36 @@ class TestArrayDataset:
         assert ds.num_classes == 0
 
 
+class TestSubsetLaziness:
+    def test_no_copy_at_construction(self):
+        ds = make_ds(100)
+        sub = ds.subset(range(50))
+        assert sub._features is None and sub._labels is None
+        x, y = sub[3]
+        np.testing.assert_array_equal(x, ds.features[3])
+        assert sub._features is None  # __getitem__ stays lazy
+
+    def test_materialization_is_cached(self):
+        ds = make_ds(20)
+        sub = ds.subset([2, 4, 6])
+        assert sub.features is sub.features
+        assert sub.labels is sub.labels
+
+    def test_nested_subsets_compose_indices(self):
+        ds = make_ds(20)
+        nested = ds.subset([5, 10, 15]).subset([2, 0])
+        assert nested.parent is ds
+        np.testing.assert_array_equal(nested.indices, [15, 5])
+        np.testing.assert_array_equal(nested.labels, ds.labels[[15, 5]])
+
+    def test_getitem_slice_maps_through_parent(self):
+        ds = make_ds(10)
+        sub = ds.subset([9, 8, 7, 6])
+        x, y = sub[1:3]
+        np.testing.assert_array_equal(x, ds.features[[8, 7]])
+        np.testing.assert_array_equal(y, ds.labels[[8, 7]])
+
+
 class TestDataLoader:
     def test_batch_count_with_and_without_drop_last(self):
         ds = make_ds(10)

@@ -45,6 +45,11 @@ class TestEvaluateModel:
         assert acc_full == acc_b
         assert loss_full == pytest.approx(loss_b, rel=1e-5)
 
+    def test_empty_dataset_raises_value_error(self):
+        ds = ArrayDataset(np.zeros((0, 3), dtype=np.float32), np.zeros(0))
+        with pytest.raises(ValueError, match="empty dataset"):
+            evaluate_model(Oracle(), ds)
+
     def test_restores_training_mode(self):
         model = build_model("mlp", seed=0, input_dim=4, num_classes=2)
         ds = ArrayDataset(np.zeros((4, 4), dtype=np.float32), np.zeros(4, dtype=int))

@@ -1,0 +1,53 @@
+"""Server fit() loop: resumed runs and guaranteed final evaluation."""
+
+import pytest
+
+from repro.fl.simulation import FLSimulation
+
+
+@pytest.fixture
+def sparse_eval_config(tiny_config):
+    """eval_every larger than any fit() chunk, so only the final-round
+    guarantee can produce evaluations."""
+    return tiny_config.replace(rounds=4, eval_every=100).with_method(
+        "fedavg"
+    )
+
+
+class TestFinalRoundEvaluation:
+    def test_single_fit_evaluates_last_round(self, sparse_eval_config):
+        sim = FLSimulation(sparse_eval_config)
+        history = sim.server.fit(4)
+        assert history.records[-1].accuracy is not None
+        assert all(r.accuracy is None for r in history.records[:-1])
+
+    def test_resumed_fit_still_evaluates_its_last_round(self, sparse_eval_config):
+        """Regression: the final-eval guard compared the *global* round
+        index against the *local* rounds argument, so any fit() call
+        after the first never evaluated its final round."""
+        sim = FLSimulation(sparse_eval_config)
+        sim.server.fit(2)
+        history = sim.server.fit(2)  # global rounds 2-3
+        assert history.records[-1].round_idx == 3
+        assert history.records[-1].accuracy is not None
+
+    def test_round_idx_keeps_advancing_across_fits(self, sparse_eval_config):
+        sim = FLSimulation(sparse_eval_config)
+        sim.server.fit(2)
+        sim.server.fit(2)
+        assert sim.server.round_idx == 4
+        assert [r.round_idx for r in sim.server.history.records] == [0, 1, 2, 3]
+
+
+class TestResultExtras:
+    def test_fedcross_result_extras_hold_similarity(self, tiny_config):
+        """Regression: FedCrossServer.result_extras was assigned once
+        and never written, so SimulationResult.extras was always empty
+        for the headline method."""
+        from repro.fl.simulation import run_simulation
+
+        cfg = tiny_config.replace(rounds=2).with_method("fedcross", alpha=0.8)
+        result = run_simulation(cfg)
+        sim_matrix = result.extras["middleware_similarity"]
+        k = cfg.clients_per_round
+        assert sim_matrix.shape == (k, k)

@@ -1,0 +1,147 @@
+"""Hypothesis equivalence tests: PoolBuffer engine vs dict references.
+
+The vectorized engine must reproduce the original per-pair dict loops —
+similarity values, selected collaborator indices, and aggregated states
+— across all three ``CoModelSel`` strategies, both similarity measures,
+and with/without ``param_keys`` masks.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.aggregation import cross_aggregate, global_model_generation
+from repro.core.pool import PoolBuffer
+from repro.core.selection import (
+    CoModelSel,
+    _reference_select_by_similarity,
+    _reference_similarity_matrix,
+    similarity_matrix,
+)
+from repro.utils.params import weighted_average
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=32
+)
+alphas = st.floats(min_value=0.01, max_value=0.99)
+measures = st.sampled_from(["cosine", "euclidean"])
+masks = st.sampled_from([None, {"w"}, {"w", "buf"}])
+
+KEYS = {"w": (5,), "buf": (2,)}
+
+
+def pools(min_k=2, max_k=6):
+    @st.composite
+    def build(draw):
+        k = draw(st.integers(min_k, max_k))
+        return [
+            {
+                key: draw(hnp.arrays(np.float64, shape, elements=finite))
+                for key, shape in KEYS.items()
+            }
+            for _ in range(k)
+        ]
+
+    return build()
+
+
+class TestSimilarityEquivalence:
+    @given(pool=pools(), measure=measures, keys=masks)
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_matches_reference(self, pool, measure, keys):
+        ref = _reference_similarity_matrix(pool, measure, keys)
+        got = similarity_matrix(pool, measure, keys)
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+
+    @given(pool=pools(), measure=measures, keys=masks)
+    @settings(max_examples=60, deadline=None)
+    def test_buffer_input_matches_dict_input(self, pool, measure, keys):
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        np.testing.assert_array_equal(
+            similarity_matrix(buf, measure, keys),
+            similarity_matrix(pool, measure, keys),
+        )
+
+
+class TestSelectionEquivalence:
+    @given(
+        pool=pools(),
+        measure=measures,
+        keys=masks,
+        want_highest=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_selection_matches_reference(
+        self, pool, measure, keys, want_highest
+    ):
+        strategy = "highest" if want_highest else "lowest"
+        sel = CoModelSel(strategy, measure=measure, param_keys=keys)
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        vectorized = sel.select_all(buf, round_idx=0)
+        for i in range(len(pool)):
+            ref = _reference_select_by_similarity(
+                i, pool, measure, keys, want_highest=want_highest
+            )
+            assert vectorized[i] == ref
+            assert sel(i, pool, 0) == ref
+
+    @given(pool=pools(), r=st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_in_order_selection_matches_reference(self, pool, r):
+        sel = CoModelSel("in_order")
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        vectorized = sel.select_all(buf, round_idx=r)
+        for i in range(len(pool)):
+            assert vectorized[i] == sel(i, pool, r)
+
+
+class TestAggregationEquivalence:
+    @given(pool=pools(), alpha=alphas, r=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_cross_aggregate_bitwise_matches_dict(self, pool, alpha, r):
+        k = len(pool)
+        co = np.array([(i + (r % (k - 1) + 1)) % k for i in range(k)])
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        out = buf.cross_aggregate(co, alpha)
+        for i in range(k):
+            ref = cross_aggregate(pool[i], pool[co[i]], alpha)
+            got = out.as_state(i)
+            for key in ref:
+                np.testing.assert_array_equal(got[key], ref[key])
+
+    @given(pool=pools(), alpha=alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_propeller_fusion_bitwise_matches_dict(self, pool, alpha):
+        k = len(pool)
+        groups = np.array([[(i + 1) % k, (i + 2) % k] for i in range(k)])
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        out = buf.cross_aggregate(groups, alpha)
+        for i in range(k):
+            collab = weighted_average([pool[j] for j in groups[i]])
+            ref = cross_aggregate(pool[i], collab, alpha)
+            got = out.as_state(i)
+            for key in ref:
+                np.testing.assert_array_equal(got[key], ref[key])
+
+    @given(pool=pools())
+    @settings(max_examples=40, deadline=None)
+    def test_global_model_generation_bitwise_matches_dict(self, pool):
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        ref = global_model_generation(pool)
+        got = global_model_generation(buf)
+        for key in ref:
+            np.testing.assert_array_equal(got[key], ref[key])
+
+    @given(pool=pools())
+    @settings(max_examples=30, deadline=None)
+    def test_float32_pool_stays_within_roundtrip(self, pool):
+        """A float32 buffer (the server's storage) reproduces the dict
+        result up to one float32 rounding of the inputs."""
+        pool32 = [
+            {k: v.astype(np.float32) for k, v in state.items()} for state in pool
+        ]
+        buf = PoolBuffer.from_states(pool32, dtype=np.float32)
+        ref = global_model_generation(pool32)
+        got = global_model_generation(buf)
+        for key in ref:
+            np.testing.assert_allclose(got[key], ref[key], rtol=1e-6, atol=1e-6)

@@ -66,6 +66,16 @@ class TestParams:
         out = weighted_average([a, b], [3.0, 1.0])
         np.testing.assert_allclose(out["w"], [2.5])
 
+    def test_weighted_average_integer_buffers_carried(self):
+        """Regression: int buffers were averaged in float then truncated
+        back to the int dtype, corrupting e.g. step counters."""
+        a = {"w": np.array([0.0]), "steps": np.array([5], dtype=np.int32)}
+        b = {"w": np.array([2.0]), "steps": np.array([9], dtype=np.int32)}
+        out = weighted_average([a, b])
+        np.testing.assert_allclose(out["w"], [1.0])
+        np.testing.assert_array_equal(out["steps"], [5])
+        assert out["steps"].dtype == np.int32
+
     def test_weighted_average_validation(self):
         with pytest.raises(ValueError):
             weighted_average([])
