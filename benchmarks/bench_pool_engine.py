@@ -1,8 +1,10 @@
 """Server-side round overhead: PoolBuffer engine vs dict reference.
 
-Measures the FedCross server's per-round work — CoModelSel similarity
-selection, CrossAggr fusion and GlobalModelGen — for middleware pool
-sizes K ∈ {5, 10, 20, 50} on the seed CNN, comparing:
+Two workloads, both on the seed CNN:
+
+**FedCross engine** (``pool_engine``): the FedCross server's per-round
+work — CoModelSel similarity selection, CrossAggr fusion and
+GlobalModelGen — for pool sizes K ∈ {5, 10, 20, 50}, comparing:
 
 * **dict**: the original per-key dict loops (kept as the
   ``_reference_*`` implementations in ``repro.core.selection`` /
@@ -12,19 +14,36 @@ sizes K ∈ {5, 10, 20, 50} on the seed CNN, comparing:
   one normalized Gram matmul, row-blend cross-aggregation and a
   weighted row reduction.
 
+**Baseline aggregation** (``baseline_aggregation``): the FedAvg-family
+aggregate phase for K ∈ {10, 50, 200}, comparing:
+
+* **dict**: ``weighted_average`` over K uploaded state dicts — the
+  per-key loop every baseline server used to block on;
+* **pool**: the phased servers' split —  ``pack`` (per-upload
+  ``PoolBuffer.set_state`` row writes, paid incrementally in the
+  collect phase as uploads arrive) and ``reduce`` (the aggregate
+  phase: one BLAS matvec via ``mean_state(precise=False)``).
+
+The asserted bar is the *aggregate-phase* cost: ``reduce`` must be
+≥5× cheaper than the dict loop at K=50 (the blocking server step the
+phase refactor replaced).
+
 Run directly (not collected by the tier-1 pytest command)::
 
     PYTHONPATH=src python benchmarks/bench_pool_engine.py           # full
     PYTHONPATH=src python benchmarks/bench_pool_engine.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_pool_engine.py --json    # trend tracking
 
-The full run asserts the ≥5× speedup acceptance bar at the largest K;
-``--smoke`` uses a small CNN and K ∈ {5, 10} so CI fails loudly on a
-perf regression without minutes of compute.
+``--json`` emits one machine-readable object (per-K timings for both
+workloads) for longitudinal perf tracking; ``--smoke`` uses a small CNN
+and small K so CI fails loudly on a perf regression without minutes of
+compute.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -34,6 +53,7 @@ from repro.core.aggregation import cross_aggregate
 from repro.core.pool import PoolBuffer
 from repro.core.selection import _reference_select_by_similarity
 from repro.models import build_model
+from repro.utils.layout import StateLayout
 from repro.utils.params import weighted_average
 
 
@@ -83,29 +103,25 @@ def time_call(fn, repeats):
     return best
 
 
-def run(ks, input_shape, repeats, min_speedup_at_max_k):
-    model = build_model("cnn", seed=0, input_shape=input_shape, num_classes=10)
+def run_engine(model, ks, repeats, min_speedup_at_max_k, emit):
+    """FedCross engine: dict loops vs the vectorized pool round."""
     state = model.state_dict()
     param_keys = {name for name, _ in model.named_parameters()}
     rng = np.random.default_rng(0)
-    print(
-        f"seed CNN input_shape={input_shape}: "
-        f"{model.num_parameters():,} params, repeats={repeats}"
-    )
-    print(f"{'K':>4} {'dict (s)':>12} {'pool (s)':>12} {'speedup':>9}")
+    layout = StateLayout.from_state(state)
+    emit(f"{'K':>4} {'dict (s)':>12} {'pool (s)':>12} {'speedup':>9}")
 
     failures = []
+    rows = []
     for k in ks:
         uploads = make_uploads(state, k, rng)
-        from repro.utils.layout import StateLayout
-
-        layout = StateLayout.from_state(state)
         # Warm both paths once (BLAS thread spin-up, layout cache).
         pool_round(uploads, layout, param_keys)
         t_dict = time_call(lambda: dict_round(uploads, param_keys), repeats)
         t_pool = time_call(lambda: pool_round(uploads, layout, param_keys), repeats)
         speedup = t_dict / t_pool
-        print(f"{k:>4} {t_dict:>12.4f} {t_pool:>12.4f} {speedup:>8.1f}x")
+        emit(f"{k:>4} {t_dict:>12.4f} {t_pool:>12.4f} {speedup:>8.1f}x")
+        rows.append({"k": k, "dict_s": t_dict, "pool_s": t_pool, "speedup": speedup})
 
         # Sanity: both paths must agree on the resulting global model.
         ref = dict_round(uploads, param_keys)
@@ -115,10 +131,68 @@ def run(ks, input_shape, repeats, min_speedup_at_max_k):
 
         if k == max(ks) and speedup < min_speedup_at_max_k:
             failures.append(
-                f"K={k}: speedup {speedup:.1f}x below the "
+                f"engine K={k}: speedup {speedup:.1f}x below the "
                 f"{min_speedup_at_max_k}x bar"
             )
-    return failures
+    return rows, failures
+
+
+def run_baselines(model, ks, repeats, min_speedup_at_k, emit):
+    """FedAvg-family aggregation: weighted_average vs pool row reduction."""
+    state = model.state_dict()
+    rng = np.random.default_rng(1)
+    layout = StateLayout.from_state(state)
+    emit(
+        f"{'K':>4} {'dict (s)':>12} {'pack (s)':>12} {'reduce (s)':>12} "
+        f"{'agg speedup':>12}"
+    )
+
+    failures = []
+    rows = []
+    for k in ks:
+        uploads = make_uploads(state, k, rng)
+        sizes = [float(s) for s in rng.integers(10, 100, size=k)]
+        buf = PoolBuffer.zeros(layout, k, dtype=np.float32)
+
+        def pack():
+            for i, u in enumerate(uploads):
+                buf.set_state(i, u)
+
+        def reduce_():
+            return buf.mean_state(sizes, precise=False)
+
+        pack()  # warm + fill the buffer the reduce step reads
+        t_dict = time_call(lambda: weighted_average(uploads, sizes), repeats)
+        t_pack = time_call(pack, repeats)
+        t_reduce = time_call(reduce_, repeats)
+        speedup = t_dict / t_reduce
+        emit(
+            f"{k:>4} {t_dict:>12.4f} {t_pack:>12.4f} {t_reduce:>12.4f} "
+            f"{speedup:>11.1f}x"
+        )
+        rows.append(
+            {
+                "k": k,
+                "dict_s": t_dict,
+                "pack_s": t_pack,
+                "reduce_s": t_reduce,
+                "agg_speedup": speedup,
+            }
+        )
+
+        # Sanity: the row reduction must match the dict loop to float32
+        # rounding (it accumulates in the buffer dtype by design).
+        ref = weighted_average(uploads, sizes)
+        got = reduce_()
+        for key in ref:
+            np.testing.assert_allclose(got[key], ref[key], rtol=1e-4, atol=1e-5)
+
+        if k == min_speedup_at_k[0] and speedup < min_speedup_at_k[1]:
+            failures.append(
+                f"baselines K={k}: aggregate speedup {speedup:.1f}x below the "
+                f"{min_speedup_at_k[1]}x bar"
+            )
+    return rows, failures
 
 
 def main(argv=None):
@@ -126,35 +200,66 @@ def main(argv=None):
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small CNN, K in {5, 10}, relaxed speedup bar (CI regression guard)",
+        help="small CNN, small K, relaxed speedup bars (CI regression guard)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object for trend tracking",
     )
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
+    emit = (lambda line: None) if args.json else print
+
     if args.smoke:
-        # Deliberately generous bar: the smoke workload typically shows
-        # ~2.4x, but shared CI runners are noisy — 1.2x still catches a
-        # true regression (the engine falling behind the dict loops)
-        # without flaking on scheduler jitter.
-        failures = run(
-            ks=(5, 10),
-            input_shape=(3, 8, 8),
-            repeats=args.repeats,
-            min_speedup_at_max_k=1.2,
-        )
+        # Deliberately generous bars: shared CI runners are noisy — the
+        # smoke bars still catch a true regression (the engine falling
+        # behind the dict loops) without flaking on scheduler jitter.
+        input_shape = (3, 8, 8)
+        engine_ks, engine_bar = (5, 10), 1.2
+        base_ks, base_bar = (5, 10), (10, 1.2)
     else:
-        failures = run(
-            ks=(5, 10, 20, 50),
-            input_shape=(3, 32, 32),
-            repeats=args.repeats,
-            min_speedup_at_max_k=5.0,
+        input_shape = (3, 32, 32)
+        engine_ks, engine_bar = (5, 10, 20, 50), 5.0
+        base_ks, base_bar = (10, 50, 200), (50, 5.0)
+
+    model = build_model("cnn", seed=0, input_shape=input_shape, num_classes=10)
+    emit(
+        f"seed CNN input_shape={input_shape}: "
+        f"{model.num_parameters():,} params, repeats={args.repeats}"
+    )
+
+    emit("\n== FedCross engine: dict round vs pool round ==")
+    engine_rows, failures = run_engine(
+        model, engine_ks, args.repeats, engine_bar, emit
+    )
+    emit("\n== Baseline aggregation: weighted_average vs pool row reduction ==")
+    base_rows, base_failures = run_baselines(
+        model, base_ks, args.repeats, base_bar, emit
+    )
+    failures += base_failures
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "params": model.num_parameters(),
+                    "input_shape": list(input_shape),
+                    "repeats": args.repeats,
+                    "smoke": args.smoke,
+                    "pool_engine": engine_rows,
+                    "baseline_aggregation": base_rows,
+                    "failures": failures,
+                }
+            )
         )
     if failures:
         print("PERF REGRESSION: " + "; ".join(failures), file=sys.stderr)
         return 1
-    print("ok")
+    emit("ok")
     return 0
 
 

@@ -11,9 +11,31 @@ Three calls cover the common workflows:
     Run several methods on the *same* federated dataset and initial
     weights (the paper's comparison-fairness protocol) and return
     results keyed by method name.
+
+All three sit on the phased server protocol
+(:class:`~repro.fl.server.FederatedServer`: ``select_cohort`` →
+``dispatch`` → ``collect`` → ``aggregate``) and accept a ``callbacks=``
+sequence of :class:`~repro.fl.callbacks.ServerCallback` hooks — e.g.
+:class:`~repro.fl.callbacks.ThroughputLogger` for round timing or
+:class:`~repro.fl.callbacks.BestStateCheckpointer` for best-state
+checkpointing with early-stop patience::
+
+    from repro.api import run_method
+    from repro.fl.callbacks import BestStateCheckpointer
+
+    ckpt = BestStateCheckpointer(patience=5)
+    result = run_method("fedavg", rounds=50, callbacks=[ckpt])
+
+Server-side model buffers live on a pluggable storage backend selected
+by the ``backend`` config field (``"dense"`` in-memory default,
+``"memmap"`` for pools beyond RAM — see :mod:`repro.core.storage`)::
+
+    result = run_method("fedcross", num_clients=200, backend="memmap")
 """
 
 from __future__ import annotations
+
+from typing import Callable, Sequence
 
 from repro.data.federated import build_federated_dataset
 from repro.fl.config import FLConfig
@@ -27,6 +49,7 @@ def quick_fedcross(
     rounds: int = 10,
     num_clients: int = 10,
     heterogeneity: str | float = 0.5,
+    callbacks: Sequence | None = None,
     **method_params,
 ) -> SimulationResult:
     """Small FedCross run on synthetic CIFAR-10 with an MLP."""
@@ -41,18 +64,21 @@ def quick_fedcross(
         seed=seed,
         method_params=method_params,
     )
-    return run_simulation(config)
+    return run_simulation(config, callbacks=callbacks)
 
 
-def run_method(method: str, **config_kwargs) -> SimulationResult:
+def run_method(
+    method: str, callbacks: Sequence | None = None, **config_kwargs
+) -> SimulationResult:
     """Run one method; kwargs are :class:`~repro.fl.config.FLConfig` fields."""
-    return run_simulation(FLConfig(method=method, **config_kwargs))
+    return run_simulation(FLConfig(method=method, **config_kwargs), callbacks=callbacks)
 
 
 def compare_methods(
     methods: list[str],
     base_config: FLConfig | None = None,
     method_params: dict[str, dict] | None = None,
+    callbacks: "Sequence | Callable[[], Sequence] | None" = None,
     **config_kwargs,
 ) -> dict[str, SimulationResult]:
     """Run several methods under identical data/init/seed.
@@ -66,6 +92,11 @@ def compare_methods(
     method_params:
         Optional per-method parameter dicts, e.g.
         ``{"fedprox": {"mu": 0.01}, "fedcross": {"alpha": 0.99}}``.
+    callbacks:
+        Either a shared callback sequence, or — since callbacks such as
+        :class:`~repro.fl.callbacks.BestStateCheckpointer` are stateful
+        — a zero-argument factory called once per method so every run
+        gets fresh instances.
 
     Returns
     -------
@@ -83,5 +114,8 @@ def compare_methods(
     results: dict[str, SimulationResult] = {}
     for method in methods:
         method_config = config.with_method(method, **method_params.get(method, {}))
-        results[method] = run_simulation(method_config, fed_dataset=fed_dataset)
+        cbs = callbacks() if callable(callbacks) else callbacks
+        results[method] = run_simulation(
+            method_config, fed_dataset=fed_dataset, callbacks=cbs
+        )
     return results

@@ -20,8 +20,9 @@ from scipy.cluster.vq import kmeans2
 
 from repro.fl.client import Client
 from repro.fl.registry import register_method
-from repro.fl.server import FederatedServer
-from repro.utils.params import flatten_state_dict, weighted_average
+from repro.fl.server import DispatchPlan, FederatedServer
+from repro.fl.trainer import LocalResult
+from repro.utils.params import flatten_state_dict
 
 __all__ = ["CluSampServer"]
 
@@ -58,7 +59,7 @@ class CluSampServer(FederatedServer):
             groups.append(unknown)
         return groups
 
-    def sample_clients(self) -> list[Client]:
+    def select_cohort(self) -> list[Client]:
         """One representative per cluster, size-weighted within cluster."""
         k = self.config.clients_per_round
         groups = self._cluster_assignments(k)
@@ -79,19 +80,21 @@ class CluSampServer(FederatedServer):
         return chosen
 
     # -- round ---------------------------------------------------------------
-    def run_round(self, active: list[Client]) -> dict:
+    def aggregate(
+        self,
+        active: list[Client],
+        results: list[LocalResult],
+        plans: list[DispatchPlan],
+    ) -> dict:
         before = flatten_state_dict(
             {k: v for k, v in self._global.items() if k in self._param_keys}
         )
-        results = [client.train(self.trainer, self._global) for client in active]
         for client, result in zip(active, results):
             after = flatten_state_dict(
                 {k: v for k, v in result.state.items() if k in self._param_keys}
             )
             self._updates[client.client_id] = after - before
-        self._global = weighted_average(
-            [r.state for r in results], [r.num_samples for r in results]
-        )
+        self._global = self.aggregate_uploads(results)
         self.charge_round_communication(active)
         return {"train_loss": self.mean_local_loss(results)}
 

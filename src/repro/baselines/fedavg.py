@@ -5,14 +5,19 @@ clients, receives their locally trained copies, and replaces the global
 model with the sample-size-weighted average. This is the aggregation
 scheme whose "coarse-grained averaging" the paper argues eclipses
 client knowledge under gradient divergence.
+
+Expressed against the phase protocol, FedAvg is the identity method:
+default cohort selection, default dispatch (global model, no hooks),
+default collect (uploads packed into :class:`~repro.core.pool.PoolBuffer`
+rows), and an aggregate that is one weighted row reduction.
 """
 
 from __future__ import annotations
 
 from repro.fl.client import Client
 from repro.fl.registry import register_method
-from repro.fl.server import FederatedServer
-from repro.utils.params import weighted_average
+from repro.fl.server import DispatchPlan, FederatedServer
+from repro.fl.trainer import LocalResult
 
 __all__ = ["FedAvgServer"]
 
@@ -25,11 +30,13 @@ class FedAvgServer(FederatedServer):
         super().__init__(*args, **kwargs)
         self._global = self.model.state_dict()
 
-    def run_round(self, active: list[Client]) -> dict:
-        results = [client.train(self.trainer, self._global) for client in active]
-        self._global = weighted_average(
-            [r.state for r in results], [r.num_samples for r in results]
-        )
+    def aggregate(
+        self,
+        active: list[Client],
+        results: list[LocalResult],
+        plans: list[DispatchPlan],
+    ) -> dict:
+        self._global = self.aggregate_uploads(results)
         self.charge_round_communication(active)
         return {"train_loss": self.mean_local_loss(results)}
 

@@ -21,7 +21,6 @@ import numpy as np
 from repro.fl.client import Client
 from repro.fl.registry import register_method
 from repro.fl.server import FederatedServer
-from repro.utils.params import weighted_average
 
 __all__ = ["FedClusterServer"]
 
@@ -47,7 +46,11 @@ class FedClusterServer(FederatedServer):
         """One meta-round: visit every cluster once, in cyclic order.
 
         ``active`` determines how many clients participate per cluster
-        visit (K split across clusters).
+        visit (K split across clusters).  The schedule is inherently
+        sequential — each cluster trains from the previous cluster's
+        FedAvg result — so this overrides the dispatch→collect→aggregate
+        driver wholesale; the per-cluster averages are still
+        :class:`~repro.core.pool.PoolBuffer` row reductions.
         """
         per_cluster = max(1, len(active) // self.num_clusters)
         state = self._global
@@ -61,15 +64,21 @@ class FedClusterServer(FederatedServer):
             )
             members = [self.clients[i] for i in pick]
             results = [m.train(self.trainer, state) for m in members]
-            state = weighted_average(
-                [r.state for r in results], [r.num_samples for r in results]
+            state = self.pack_states([r.state for r in results]).mean_state(
+                [r.num_samples for r in results], precise=False
             )
             losses.extend(r.mean_loss for r in results)
             total_clients += len(members)
         self._global = state
         self.ledger.record_down(total_clients * self.model_size)
         self.ledger.record_up(total_clients * self.model_size)
-        return {"train_loss": float(np.mean(losses)) if losses else None}
+        return {
+            "train_loss": float(np.mean(losses)) if losses else None,
+            # The cyclic schedule trains per_cluster clients per visit,
+            # which need not equal clients_per_round; report the truth
+            # for throughput accounting.
+            "clients_trained": total_clients,
+        }
 
     def global_state(self) -> dict:
         return self._global

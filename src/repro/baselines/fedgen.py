@@ -23,12 +23,12 @@ import numpy as np
 from repro import nn
 from repro.fl.client import Client
 from repro.fl.registry import register_method
-from repro.fl.server import FederatedServer
+from repro.fl.server import DispatchPlan, FederatedServer
+from repro.fl.trainer import LocalResult
 from repro.optim.adam import Adam
 from repro.tensor import functional as F
 from repro.tensor.autograd import no_grad
 from repro.tensor.tensor import Tensor, concatenate
-from repro.utils.params import weighted_average
 from repro.utils.rng import default_rng
 
 __all__ = ["Generator", "FedGenServer"]
@@ -161,10 +161,17 @@ class FedGenServer(FederatedServer):
         return hook
 
     # -- FL round ------------------------------------------------------------
-    def run_round(self, active: list[Client]) -> dict:
+    def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
+        """Global model plus the distillation hook (after warm-up)."""
         hook = self._distillation_hook() if self.round_idx > 0 else None
-        results = [client.train(self.trainer, self._global, loss_hook=hook) for client in active]
+        return [DispatchPlan(self._global, loss_hook=hook) for _ in active]
 
+    def aggregate(
+        self,
+        active: list[Client],
+        results: list[LocalResult],
+        plans: list[DispatchPlan],
+    ) -> dict:
         counts = np.zeros_like(self._label_counts)
         for client in active:
             counts += client.class_counts(self.fed_dataset.num_classes)
@@ -174,7 +181,7 @@ class FedGenServer(FederatedServer):
         states = [r.state for r in results]
         sizes = np.array([r.num_samples for r in results], dtype=np.float64)
         gen_loss = self._train_generator(states, sizes)
-        self._global = weighted_average(states, sizes)
+        self._global = self.aggregate_uploads(results)
 
         # Table I: model both ways + one generator down per client.
         self.charge_round_communication(

@@ -13,10 +13,10 @@ import numpy as np
 
 from repro.fl.client import Client
 from repro.fl.registry import register_method
-from repro.fl.server import FederatedServer
+from repro.fl.server import DispatchPlan, FederatedServer
+from repro.fl.trainer import LocalResult
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor
-from repro.utils.params import weighted_average
 
 __all__ = ["FedProxServer"]
 
@@ -51,14 +51,18 @@ class FedProxServer(FederatedServer):
 
         return hook
 
-    def run_round(self, active: list[Client]) -> dict:
+    def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
+        """Global model plus the proximal loss hook anchored to it."""
         hook = self._proximal_hook(self._global)
-        results = [
-            client.train(self.trainer, self._global, loss_hook=hook) for client in active
-        ]
-        self._global = weighted_average(
-            [r.state for r in results], [r.num_samples for r in results]
-        )
+        return [DispatchPlan(self._global, loss_hook=hook) for _ in active]
+
+    def aggregate(
+        self,
+        active: list[Client],
+        results: list[LocalResult],
+        plans: list[DispatchPlan],
+    ) -> dict:
+        self._global = self.aggregate_uploads(results)
         self.charge_round_communication(active)
         return {"train_loss": self.mean_local_loss(results)}
 

@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.fl.client import Client
 from repro.fl.registry import register_method
-from repro.fl.server import FederatedServer
-from repro.utils.params import tree_map, weighted_average, zeros_like_state
+from repro.fl.server import DispatchPlan, FederatedServer
+from repro.fl.trainer import LocalResult
+from repro.utils.params import tree_map, zeros_like_state
 
 __all__ = ["ScaffoldServer"]
 
@@ -47,17 +48,32 @@ class ScaffoldServer(FederatedServer):
 
         return hook
 
-    def run_round(self, active: list[Client]) -> dict:
-        x = self._global
-        results = []
-        deltas_c = []
+    def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
+        """Global model plus each client's control-variate grad hook."""
+        plans = []
         for client in active:
             c_local = self._c_clients.get(client.client_id)
             if c_local is None:
                 c_local = zeros_like_state(self._c_global)
-            result = client.train(self.trainer, x, grad_hook=self._control_hook(c_local))
-            results.append(result)
+            plans.append(
+                DispatchPlan(
+                    self._global,
+                    grad_hook=self._control_hook(c_local),
+                    context={"c_local": c_local},
+                )
+            )
+        return plans
 
+    def aggregate(
+        self,
+        active: list[Client],
+        results: list[LocalResult],
+        plans: list[DispatchPlan],
+    ) -> dict:
+        x = self._global
+        deltas_c = []
+        for client, result, plan in zip(active, results, plans):
+            c_local = plan.context["c_local"]
             # Option II variate refresh: c_i+ = c_i - c + (x - y_i)/(steps*lr)
             steps = max(result.num_steps, 1)
             scale = 1.0 / (steps * self.trainer.lr)
@@ -71,7 +87,7 @@ class ScaffoldServer(FederatedServer):
             self._c_clients[client.client_id] = c_new
 
         # Model update: x <- x + server_lr * mean(y_i - x) over active clients.
-        mean_y = weighted_average([r.state for r in results], [r.num_samples for r in results])
+        mean_y = self.aggregate_uploads(results)
         self._global = {
             k: np.asarray(x[k], dtype=np.float64) * (1 - self.server_lr)
             + self.server_lr * np.asarray(mean_y[k], dtype=np.float64)
@@ -79,9 +95,13 @@ class ScaffoldServer(FederatedServer):
         }
         self._global = {k: v.astype(np.asarray(x[k]).dtype) for k, v in self._global.items()}
 
-        # Variate update: c <- c + (|S|/N) * mean(delta_c).
+        # Variate update: c <- c + (|S|/N) * mean(delta_c), as one uniform
+        # row reduction over the packed variate deltas (float64 rows —
+        # the variates are float64 and must not be narrowed).
         frac = len(active) / len(self.clients)
-        mean_delta = weighted_average(deltas_c)
+        mean_delta = self.pack_states(deltas_c, dtype=np.float64).mean_state(
+            precise=False
+        )
         self._c_global = tree_map(lambda c, d: c + frac * d, self._c_global, mean_delta)
 
         # Control variates ride alongside the models in both directions.

@@ -12,46 +12,120 @@ Commands
     Regenerate one paper artefact by name:
     ``python -m repro bench table1|table2|table3|fig3|...|fig9``.
 ``list``
-    Show registered methods, models and datasets.
+    Show registered methods, models, datasets and pool backends.
+
+Flag defaults mirror :class:`repro.fl.config.FLConfig` (they are read
+off a default instance, so the two can never drift): batch size 50,
+20 clients, Section IV-A local-training settings.  Beyond the config
+fields, the server's phased round loop is exposed through:
+
+``--backend dense|memmap``
+    Pool-storage backend for the server's model buffers
+    (:mod:`repro.core.storage`); ``memmap`` keeps pools on disk for
+    populations beyond RAM.
+``--progress``
+    Attach a :class:`~repro.fl.callbacks.ThroughputLogger` printing
+    per-round wall-clock and a throughput summary to stderr.
+``--early-stop-patience N``
+    Attach a :class:`~repro.fl.callbacks.BestStateCheckpointer`: stop
+    after N non-improving evaluations and restore the best state.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 
 from repro.api import compare_methods, run_method
 from repro.data.federated import DATASET_BUILDERS
+from repro.fl.callbacks import BestStateCheckpointer, ThroughputLogger
+from repro.fl.config import FLConfig
 from repro.fl.registry import available_methods
 from repro.models.registry import available_models
 
 __all__ = ["main", "build_parser"]
 
+# Single source of truth for flag defaults: the config dataclass.
+_DEFAULTS = FLConfig()
+
+
+def _backend(value: str) -> str:
+    """Validate ``--backend`` at parse time (fail fast, registry open).
+
+    Resolved against the live backend registry rather than a static
+    ``choices`` list, so third-party backends registered before CLI
+    invocation remain selectable.
+    """
+    from repro.core.storage import resolve_backend
+
+    try:
+        resolve_backend(value)
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(exc.args[0])
+    return value.lower()
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", default="synth_cifar10")
-    parser.add_argument("--model", default="mlp")
+    parser.add_argument("--dataset", default=_DEFAULTS.dataset)
+    parser.add_argument("--model", default=_DEFAULTS.model)
     parser.add_argument(
         "--beta",
-        default="iid",
+        default=str(_DEFAULTS.heterogeneity),
         help='Dirichlet beta (float) or "iid"',
     )
-    parser.add_argument("--clients", type=int, default=10)
-    parser.add_argument("--participation", type=float, default=0.5)
-    parser.add_argument("--rounds", type=int, default=20)
-    parser.add_argument("--local-epochs", type=int, default=5)
-    parser.add_argument("--batch-size", type=int, default=20)
-    parser.add_argument("--lr", type=float, default=0.01)
-    parser.add_argument("--momentum", type=float, default=0.5)
-    parser.add_argument("--eval-every", type=int, default=5)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=_DEFAULTS.num_clients)
+    parser.add_argument(
+        "--participation", type=float, default=_DEFAULTS.participation
+    )
+    parser.add_argument(
+        "--k-active",
+        type=int,
+        default=None,
+        help="absolute active-client count per round (overrides --participation)",
+    )
+    parser.add_argument("--rounds", type=int, default=_DEFAULTS.rounds)
+    parser.add_argument("--local-epochs", type=int, default=_DEFAULTS.local_epochs)
+    parser.add_argument("--batch-size", type=int, default=_DEFAULTS.batch_size)
+    parser.add_argument("--lr", type=float, default=_DEFAULTS.lr)
+    parser.add_argument("--momentum", type=float, default=_DEFAULTS.momentum)
+    parser.add_argument("--weight-decay", type=float, default=_DEFAULTS.weight_decay)
+    parser.add_argument("--eval-every", type=int, default=_DEFAULTS.eval_every)
+    parser.add_argument(
+        "--eval-batch-size", type=int, default=_DEFAULTS.eval_batch_size
+    )
+    parser.add_argument(
+        "--backend",
+        type=_backend,
+        default=_DEFAULTS.backend,
+        help='pool-storage backend: "dense" (in-memory) or "memmap" (file-backed)',
+    )
+    parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
     parser.add_argument("--alpha", type=float, default=0.9, help="FedCross fusion weight")
     parser.add_argument(
         "--selection",
         default="lowest",
         choices=("in_order", "highest", "lowest"),
         help="FedCross CoModelSel strategy",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="log per-round wall-clock and a throughput summary to stderr",
+    )
+    parser.add_argument(
+        "--early-stop-patience",
+        type=_positive_int,
+        default=None,
+        help="stop after this many non-improving evaluations and restore the best state",
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -82,7 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("list", help="list methods, models and datasets")
+    sub.add_parser("list", help="list methods, models, datasets and backends")
     return parser
 
 
@@ -97,14 +171,36 @@ def _config_kwargs(args) -> dict:
         heterogeneity=_heterogeneity(args.beta),
         num_clients=args.clients,
         participation=args.participation,
+        k_active=args.k_active,
         rounds=args.rounds,
         local_epochs=args.local_epochs,
         batch_size=args.batch_size,
         lr=args.lr,
         momentum=args.momentum,
+        weight_decay=args.weight_decay,
         eval_every=args.eval_every,
+        eval_batch_size=args.eval_batch_size,
+        backend=args.backend,
         seed=args.seed,
     )
+
+
+def _callback_factory(args):
+    """Zero-arg factory building fresh callbacks from the CLI flags.
+
+    A factory (not a shared list) because the checkpointer is stateful
+    and ``compare`` runs several methods back to back.
+    """
+
+    def build():
+        callbacks = []
+        if args.progress:
+            callbacks.append(ThroughputLogger(log=functools.partial(print, file=sys.stderr)))
+        if args.early_stop_patience is not None:
+            callbacks.append(BestStateCheckpointer(patience=args.early_stop_patience))
+        return callbacks
+
+    return build
 
 
 def _cmd_run(args) -> int:
@@ -113,12 +209,18 @@ def _cmd_run(args) -> int:
         if args.method == "fedcross"
         else {}
     )
-    result = run_method(args.method, method_params=method_params, **_config_kwargs(args))
+    result = run_method(
+        args.method,
+        method_params=method_params,
+        callbacks=_callback_factory(args)(),
+        **_config_kwargs(args),
+    )
     if args.json:
         print(
             json.dumps(
                 {
                     "method": args.method,
+                    "backend": args.backend,
                     "final_accuracy": result.final_accuracy,
                     "best_accuracy": result.best_accuracy,
                     "accuracies": result.history.accuracies,
@@ -140,6 +242,7 @@ def _cmd_compare(args) -> int:
     results = compare_methods(
         methods,
         method_params={"fedcross": {"alpha": args.alpha, "selection": args.selection}},
+        callbacks=_callback_factory(args),
         **_config_kwargs(args),
     )
     if args.json:
@@ -190,9 +293,12 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_list() -> int:
+    from repro.core.storage import available_backends
+
     print("methods: ", ", ".join(available_methods()))
     print("models:  ", ", ".join(available_models()))
     print("datasets:", ", ".join(sorted(DATASET_BUILDERS)))
+    print("backends:", ", ".join(available_backends()))
     return 0
 
 

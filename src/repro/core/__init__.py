@@ -35,6 +35,14 @@ from repro.core.acceleration import (
 )
 from repro.core.fedcross import FedCrossServer
 from repro.core.pool import PoolBuffer
+from repro.core.storage import (
+    DenseStorage,
+    MemmapStorage,
+    PoolStorage,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 
 __all__ = [
     "CoModelSel",
@@ -51,4 +59,10 @@ __all__ = [
     "propeller_indices",
     "FedCrossServer",
     "PoolBuffer",
+    "PoolStorage",
+    "DenseStorage",
+    "MemmapStorage",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
 ]

@@ -44,7 +44,8 @@ from repro.core.selection import CoModelSel
 from repro.fl.client import Client
 from repro.fl.metrics import TrainingHistory
 from repro.fl.registry import register_method
-from repro.fl.server import FederatedServer
+from repro.fl.server import DispatchPlan, FederatedServer
+from repro.fl.trainer import LocalResult
 from repro.utils.layout import StateLayout
 
 __all__ = ["FedCrossServer"]
@@ -82,7 +83,9 @@ class FedCrossServer(FederatedServer):
         # float32 matrix, kept in buffer form for the whole run.
         init_state = self.model.state_dict()
         self._layout = StateLayout.from_state(init_state)
-        self._pool = PoolBuffer.broadcast(init_state, k, dtype=np.float32)
+        self._pool = PoolBuffer.broadcast(
+            init_state, k, dtype=np.float32, backend=self.backend
+        )
         self.result_extras: dict = {}
 
     # -- pool access ---------------------------------------------------------
@@ -94,7 +97,7 @@ class FedCrossServer(FederatedServer):
     @middleware.setter
     def middleware(self, states: Sequence[Mapping[str, np.ndarray]]) -> None:
         self._pool = PoolBuffer.from_states(
-            list(states), layout=self._layout, dtype=np.float32
+            list(states), layout=self._layout, dtype=np.float32, backend=self.backend
         )
 
     @property
@@ -112,34 +115,44 @@ class FedCrossServer(FederatedServer):
     def _use_propellers(self, round_idx: int) -> bool:
         return round_idx < self.propeller_rounds
 
-    # -- Algorithm 1 ------------------------------------------------------------
-    def run_round(self, active: list[Client]) -> dict:
+    # -- Algorithm 1 as phases ---------------------------------------------------
+    def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
+        """Lines 4-5: shuffle the model → client assignment.
+
+        Middleware model i goes to client ``active[assignment[i]]``;
+        each plan carries its model index as the upload-buffer ``row``
+        so the default ``collect`` packs uploads back in model order.
+        """
         k = len(self._pool)
         if len(active) != k:
             raise RuntimeError(
                 f"FedCross needs exactly K={k} active clients, got {len(active)}"
             )
-        # Line 5: shuffle the model -> client assignment.
         assignment = list(range(k))
         if self.shuffle:
             self.rng.shuffle(assignment)
-
-        # Lines 7-10: local training of middleware model i on client
-        # assignment[i]; the uploaded model v_i replaces row i.
-        uploaded = PoolBuffer.zeros(self._layout, k, dtype=np.float32)
-        results = []
+        plans: list[DispatchPlan | None] = [None] * k
         for i in range(k):
-            client = active[assignment[i]]
-            result = client.train(self.trainer, self._pool.as_state(i))
-            uploaded.set_state(i, result.state)
-            results.append(result)
+            plans[assignment[i]] = DispatchPlan(
+                self._pool.as_state(i), context={"row": i}
+            )
+        return plans
 
-        # Lines 11-14: collaborative selection + cross-aggregation,
-        # vectorized over the whole pool.
+    def aggregate(
+        self,
+        active: list[Client],
+        results: list[LocalResult],
+        plans: list[DispatchPlan],
+    ) -> dict:
+        """Lines 11-14: CoModelSel + CrossAggr over the uploaded pool."""
+        k = len(self._pool)
+        uploaded = self.uploads  # packed in model order by collect()
         alpha = self.alpha_at(self.round_idx)
         if k == 1:
             co_indices = np.zeros(1, dtype=np.int64)
-            self._pool = uploaded
+            # Copy: the upload buffer is reused next round and must not
+            # alias the live pool.
+            self._pool = uploaded.copy()
         elif self._use_propellers(self.round_idx):
             props = propeller_index_matrix(self.round_idx, k, self.num_propellers)
             co_indices = props[:, 0]
@@ -155,17 +168,29 @@ class FedCrossServer(FederatedServer):
             "co_indices": [int(j) for j in co_indices],
         }
 
-    def fit(self, rounds: int | None = None) -> TrainingHistory:
-        history = super().fit(rounds)
+    def finalize_fit(self, history: TrainingHistory) -> None:
         # Surface the converged pool's similarity structure (the paper's
         # "middleware models grow similar" narrative) on the result.
+        # Runs before callback on_fit_end hooks, so a checkpointer's
+        # best-state restore (which broadcasts one state over the pool)
+        # cannot flatten the diagnostic to all-ones first.
         self.result_extras["middleware_similarity"] = self.middleware_similarity()
-        return history
 
     # -- deployment --------------------------------------------------------------
     def global_state(self) -> dict:
         """Line 17: deployment-only global model (uniform pool average)."""
         return global_model_generation(self._pool)
+
+    def set_global_state(self, state: Mapping[str, np.ndarray]) -> None:
+        """Reset the whole pool to ``state`` (checkpoint restore).
+
+        The deployable model is the uniform pool average, so restoring a
+        checkpoint broadcasts it back over all K middleware rows —
+        exactly Algorithm 1's line-2 initialisation from a shared state.
+        """
+        self._pool = PoolBuffer.broadcast(
+            state, len(self._pool), dtype=np.float32, backend=self.backend
+        )
 
     def middleware_similarity(self) -> np.ndarray:
         """Pairwise cosine similarity of the current pool (diagnostic).

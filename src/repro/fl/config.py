@@ -40,6 +40,12 @@ class FLConfig:
         FL training rounds.
     eval_every:
         Global-model evaluation cadence in rounds.
+    backend:
+        Pool-storage backend for the server's model buffers —
+        ``"dense"`` (in-memory, default) or ``"memmap"`` (file-backed
+        for pools beyond RAM); see :mod:`repro.core.storage`.
+        Resolved lazily against the backend registry, so third-party
+        backends registered via ``register_backend`` are valid too.
     method_params:
         Method-specific options, e.g. ``{"mu": 0.01}`` for FedProx or
         ``{"alpha": 0.99, "selection": "lowest"}`` for FedCross.
@@ -60,6 +66,7 @@ class FLConfig:
     rounds: int = 20
     eval_every: int = 1
     eval_batch_size: int = 256
+    backend: str = "dense"
     seed: int = 0
     dataset_params: dict[str, Any] = field(default_factory=dict)
     model_params: dict[str, Any] = field(default_factory=dict)
@@ -76,6 +83,8 @@ class FLConfig:
             raise ValueError("rounds must be positive")
         if self.local_epochs <= 0:
             raise ValueError("local_epochs must be positive")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty backend name")
 
     @property
     def clients_per_round(self) -> int:

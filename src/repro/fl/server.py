@@ -1,16 +1,43 @@
-"""Federated server base class.
+"""Federated server base class — the phased round protocol.
 
-Owns the round loop shared by every method: sample K clients, delegate
-to the method's ``run_round``, account communication, periodically
-evaluate the deployable global model on the held-out test set, and
-record history. Subclasses implement ``run_round`` (the aggregation
-scheme — the only place the six reproduced methods differ) and
-``global_state`` (what gets deployed/evaluated).
+Algorithm 1's server loop is naturally phased, and every reproduced
+method is expressed against the same four overridable phases, driven by
+the shared :meth:`FederatedServer.fit` loop:
+
+``select_cohort()``
+    Pick the round's active clients (uniform sampling by default;
+    CluSamp overrides with cluster-stratified sampling).
+``dispatch(active)``
+    Build one :class:`DispatchPlan` per active client: the state to
+    train from plus optional loss/grad hooks (FedProx's proximal term,
+    SCAFFOLD's control variates, FedGen's distillation) and free-form
+    ``context`` carried through to aggregation.
+``collect(active, plans)``
+    Run local training and gather uploads.  The default implementation
+    also packs each uploaded state into a reused server-side
+    :class:`~repro.core.pool.PoolBuffer` row (``plan.context["row"]``,
+    defaulting to the client's position) as it arrives, so aggregation
+    is array ops instead of per-key dict loops.
+``aggregate(active, results, plans)``
+    The method-specific model update; returns a dict of extras stored
+    on the round record.  FedAvg-family methods reduce the upload
+    buffer with one BLAS matvec (:meth:`aggregate_uploads`).
+
+``run_round`` is the phase driver; methods whose round is not the
+dispatch→collect→aggregate shape (FedCluster's cyclic cluster schedule)
+may still override it wholesale.
+
+:class:`~repro.fl.callbacks.ServerCallback` hooks (``on_round_start``,
+``on_evaluate``, ``on_round_end``, ``on_fit_end``) observe the loop and
+may set ``server.stop_training`` to end training early.  The pool/upload
+buffers live on the storage backend named by ``config.backend``
+(``dense`` | ``memmap`` — see :mod:`repro.core.storage`).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -19,10 +46,33 @@ from repro.fl.client import Client
 from repro.fl.comm import CommunicationLedger
 from repro.fl.config import FLConfig
 from repro.fl.metrics import RoundRecord, TrainingHistory, evaluate_model
-from repro.fl.trainer import LocalTrainer
+from repro.fl.trainer import GradHook, LocalResult, LocalTrainer, LossHook
 from repro.nn.module import Module
+from repro.utils.layout import StateLayout
 
-__all__ = ["FederatedServer"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pool import PoolBuffer
+    from repro.fl.callbacks import ServerCallback
+
+__all__ = ["DispatchPlan", "FederatedServer"]
+
+
+@dataclass
+class DispatchPlan:
+    """What one active client receives for its local-training leg.
+
+    ``context`` is free-form method state threaded from ``dispatch`` to
+    ``aggregate`` (e.g. SCAFFOLD's per-client control variate). The
+    reserved key ``"row"`` names the upload-buffer row the client's
+    result is packed into (defaults to the client's cohort position;
+    FedCross uses it to keep rows in middleware-model order).
+    """
+
+    state: Mapping[str, np.ndarray]
+    loss_hook: LossHook | None = None
+    grad_hook: GradHook | None = None
+    lr_override: float | None = None
+    context: dict = field(default_factory=dict)
 
 
 class FederatedServer:
@@ -42,6 +92,9 @@ class FederatedServer:
         The full client population.
     rng:
         Server-side generator (client sampling, shuffling, ...).
+    callbacks:
+        :class:`~repro.fl.callbacks.ServerCallback` hooks observing the
+        ``fit`` loop.
     """
 
     method_name = "base"
@@ -54,6 +107,7 @@ class FederatedServer:
         trainer: LocalTrainer,
         clients: Sequence[Client],
         rng: np.random.Generator,
+        callbacks: "Iterable[ServerCallback] | None" = None,
     ) -> None:
         self.config = config
         self.fed_dataset = fed_dataset
@@ -61,31 +115,152 @@ class FederatedServer:
         self.trainer = trainer
         self.clients = list(clients)
         self.rng = rng
+        self.callbacks: list[ServerCallback] = list(callbacks or [])
         self.ledger = CommunicationLedger()
         self.history = TrainingHistory()
         self.model_size = model.num_parameters()
         self.round_idx = 0
+        self.stop_training = False
+        self.backend = getattr(config, "backend", "dense")
+        self._layout = StateLayout.from_state(model.state_dict())
+        self._uploads: "PoolBuffer | None" = None
+        self._upload_rows: list[int] = []
+        self._pack_cache: dict = {}
 
-    # -- hooks for subclasses -------------------------------------------
-    def run_round(self, active: list[Client]) -> dict:
-        """Execute one FL round over ``active`` clients.
+    # -- phase hooks ------------------------------------------------------
+    def select_cohort(self) -> list[Client]:
+        """Pick this round's active clients (uniform K-sample; paper: 10%)."""
+        k = self.config.clients_per_round
+        idx = self.rng.choice(len(self.clients), size=k, replace=False)
+        return [self.clients[i] for i in idx]
 
-        Returns a dict of method-specific extras stored on the round
-        record (e.g. mean local loss, middleware similarity).
-        """
+    def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
+        """One plan per active client; default: the global model, no hooks."""
+        state = self.global_state()
+        return [DispatchPlan(state) for _ in active]
+
+    def collect(
+        self, active: list[Client], plans: list[DispatchPlan]
+    ) -> list[LocalResult]:
+        """Run local training and pack each upload into the pool buffer."""
+        uploads = self._round_uploads(len(active))
+        self._upload_rows = []
+        results: list[LocalResult] = []
+        for i, (client, plan) in enumerate(zip(active, plans)):
+            result = client.train(
+                self.trainer,
+                plan.state,
+                loss_hook=plan.loss_hook,
+                grad_hook=plan.grad_hook,
+                lr_override=plan.lr_override,
+            )
+            row = plan.context.get("row", i)
+            uploads.set_state(row, result.state)
+            self._upload_rows.append(row)
+            results.append(result)
+        return results
+
+    def aggregate(
+        self,
+        active: list[Client],
+        results: list[LocalResult],
+        plans: list[DispatchPlan],
+    ) -> dict:
+        """Method-specific model update; returns round-record extras."""
         raise NotImplementedError
+
+    def run_round(self, active: list[Client]) -> dict:
+        """Phase driver: dispatch → collect → aggregate.
+
+        Methods with a fundamentally different round shape (e.g.
+        FedCluster's sequential cluster schedule) may override this
+        wholesale instead of the individual phases.
+        """
+        plans = self.dispatch(active)
+        results = self.collect(active, plans)
+        return self.aggregate(active, results, plans)
 
     def global_state(self) -> dict:
         """State dict of the deployable global model."""
         raise NotImplementedError
 
-    # -- shared machinery ------------------------------------------------
-    def sample_clients(self) -> list[Client]:
-        """Uniformly sample K distinct active clients (paper: 10%)."""
-        k = self.config.clients_per_round
-        idx = self.rng.choice(len(self.clients), size=k, replace=False)
-        return [self.clients[i] for i in idx]
+    def set_global_state(self, state: Mapping[str, np.ndarray]) -> None:
+        """Install ``state`` (deep-copied) as the deployable global model.
 
+        Used by checkpointing callbacks to restore a best state.
+        Subclasses holding richer deployables (e.g. FedCross's
+        middleware pool) override.
+        """
+        self._global = {k: np.array(v, copy=True) for k, v in state.items()}
+
+    # -- legacy alias ------------------------------------------------------
+    def sample_clients(self) -> list[Client]:
+        """Deprecated alias of :meth:`select_cohort`."""
+        return self.select_cohort()
+
+    # -- pool-backed aggregation helpers -----------------------------------
+    def _round_uploads(self, k: int) -> "PoolBuffer":
+        """The reused ``(k, P)`` upload buffer on the configured backend."""
+        from repro.core.pool import PoolBuffer  # lazy: avoids fl<->core cycle
+
+        if self._uploads is None or len(self._uploads) != k:
+            self._uploads = PoolBuffer.zeros(
+                self._layout, k, dtype=np.float32, backend=self.backend
+            )
+        return self._uploads
+
+    @property
+    def uploads(self) -> "PoolBuffer | None":
+        """The current round's packed upload buffer (None before round 1)."""
+        return self._uploads
+
+    def pack_states(
+        self, states: Sequence[Mapping[str, np.ndarray]], dtype=np.float32
+    ) -> "PoolBuffer":
+        """Pack state dicts into a reused buffer on the backend.
+
+        The layout is derived from the states themselves (cached by
+        structural signature), so this also fits side-channel state like
+        SCAFFOLD's param-only control variates.  Buffers are cached per
+        (layout, size, dtype) and overwritten on each call — one
+        allocation (and, on memmap, one backing file) per shape for the
+        whole run — so the returned buffer is only valid until the next
+        same-shape ``pack_states`` call.
+        """
+        from repro.core.pool import PoolBuffer  # lazy: avoids fl<->core cycle
+
+        states = list(states)
+        if not states:
+            raise ValueError("cannot pack an empty sequence of states")
+        layout = StateLayout.from_state(states[0])
+        # Layouts are interned for the process lifetime (_LAYOUT_CACHE),
+        # so identity is a stable cache key.
+        key = (id(layout), len(states), np.dtype(dtype).str)
+        buf = self._pack_cache.get(key)
+        if buf is None:
+            buf = PoolBuffer.zeros(layout, len(states), dtype=dtype, backend=self.backend)
+            self._pack_cache[key] = buf
+        for i, state in enumerate(states):
+            buf.set_state(i, state)
+        return buf
+
+    def aggregate_uploads(self, results: Sequence[LocalResult]) -> dict:
+        """Sample-size-weighted reduction of the collected uploads.
+
+        One BLAS matvec over the upload buffer — the vectorized
+        equivalent of FedAvg's ``weighted_average`` dict loop.  Weights
+        follow the buffer-row placement recorded by ``collect`` (the
+        ``plan.context["row"]`` feature), so custom row assignments
+        cannot silently misweight the average.
+        """
+        if self._uploads is None or len(self._uploads) != len(results):
+            raise RuntimeError("collect() must pack uploads before aggregation")
+        weights = [0.0] * len(results)
+        for row, result in zip(self._upload_rows, results):
+            weights[row] = result.num_samples
+        return self._uploads.mean_state(weights, precise=False)
+
+    # -- shared machinery ------------------------------------------------
     def evaluate(self) -> tuple[float, float]:
         """Accuracy/loss of the deployable global model on the test set."""
         self.model.load_state_dict(self.global_state())
@@ -93,11 +268,26 @@ class FederatedServer:
             self.model, self.fed_dataset.test, batch_size=self.config.eval_batch_size
         )
 
-    def fit(self, rounds: int | None = None) -> TrainingHistory:
-        """Run the full FL training loop and return the history."""
+    def fit(
+        self,
+        rounds: int | None = None,
+        callbacks: "Iterable[ServerCallback] | None" = None,
+    ) -> TrainingHistory:
+        """Run the FL training loop and return the history.
+
+        ``callbacks`` are invoked *in addition to* the server's own
+        ``self.callbacks``, in registration order.  A callback setting
+        ``self.stop_training`` ends the loop after the current round.
+        """
         rounds = rounds if rounds is not None else self.config.rounds
         eval_every = self.config.eval_every
+        cbs = self.callbacks + list(callbacks or [])
+        self.stop_training = False
         for local_round in range(rounds):
+            for cb in cbs:
+                cb.on_round_start(self, self.round_idx)
+            # Through the legacy alias so pre-phase subclasses that
+            # still override sample_clients() keep their sampling.
             active = self.sample_clients()
             extras = self.run_round(active) or {}
             up, down = self.ledger.end_round()
@@ -113,9 +303,28 @@ class FederatedServer:
             # otherwise never hit its guaranteed final-round evaluation.
             if (self.round_idx + 1) % eval_every == 0 or local_round == rounds - 1:
                 record.accuracy, record.loss = self.evaluate()
+                for cb in cbs:
+                    cb.on_evaluate(self, record)
             self.history.append(record)
+            for cb in cbs:
+                cb.on_round_end(self, record)
             self.round_idx += 1
+            if self.stop_training:
+                break
+        # Method finalisation runs before callback on_fit_end hooks, so
+        # diagnostics snapshot the *trained* state, not one mutated by
+        # e.g. a checkpointer's best-state restore.
+        self.finalize_fit(self.history)
+        for cb in cbs:
+            cb.on_fit_end(self, self.history)
         return self.history
+
+    def finalize_fit(self, history: TrainingHistory) -> None:
+        """Method-specific end-of-fit bookkeeping (default: none).
+
+        Invoked by :meth:`fit` after the last round but before callback
+        ``on_fit_end`` hooks may mutate server state.
+        """
 
     # -- convenience -------------------------------------------------------
     def mean_local_loss(self, results) -> float:

@@ -11,6 +11,7 @@ this function.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -70,9 +71,16 @@ class FLSimulation:
     Splitting construction (``__init__``) from execution (``run``) lets
     callers share one federated dataset across methods — the fairness
     requirement of Section IV-A — via the ``fed_dataset`` argument.
+    ``callbacks`` (:class:`~repro.fl.callbacks.ServerCallback`) are
+    handed to the server and observe its phased ``fit`` loop.
     """
 
-    def __init__(self, config: FLConfig, fed_dataset: FederatedDataset | None = None) -> None:
+    def __init__(
+        self,
+        config: FLConfig,
+        fed_dataset: FederatedDataset | None = None,
+        callbacks: "Sequence | None" = None,
+    ) -> None:
         self.config = config
         root_streams = spawn_rng(config.seed, 3)
         self._server_rng, self._client_root, _ = root_streams
@@ -115,6 +123,7 @@ class FLSimulation:
             self.trainer,
             self.clients,
             self._server_rng,
+            callbacks=callbacks,
         )
 
     def run(self) -> SimulationResult:
@@ -129,7 +138,13 @@ class FLSimulation:
 
 
 def run_simulation(
-    config: FLConfig, fed_dataset: FederatedDataset | None = None
+    config: FLConfig,
+    fed_dataset: FederatedDataset | None = None,
+    callbacks: "Sequence | None" = None,
 ) -> SimulationResult:
-    """Build and run an FL simulation in one call."""
-    return FLSimulation(config, fed_dataset=fed_dataset).run()
+    """Build and run an FL simulation in one call.
+
+    ``callbacks`` are :class:`~repro.fl.callbacks.ServerCallback`
+    instances observing the server's phased ``fit`` loop.
+    """
+    return FLSimulation(config, fed_dataset=fed_dataset, callbacks=callbacks).run()

@@ -1,0 +1,162 @@
+"""Pool storage backends: registry, memmap lifecycle, dense equivalence."""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pool import PoolBuffer
+from repro.core.storage import (
+    DenseStorage,
+    MemmapStorage,
+    POOL_BACKENDS,
+    PoolStorage,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.utils.layout import StateLayout
+
+
+def make_state(rng, with_int=False):
+    state = {
+        "b.weight": rng.standard_normal((3, 2)).astype(np.float32),
+        "a.bias": rng.standard_normal(4).astype(np.float32),
+    }
+    if with_int:
+        state["c.steps"] = np.array([7], dtype=np.int64)
+    return state
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_present(self):
+        assert available_backends() == ["dense", "memmap"]
+
+    def test_resolve_is_case_insensitive(self):
+        assert resolve_backend("DENSE") is DenseStorage
+        assert resolve_backend("memmap") is MemmapStorage
+
+    def test_unknown_backend_raises_with_available_list(self):
+        with pytest.raises(KeyError, match="unknown pool backend"):
+            resolve_backend("gpu")
+        try:
+            resolve_backend("gpu")
+        except KeyError as exc:
+            assert "dense" in str(exc) and "memmap" in str(exc)
+
+    def test_duplicate_backend_rejected(self):
+        with pytest.raises(KeyError, match="already registered"):
+
+            @register_backend("dense")
+            class Dup(PoolStorage):
+                pass
+
+    def test_third_party_backend_pluggable(self, rng):
+        @register_backend("test_only")
+        class TestOnly(DenseStorage):
+            pass
+
+        try:
+            buf = PoolBuffer.from_states(
+                [make_state(rng)], backend="test_only"
+            )
+            assert buf.backend == "test_only"
+        finally:
+            del POOL_BACKENDS["test_only"]
+
+
+class TestMemmapLifecycle:
+    def test_backing_file_created_and_cleaned_up(self):
+        storage = MemmapStorage.allocate((2, 8), dtype=np.float32)
+        path = storage.path
+        assert os.path.exists(path)
+        storage.array[:] = 1.5
+        storage.flush()
+        del storage
+        gc.collect()
+        assert not os.path.exists(path)
+
+    def test_respects_memmap_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMMAP_DIR", str(tmp_path))
+        storage = MemmapStorage.allocate((2, 4))
+        assert os.path.dirname(storage.path) == str(tmp_path)
+
+    def test_clone_is_independent(self):
+        storage = MemmapStorage.allocate((2, 4), dtype=np.float64)
+        storage.array[:] = 3.0
+        clone = storage.clone()
+        assert clone.path != storage.path
+        storage.array[:] = -1.0
+        np.testing.assert_array_equal(clone.array, np.full((2, 4), 3.0))
+
+
+class TestDenseMemmapEquivalence:
+    """The acceptance bar: memmap must be bit-transparent vs dense."""
+
+    def _pools(self, rng, k=4):
+        states = [make_state(rng, with_int=True) for _ in range(k)]
+        dense = PoolBuffer.from_states(states, backend="dense")
+        memmap = PoolBuffer.from_states(states, backend="memmap")
+        return dense, memmap
+
+    def test_pack_and_matrix_identical(self, rng):
+        dense, memmap = self._pools(rng)
+        np.testing.assert_array_equal(np.asarray(memmap.matrix), dense.matrix)
+        assert dense.backend == "dense" and memmap.backend == "memmap"
+
+    def test_similarity_identical(self, rng):
+        dense, memmap = self._pools(rng)
+        np.testing.assert_array_equal(
+            memmap.similarity_matrix("cosine"), dense.similarity_matrix("cosine")
+        )
+        np.testing.assert_array_equal(
+            memmap.select_collaborators("lowest"),
+            dense.select_collaborators("lowest"),
+        )
+
+    def test_cross_aggregate_identical_and_stays_on_backend(self, rng):
+        dense, memmap = self._pools(rng)
+        co = np.array([1, 2, 3, 0])
+        out_d = dense.cross_aggregate(co, alpha=0.9)
+        out_m = memmap.cross_aggregate(co, alpha=0.9)
+        assert out_d.backend == "dense"
+        assert out_m.backend == "memmap"
+        np.testing.assert_array_equal(np.asarray(out_m.matrix), out_d.matrix)
+
+    @pytest.mark.parametrize("precise", [True, False])
+    def test_mean_state_identical(self, rng, precise):
+        dense, memmap = self._pools(rng)
+        weights = [1.0, 2.0, 3.0, 4.0]
+        mean_d = dense.mean_state(weights, precise=precise)
+        mean_m = memmap.mean_state(weights, precise=precise)
+        for key in mean_d:
+            np.testing.assert_array_equal(mean_m[key], mean_d[key])
+
+    def test_broadcast_identical(self, rng):
+        state = make_state(rng)
+        d = PoolBuffer.broadcast(state, 3, backend="dense")
+        m = PoolBuffer.broadcast(state, 3, backend="memmap")
+        np.testing.assert_array_equal(np.asarray(m.matrix), d.matrix)
+
+
+class TestEndToEndBackendEquivalence:
+    @pytest.mark.parametrize("method", ["fedcross", "fedavg", "scaffold"])
+    def test_memmap_history_bit_identical_to_dense(self, tiny_config, method):
+        """`--backend memmap` must reproduce dense runs bit-for-bit."""
+        from repro.fl.simulation import run_simulation
+
+        cfg = tiny_config.replace(rounds=2).with_method(method)
+        dense = run_simulation(cfg.replace(backend="dense"))
+        memmap = run_simulation(cfg.replace(backend="memmap"))
+        assert dense.history.accuracies == memmap.history.accuracies
+        assert [r.loss for r in dense.history.records] == [
+            r.loss for r in memmap.history.records
+        ]
+        assert [r.train_loss for r in dense.history.records] == [
+            r.train_loss for r in memmap.history.records
+        ]
+        for key in dense.final_state:
+            np.testing.assert_array_equal(
+                dense.final_state[key], memmap.final_state[key]
+            )

@@ -1,0 +1,174 @@
+"""ServerCallback lifecycle: ordering, throughput, checkpoint/early-stop."""
+
+import numpy as np
+import pytest
+
+from repro.fl.callbacks import BestStateCheckpointer, ServerCallback, ThroughputLogger
+from repro.fl.simulation import FLSimulation, run_simulation
+
+
+class RecordingCallback(ServerCallback):
+    """Appends (hook, round_idx) tuples in invocation order."""
+
+    def __init__(self, name="cb"):
+        self.name = name
+        self.calls = []
+
+    def on_round_start(self, server, round_idx):
+        self.calls.append(("round_start", round_idx))
+
+    def on_evaluate(self, server, record):
+        self.calls.append(("evaluate", record.round_idx))
+
+    def on_round_end(self, server, record):
+        self.calls.append(("round_end", record.round_idx))
+
+    def on_fit_end(self, server, history):
+        self.calls.append(("fit_end", len(history)))
+
+
+class TestCallbackOrdering:
+    def test_hooks_fire_in_lifecycle_order(self, tiny_config):
+        cb = RecordingCallback()
+        run_simulation(tiny_config.replace(rounds=2, eval_every=1), callbacks=[cb])
+        assert cb.calls == [
+            ("round_start", 0),
+            ("evaluate", 0),
+            ("round_end", 0),
+            ("round_start", 1),
+            ("evaluate", 1),
+            ("round_end", 1),
+            ("fit_end", 2),
+        ]
+
+    def test_evaluate_skipped_between_eval_every(self, tiny_config):
+        cb = RecordingCallback()
+        run_simulation(tiny_config.replace(rounds=3, eval_every=2), callbacks=[cb])
+        evaluated = [r for hook, r in cb.calls if hook == "evaluate"]
+        # Round 1 hits eval_every, round 2 is the guaranteed final eval.
+        assert evaluated == [1, 2]
+
+    def test_multiple_callbacks_in_registration_order(self, tiny_config):
+        order = []
+
+        class Tagged(ServerCallback):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_round_start(self, server, round_idx):
+                order.append(self.tag)
+
+        run_simulation(
+            tiny_config.replace(rounds=1), callbacks=[Tagged("a"), Tagged("b")]
+        )
+        assert order == ["a", "b"]
+
+    def test_fit_extra_callbacks_compose_with_server_callbacks(self, tiny_config):
+        owned, extra = RecordingCallback("owned"), RecordingCallback("extra")
+        sim = FLSimulation(tiny_config.replace(rounds=1), callbacks=[owned])
+        sim.server.fit(1, callbacks=[extra])
+        assert owned.calls == extra.calls
+        assert owned.calls[0] == ("round_start", 0)
+
+    def test_all_methods_accept_callbacks(self, tiny_config):
+        for method in ("fedavg", "fedprox", "scaffold", "fedcross", "fedcluster"):
+            cb = RecordingCallback()
+            run_simulation(
+                tiny_config.replace(rounds=1).with_method(method), callbacks=[cb]
+            )
+            assert cb.calls[-1][0] == "fit_end"
+
+
+class TestThroughputLogger:
+    def test_records_one_time_per_round(self, tiny_config):
+        lines = []
+        logger = ThroughputLogger(log=lines.append)
+        run_simulation(tiny_config.replace(rounds=3), callbacks=[logger])
+        assert len(logger.round_times) == 3
+        assert all(t > 0 for t in logger.round_times)
+        summary = logger.summary()
+        assert summary["rounds"] == 3
+        assert summary["client_updates_per_s"] > 0
+        # 3 per-round lines + 1 summary line
+        assert len(lines) == 4
+        assert "rounds/s" in lines[-1]
+
+    def test_summary_only_mode(self, tiny_config):
+        lines = []
+        logger = ThroughputLogger(log=lines.append, every=0)
+        run_simulation(tiny_config.replace(rounds=2), callbacks=[logger])
+        assert len(lines) == 1
+
+
+class TestBestStateCheckpointer:
+    def test_tracks_best_and_restores_on_fit_end(self, tiny_config):
+        ckpt = BestStateCheckpointer(restore=True)
+        sim = FLSimulation(tiny_config.replace(rounds=3, eval_every=1))
+        sim.server.callbacks.append(ckpt)
+        history = sim.server.fit()
+        assert ckpt.best_accuracy == max(history.accuracies)
+        best_record = max(
+            (r for r in history.records if r.accuracy is not None),
+            key=lambda r: r.accuracy,
+        )
+        assert ckpt.best_round == best_record.round_idx
+        # The restored deployable state is exactly the checkpointed one.
+        restored = sim.server.global_state()
+        for key, value in ckpt.best_state.items():
+            np.testing.assert_array_equal(restored[key], value)
+
+    def test_early_stop_after_patience_exhausted(self, tiny_config):
+        class Flat(ServerCallback):
+            """Force a non-improving accuracy signal."""
+
+            def on_evaluate(self, server, record):
+                record.accuracy = 0.5
+
+        ckpt = BestStateCheckpointer(patience=2)
+        sim = FLSimulation(tiny_config.replace(rounds=10, eval_every=1))
+        # Flat runs first so the checkpointer sees the doctored value.
+        sim.server.callbacks.extend([Flat(), ckpt])
+        history = sim.server.fit()
+        # Round 0 sets the best; rounds 1-2 are the two bad evals.
+        assert ckpt.stopped_early
+        assert len(history) == 3
+
+    def test_restore_survives_later_worse_rounds(self, tiny_config):
+        """The checkpointer must restore the *best* state even when
+        training ends on a worse one (the whole point)."""
+
+        class Doctored(ServerCallback):
+            accs = iter([0.9, 0.2, 0.1])
+
+            def on_evaluate(self, server, record):
+                record.accuracy = next(self.accs)
+
+        ckpt = BestStateCheckpointer(restore=True)
+        sim = FLSimulation(tiny_config.replace(rounds=3, eval_every=1))
+        sim.server.callbacks.extend([Doctored(), ckpt])
+        sim.server.fit()
+        assert ckpt.best_round == 0
+        restored = sim.server.global_state()
+        for key, value in ckpt.best_state.items():
+            np.testing.assert_array_equal(restored[key], value)
+
+    def test_fedcross_restore_broadcasts_pool(self, tiny_config):
+        ckpt = BestStateCheckpointer(restore=True)
+        cfg = tiny_config.replace(rounds=2, eval_every=1).with_method("fedcross")
+        sim = FLSimulation(cfg, callbacks=[ckpt])
+        result = sim.run()
+        # Regression: the similarity diagnostic must snapshot the
+        # *trained* pool, not the all-ones matrix left by the restore's
+        # broadcast (finalize_fit runs before callback on_fit_end).
+        sim_matrix = result.extras["middleware_similarity"]
+        assert not np.array_equal(sim_matrix, np.ones_like(sim_matrix))
+        # After restore all middleware rows equal the checkpointed state.
+        pool = sim.server.pool
+        np.testing.assert_array_equal(pool.matrix[0], pool.matrix[-1])
+        restored = sim.server.global_state()
+        for key, value in ckpt.best_state.items():
+            np.testing.assert_allclose(restored[key], value, rtol=1e-6, atol=1e-7)
+
+    def test_invalid_patience_rejected(self):
+        with pytest.raises(ValueError):
+            BestStateCheckpointer(patience=0)

@@ -78,12 +78,22 @@ class TestSelectionEquivalence:
         sel = CoModelSel(strategy, measure=measure, param_keys=keys)
         buf = PoolBuffer.from_states(pool, dtype=np.float64)
         vectorized = sel.select_all(buf, round_idx=0)
+        # The engine and the per-pair reference may round differently at
+        # the last ulp (e.g. cosine of exactly parallel vectors at
+        # different scales: normalized Gram rows tie bitwise, the
+        # pairwise dot/(nx*ny) does not), which flips argmin/argmax
+        # tie-breaks. Selected *indices* may then differ legitimately —
+        # what must match is the achieved reference similarity value.
+        ref_sim = _reference_similarity_matrix(pool, measure, keys)
         for i in range(len(pool)):
             ref = _reference_select_by_similarity(
                 i, pool, measure, keys, want_highest=want_highest
             )
-            assert vectorized[i] == ref
-            assert sel(i, pool, 0) == ref
+            for picked in (int(vectorized[i]), sel(i, pool, 0)):
+                assert picked != i
+                np.testing.assert_allclose(
+                    ref_sim[i, picked], ref_sim[i, ref], rtol=1e-9, atol=1e-9
+                )
 
     @given(pool=pools(), r=st.integers(0, 30))
     @settings(max_examples=40, deadline=None)
