@@ -1,0 +1,210 @@
+"""Round-collect wall clock: serial vs thread vs process execution.
+
+The ``collect`` phase trains the round's K active clients; PR 3's
+execution engine makes it parallel.  This benchmark times one FedCross
+round-collect on the seed CNN for each execution backend at K ∈ {10,
+50} (``--smoke``: one small K) and verifies the engine's core guarantee
+on the same workload: **bit-identical training histories and final pool
+matrices across all three backends**.
+
+The asserted bar — ``process`` ≥ 3× faster than ``serial`` at the
+largest K — only applies on hosts with ≥ 4 CPU cores (the speedup is
+physically impossible on fewer); on smaller hosts the bar is reported
+as skipped so CI boxes of any shape can run the determinism check.
+
+Run directly (not collected by the tier-1 pytest command)::
+
+    PYTHONPATH=src python benchmarks/bench_client_execution.py           # full
+    PYTHONPATH=src python benchmarks/bench_client_execution.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_client_execution.py --json    # trend
+
+``--json`` prints one machine-readable object *and* writes it to
+``BENCH_client_execution.json`` (see ``--json-out``), so every CI run
+leaves a perf artifact and the trajectory is recorded per PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.simulation import FLSimulation
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def make_config(k: int, input_size: int, execution: str, rounds: int = 2) -> FLConfig:
+    return FLConfig(
+        method="fedcross",
+        dataset="synth_cifar10",
+        model="cnn",
+        heterogeneity=0.5,
+        num_clients=k,
+        participation=1.0,
+        rounds=rounds,
+        local_epochs=1,
+        batch_size=20,
+        eval_every=rounds,
+        execution=execution,
+        seed=0,
+        dataset_params={
+            "samples_per_client": 60,
+            "num_test": 40,
+            "image_shape": (3, input_size, input_size),
+        },
+        method_params={"alpha": 0.99},
+    )
+
+
+def time_collect(config: FLConfig, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one round-collect."""
+    sim = FLSimulation(config)
+    server = sim.server
+    active = server.select_cohort()
+    # Warm-up: spins up worker pools / shared buffers and faults in the
+    # first dispatch, so the timed runs measure steady-state rounds.
+    server.collect(active, server.dispatch(active))
+    best = float("inf")
+    for _ in range(repeats):
+        plans = server.dispatch(active)
+        start = time.perf_counter()
+        server.collect(active, plans)
+        best = min(best, time.perf_counter() - start)
+    server.executor.close()
+    return best
+
+
+def histories_bit_identical(k: int, input_size: int, emit) -> bool:
+    """Two full rounds per backend: records + pool must match exactly."""
+    results = {}
+    for execution in BACKENDS:
+        sim = FLSimulation(make_config(k, input_size, execution))
+        result = sim.run()
+        results[execution] = (result, np.array(sim.server.pool.matrix, copy=True))
+    ref_result, ref_pool = results["serial"]
+    ok = True
+    for execution in ("thread", "process"):
+        got_result, got_pool = results[execution]
+        same = all(
+            a.accuracy == b.accuracy
+            and a.loss == b.loss
+            and a.train_loss == b.train_loss
+            for a, b in zip(ref_result.history.records, got_result.history.records)
+        ) and np.array_equal(ref_pool, got_pool)
+        emit(f"  determinism serial vs {execution:>7} @ K={k}: "
+             f"{'bit-identical' if same else 'DIVERGED'}")
+        ok = ok and same
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small K / tiny CNN; determinism check + timing without bars",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object (stdout + artifact file)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default="BENCH_client_execution.json",
+        help="artifact path written when --json is given",
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="process-vs-serial bar at the largest K (multi-core hosts only)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    emit = (lambda line: None) if args.json else print
+    cores = os.cpu_count() or 1
+
+    if args.smoke:
+        ks, input_size = (4,), 8
+    else:
+        ks, input_size = (10, 50), 16
+
+    emit(f"seed CNN input {input_size}x{input_size}, {cores} cores, "
+         f"repeats={args.repeats}")
+    emit(f"{'K':>4} {'serial (s)':>12} {'thread (s)':>12} {'process (s)':>12} "
+         f"{'thr x':>7} {'proc x':>7}")
+
+    rows = []
+    failures = []
+    for k in ks:
+        timings = {
+            execution: time_collect(make_config(k, input_size, execution), args.repeats)
+            for execution in BACKENDS
+        }
+        thr_x = timings["serial"] / timings["thread"]
+        proc_x = timings["serial"] / timings["process"]
+        emit(
+            f"{k:>4} {timings['serial']:>12.3f} {timings['thread']:>12.3f} "
+            f"{timings['process']:>12.3f} {thr_x:>6.2f}x {proc_x:>6.2f}x"
+        )
+        rows.append(
+            {
+                "k": k,
+                "serial_s": timings["serial"],
+                "thread_s": timings["thread"],
+                "process_s": timings["process"],
+                "thread_speedup": thr_x,
+                "process_speedup": proc_x,
+            }
+        )
+        if k == max(ks) and not args.smoke:
+            if cores >= 4:
+                if proc_x < args.min_speedup:
+                    failures.append(
+                        f"K={k}: process speedup {proc_x:.2f}x below the "
+                        f"{args.min_speedup}x bar on a {cores}-core host"
+                    )
+            else:
+                emit(
+                    f"  (speedup bar skipped: {cores} cores < 4 — parallel "
+                    "collect cannot beat serial here)"
+                )
+
+    emit("\n== cross-backend determinism ==")
+    deterministic = histories_bit_identical(min(ks), input_size, emit)
+    if not deterministic:
+        failures.append("histories/pools diverged across execution backends")
+
+    payload = {
+        "cores": cores,
+        "input_size": input_size,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "collect": rows,
+        "deterministic": deterministic,
+        "failures": failures,
+    }
+    if args.json:
+        blob = json.dumps(payload)
+        print(blob)
+        with open(args.json_out, "w") as fh:
+            fh.write(blob + "\n")
+    if failures:
+        print("PERF REGRESSION: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    emit("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,8 +35,10 @@ Run directly (not collected by the tier-1 pytest command)::
     PYTHONPATH=src python benchmarks/bench_pool_engine.py --json    # trend tracking
 
 ``--json`` emits one machine-readable object (per-K timings for both
-workloads) for longitudinal perf tracking; ``--smoke`` uses a small CNN
-and small K so CI fails loudly on a perf regression without minutes of
+workloads) for longitudinal perf tracking — printed to stdout *and*
+written to ``BENCH_pool_engine.json`` (see ``--json-out``) so CI can
+archive the perf trajectory per PR; ``--smoke`` uses a small CNN and
+small K so CI fails loudly on a perf regression without minutes of
 compute.
 """
 
@@ -207,6 +209,11 @@ def main(argv=None):
         action="store_true",
         help="emit one machine-readable JSON object for trend tracking",
     )
+    parser.add_argument(
+        "--json-out",
+        default="BENCH_pool_engine.json",
+        help="artifact path written when --json is given",
+    )
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
     if args.repeats < 1:
@@ -243,19 +250,20 @@ def main(argv=None):
     failures += base_failures
 
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "params": model.num_parameters(),
-                    "input_shape": list(input_shape),
-                    "repeats": args.repeats,
-                    "smoke": args.smoke,
-                    "pool_engine": engine_rows,
-                    "baseline_aggregation": base_rows,
-                    "failures": failures,
-                }
-            )
+        blob = json.dumps(
+            {
+                "params": model.num_parameters(),
+                "input_shape": list(input_shape),
+                "repeats": args.repeats,
+                "smoke": args.smoke,
+                "pool_engine": engine_rows,
+                "baseline_aggregation": base_rows,
+                "failures": failures,
+            }
         )
+        print(blob)
+        with open(args.json_out, "w") as fh:
+            fh.write(blob + "\n")
     if failures:
         print("PERF REGRESSION: " + "; ".join(failures), file=sys.stderr)
         return 1

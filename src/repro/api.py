@@ -31,6 +31,19 @@ by the ``backend`` config field (``"dense"`` in-memory default,
 ``"memmap"`` for pools beyond RAM — see :mod:`repro.core.storage`)::
 
     result = run_method("fedcross", num_clients=200, backend="memmap")
+
+Client execution — *where* the round's K local-training legs run — is
+equally pluggable via the ``execution`` / ``workers`` config fields
+(``"serial"`` default, ``"thread"``, or ``"process"`` for a persistent
+worker pool with shared-memory upload packing — see
+:mod:`repro.fl.execution`)::
+
+    result = run_method("fedcross", k_active=50, execution="process", workers=8)
+
+Every execution backend reproduces the serial schedule **bit-for-bit**
+(each client owns an independent RNG stream and a dedicated
+upload-buffer row), so parallelism never changes the science — only
+the wall-clock.
 """
 
 from __future__ import annotations

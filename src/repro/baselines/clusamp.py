@@ -11,6 +11,12 @@ communication class.
 Clients that have never participated yet have no update vector; they
 form a common "cold" pool sampled uniformly, so early rounds behave
 like FedAvg and clustering sharpens as coverage grows.
+
+Only ``select_cohort`` and ``aggregate`` are custom: local training
+rides the default hook-free collect, so CluSamp runs unchanged on
+every execution backend (the ``result.state`` views its aggregate
+reads for update vectors come from the same upload buffer the
+backends pack into).
 """
 
 from __future__ import annotations

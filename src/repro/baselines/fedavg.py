@@ -9,7 +9,12 @@ client knowledge under gradient divergence.
 Expressed against the phase protocol, FedAvg is the identity method:
 default cohort selection, default dispatch (global model, no hooks),
 default collect (uploads packed into :class:`~repro.core.pool.PoolBuffer`
-rows), and an aggregate that is one weighted row reduction.
+rows), and an aggregate that is one weighted row reduction.  Because it
+rides the default collect, FedAvg parallelises for free across the
+execution backends (:mod:`repro.fl.execution`): with
+``execution="process"`` the single dispatched global state crosses to
+the workers through one shared-memory row and the K uploads come back
+the same way — bit-identical to the sequential schedule.
 """
 
 from __future__ import annotations

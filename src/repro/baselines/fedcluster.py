@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.fl.client import Client
 from repro.fl.registry import register_method
-from repro.fl.server import FederatedServer
+from repro.fl.server import DispatchPlan, FederatedServer
 
 __all__ = ["FedClusterServer"]
 
@@ -46,11 +46,14 @@ class FedClusterServer(FederatedServer):
         """One meta-round: visit every cluster once, in cyclic order.
 
         ``active`` determines how many clients participate per cluster
-        visit (K split across clusters).  The schedule is inherently
-        sequential — each cluster trains from the previous cluster's
-        FedAvg result — so this overrides the dispatch→collect→aggregate
-        driver wholesale; the per-cluster averages are still
-        :class:`~repro.core.pool.PoolBuffer` row reductions.
+        visit (K split across clusters).  The *cluster* schedule is
+        inherently sequential — each cluster trains from the previous
+        cluster's FedAvg result — so this overrides the
+        dispatch→collect→aggregate driver wholesale; but members
+        *within* a visit are independent, so each visit runs through
+        the execution backend (:meth:`~FederatedServer.train_cohort`)
+        and its average is a :class:`~repro.core.pool.PoolBuffer` row
+        reduction over the packed uploads.
         """
         per_cluster = max(1, len(active) // self.num_clusters)
         state = self._global
@@ -63,8 +66,10 @@ class FedClusterServer(FederatedServer):
                 cluster, size=min(per_cluster, len(cluster)), replace=False
             )
             members = [self.clients[i] for i in pick]
-            results = [m.train(self.trainer, state) for m in members]
-            state = self.pack_states([r.state for r in results]).mean_state(
+            results, buf = self.train_cohort(
+                members, [DispatchPlan(state) for _ in members]
+            )
+            state = buf.mean_state(
                 [r.num_samples for r in results], precise=False
             )
             losses.extend(r.mean_loss for r in results)

@@ -14,6 +14,13 @@ for vision models and embedding-space sequences for the LSTM models
 (via ``forward_embedded``), which exercises the identical mechanism —
 server-learned proxy data + client-side distillation + generator
 communication overhead (Table I: Medium).
+
+The distillation term ships as a picklable
+:class:`~repro.fl.hooks.DistillationSpec` carrying the frozen
+generator and a per-client RNG stream spawned at dispatch time — the
+draws no longer come from one shared server stream consumed in client
+order, which is what makes FedGen safe on parallel execution backends
+(and reproducible across all of them).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import numpy as np
 
 from repro import nn
 from repro.fl.client import Client
+from repro.fl.hooks import DistillationSpec
 from repro.fl.registry import register_method
 from repro.fl.server import DispatchPlan, FederatedServer
 from repro.fl.trainer import LocalResult
@@ -72,6 +80,11 @@ class FedGenServer(FederatedServer):
         self.gen_batch = int(params.get("gen_batch", 32))
         self.distill_batch = int(params.get("distill_batch", 16))
         self._gen_rng = default_rng(self.config.seed + 7919)
+        # Root of the per-(round, client) distillation RNG streams;
+        # spawned in dispatch order, so stream assignment is
+        # deterministic regardless of execution backend.
+        self._hook_seq = np.random.SeedSequence(self.config.seed + 60013)
+        self.gen_hidden = int(params.get("gen_hidden", 64))
 
         num_classes = self.fed_dataset.num_classes
         self._embedded_mode = hasattr(self.model, "forward_embedded")
@@ -88,7 +101,7 @@ class FedGenServer(FederatedServer):
             num_classes,
             output_dim,
             z_dim=int(params.get("z_dim", 16)),
-            hidden=int(params.get("gen_hidden", 64)),
+            hidden=self.gen_hidden,
             rng=default_rng(self.config.seed + 104729),
         )
         self._gen_opt = Adam(self.generator.parameters(), lr=float(params.get("gen_lr", 5e-3)))
@@ -143,28 +156,42 @@ class FedGenServer(FederatedServer):
             last = float(loss.item())
         return last
 
-    def _distillation_hook(self):
-        """Client loss hook adding ``lambda * CE(model(G(z,y)), y)``."""
-
-        def hook(model, logits, targets):
-            if self.gen_weight <= 0:
-                return None
-            labels = self._sample_labels(self.distill_batch)
-            samples = self._generate(labels, with_grad=False)
-            gen_logits = (
-                model.forward_embedded(samples)
-                if self._embedded_mode
-                else model(samples)
-            )
-            return F.cross_entropy(gen_logits, labels) * self.gen_weight
-
-        return hook
-
     # -- FL round ------------------------------------------------------------
     def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
-        """Global model plus the distillation hook (after warm-up)."""
-        hook = self._distillation_hook() if self.round_idx > 0 else None
-        return [DispatchPlan(self._global, loss_hook=hook) for _ in active]
+        """Global model plus per-client distillation specs (after warm-up).
+
+        Each spec snapshots the frozen generator and label distribution
+        and owns an independent RNG stream, so the distillation draws
+        are identical whether clients train in sequence or in parallel.
+        """
+        if self.round_idx == 0 or self.gen_weight <= 0:
+            return [DispatchPlan(self._global) for _ in active]
+        generator_state = self.generator.state_dict()
+        label_probs = self._label_counts / self._label_counts.sum()
+        seeds = self._hook_seq.spawn(len(active))
+        specs = [
+            DistillationSpec(
+                num_classes=self.generator.num_classes,
+                sample_shape=self._sample_shape,
+                z_dim=self.generator.z_dim,
+                hidden=self.gen_hidden,
+                generator_state=generator_state,
+                label_probs=label_probs,
+                batch=self.distill_batch,
+                weight=self.gen_weight,
+                seed=seed,
+                embedded=self._embedded_mode,
+            )
+            for seed in seeds
+        ]
+        # In-process backends resolve specs here, where one frozen
+        # generator serves the whole round (forward-only, so sharing is
+        # safe even across threads); the shared instance is dropped at
+        # pickle time, so process workers still rebuild their own.
+        shared_generator = specs[0]._build_generator()
+        for spec in specs[1:]:
+            spec._generator = shared_generator
+        return [DispatchPlan(self._global, loss_hook=spec) for spec in specs]
 
     def aggregate(
         self,

@@ -5,18 +5,20 @@ Identical to FedAvg except that every client minimises
 dispatched global model. The paper tunes ``mu`` per dataset from
 {0.001, 0.01, 0.1, 1.0} (best: 0.01 CIFAR-10, 0.001 CIFAR-100,
 0.1 FEMNIST).
+
+The proximal term travels as a picklable
+:class:`~repro.fl.hooks.ProximalSpec` (anchored to the dispatched
+state), so FedProx runs unchanged on every execution backend —
+including ``process`` workers.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.fl.client import Client
+from repro.fl.hooks import ProximalSpec
 from repro.fl.registry import register_method
 from repro.fl.server import DispatchPlan, FederatedServer
 from repro.fl.trainer import LocalResult
-from repro.nn.module import Module
-from repro.tensor.tensor import Tensor
 
 __all__ = ["FedProxServer"]
 
@@ -32,29 +34,14 @@ class FedProxServer(FederatedServer):
         if self.mu < 0:
             raise ValueError(f"FedProx mu must be non-negative, got {self.mu}")
 
-    def _proximal_hook(self, anchor: dict):
-        """Build a loss hook adding (mu/2)||w - w_anchor||^2."""
-        anchors = {
-            name: Tensor(np.asarray(value))
-            for name, value in anchor.items()
-        }
-
-        def hook(model: Module, logits, targets):
-            if self.mu == 0.0:
-                return None
-            penalty = None
-            for name, param in model.named_parameters():
-                diff = param - anchors[name]
-                term = (diff * diff).sum()
-                penalty = term if penalty is None else penalty + term
-            return penalty * (self.mu / 2.0)
-
-        return hook
-
     def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
-        """Global model plus the proximal loss hook anchored to it."""
-        hook = self._proximal_hook(self._global)
-        return [DispatchPlan(self._global, loss_hook=hook) for _ in active]
+        """Global model plus the proximal loss spec anchored to it.
+
+        ``ProximalSpec(mu)`` anchors to the dispatched state itself, so
+        the anchor never ships twice.
+        """
+        spec = ProximalSpec(self.mu)
+        return [DispatchPlan(self._global, loss_hook=spec) for _ in active]
 
     def aggregate(
         self,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fl.client import Client
+from repro.fl.hooks import ControlVariateSpec
 from repro.fl.registry import register_method
 from repro.fl.server import DispatchPlan, FederatedServer
 from repro.fl.trainer import LocalResult
@@ -36,20 +37,13 @@ class ScaffoldServer(FederatedServer):
         self._c_clients: dict[int, dict] = {}
         self.server_lr = float(self.config.method_params.get("server_lr", 1.0))
 
-    def _control_hook(self, c_local: dict):
-        """Gradient hook applying ``g <- g - c_i + c`` to parameters."""
-        c_global = self._c_global
-
-        def hook(named_params: dict) -> None:
-            for name, param in named_params.items():
-                if param.grad is None:
-                    continue
-                param.grad = param.grad + (c_global[name] - c_local[name])
-
-        return hook
-
     def dispatch(self, active: list[Client]) -> list[DispatchPlan]:
-        """Global model plus each client's control-variate grad hook."""
+        """Global model plus each client's control-variate grad spec.
+
+        The correction ``g <- g - c_i + c`` rides as a picklable
+        :class:`~repro.fl.hooks.ControlVariateSpec`; ``context`` keeps
+        the server-side handle on ``c_i`` for the variate refresh.
+        """
         plans = []
         for client in active:
             c_local = self._c_clients.get(client.client_id)
@@ -58,7 +52,7 @@ class ScaffoldServer(FederatedServer):
             plans.append(
                 DispatchPlan(
                     self._global,
-                    grad_hook=self._control_hook(c_local),
+                    grad_hook=ControlVariateSpec(self._c_global, c_local),
                     context={"c_local": c_local},
                 )
             )

@@ -23,6 +23,11 @@ fields, the server's phased round loop is exposed through:
     Pool-storage backend for the server's model buffers
     (:mod:`repro.core.storage`); ``memmap`` keeps pools on disk for
     populations beyond RAM.
+``--execution serial|thread|process`` / ``--workers N``
+    Client-execution backend for the collect phase
+    (:mod:`repro.fl.execution`); ``process`` trains the round's clients
+    on a persistent worker pool with shared-memory upload packing.
+    Histories are bit-identical across backends.
 ``--progress``
     Attach a :class:`~repro.fl.callbacks.ThroughputLogger` printing
     per-round wall-clock and a throughput summary to stderr.
@@ -62,6 +67,17 @@ def _backend(value: str) -> str:
 
     try:
         resolve_backend(value)
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(exc.args[0])
+    return value.lower()
+
+
+def _execution(value: str) -> str:
+    """Validate ``--execution`` against the live execution registry."""
+    from repro.fl.execution import resolve_execution
+
+    try:
+        resolve_execution(value)
     except KeyError as exc:
         raise argparse.ArgumentTypeError(exc.args[0])
     return value.lower()
@@ -107,6 +123,18 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         type=_backend,
         default=_DEFAULTS.backend,
         help='pool-storage backend: "dense" (in-memory) or "memmap" (file-backed)',
+    )
+    parser.add_argument(
+        "--execution",
+        type=_execution,
+        default=_DEFAULTS.execution,
+        help='client-execution backend: "serial", "thread" or "process"',
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=_DEFAULTS.workers,
+        help="worker count for parallel execution backends (default: one per core)",
     )
     parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
     parser.add_argument("--alpha", type=float, default=0.9, help="FedCross fusion weight")
@@ -181,6 +209,8 @@ def _config_kwargs(args) -> dict:
         eval_every=args.eval_every,
         eval_batch_size=args.eval_batch_size,
         backend=args.backend,
+        execution=args.execution,
+        workers=args.workers,
         seed=args.seed,
     )
 
@@ -221,6 +251,7 @@ def _cmd_run(args) -> int:
                 {
                     "method": args.method,
                     "backend": args.backend,
+                    "execution": args.execution,
                     "final_accuracy": result.final_accuracy,
                     "best_accuracy": result.best_accuracy,
                     "accuracies": result.history.accuracies,
@@ -294,11 +325,13 @@ def _cmd_bench(args) -> int:
 
 def _cmd_list() -> int:
     from repro.core.storage import available_backends
+    from repro.fl.execution import available_executions
 
-    print("methods: ", ", ".join(available_methods()))
-    print("models:  ", ", ".join(available_models()))
-    print("datasets:", ", ".join(sorted(DATASET_BUILDERS)))
-    print("backends:", ", ".join(available_backends()))
+    print("methods:  ", ", ".join(available_methods()))
+    print("models:   ", ", ".join(available_models()))
+    print("datasets: ", ", ".join(sorted(DATASET_BUILDERS)))
+    print("backends: ", ", ".join(available_backends()))
+    print("execution:", ", ".join(available_executions()))
     return 0
 
 

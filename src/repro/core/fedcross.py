@@ -18,6 +18,13 @@ step — similarity ranking, cross-aggregation, global-model generation
 The ``middleware`` attribute remains a list-of-state-dicts view for
 diagnostics and tests.
 
+The K local-training legs themselves run on the server's pluggable
+execution backend (:mod:`repro.fl.execution`): each plan carries its
+middleware index as the upload-buffer ``row``, so ``process`` workers
+pack trained models straight into shared-memory rows in model order —
+bit-identical to the sequential schedule, K-way parallel in wall
+clock.
+
 ``method_params`` accepted (paper defaults in Section IV-A):
 
 ========================  ========================  =============================================

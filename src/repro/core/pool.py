@@ -55,6 +55,12 @@ __all__ = ["PoolBuffer", "VECTORIZED_MEASURES"]
 VECTORIZED_MEASURES = ("cosine", "euclidean")
 _VALID_MEASURES = VECTORIZED_MEASURES
 
+# Soft cap on the float64 temporaries of blocked whole-pool operations
+# (cross-aggregation row blocks, euclidean difference tensors).  Keeps
+# peak working memory bounded for memmap pools far beyond RAM while
+# leaving in-RAM pools effectively unblocked.
+_BLOCK_BYTES = 64 << 20
+
 
 def _check_integer_roundtrip(
     layout: StateLayout, state: Mapping[str, np.ndarray], dtype: np.dtype
@@ -158,10 +164,6 @@ class PoolBuffer:
     def copy(self) -> "PoolBuffer":
         return PoolBuffer(self.layout, self.storage.clone())
 
-    def _derived(self, matrix: np.ndarray) -> "PoolBuffer":
-        """New buffer holding ``matrix`` on this buffer's backend."""
-        return PoolBuffer(self.layout, type(self.storage).from_array(matrix))
-
     # -- basic access ------------------------------------------------------
     def __len__(self) -> int:
         return self.matrix.shape[0]
@@ -202,19 +204,36 @@ class PoolBuffer:
         return np.asarray(self.matrix[:, mask], dtype=np.float64)
 
     def similarity_matrix(
-        self, measure: str = "cosine", param_keys: Iterable[str] | None = None
+        self,
+        measure: str = "cosine",
+        param_keys: Iterable[str] | None = None,
+        block_rows: int | None = None,
     ) -> np.ndarray:
         """Pairwise ``(K, K)`` similarity of the pool.
 
         ``cosine`` is a single normalized Gram matmul ``U @ U.T``
         (zero-norm rows get similarity 0, matching the dict reference);
-        ``euclidean`` is negative pairwise distance computed row-wise to
-        avoid the cancellation of the ``‖x‖²+‖y‖²-2x·y`` expansion.
+        ``euclidean`` is negative pairwise distance over explicit
+        difference blocks — cancellation-safe, unlike the
+        ``‖x‖²+‖y‖²-2x·y`` expansion, which loses all precision when
+        pool members are near-identical (exactly the converged-pool
+        regime FedCross ends in).  Both the float64 row casts and the
+        ``(b, b, P)`` difference tensor are produced per block pair of
+        ``block_rows`` rows (default: sized to the module's temp
+        budget), so the euclidean path never materialises a float64
+        copy of the whole pool.  For a fixed block size the result is a
+        pure function of the data (deterministic, and the default block
+        size depends only on (K, P)); *across* block sizes the P-axis
+        reduction may differ by the last ulp (SIMD summation order
+        varies with operand shape/alignment), so exact cross-block-size
+        equality is deliberately not promised — unlike
+        :meth:`cross_aggregate`, whose elementwise math is bit-identical
+        for every block size.
         """
         if measure not in _VALID_MEASURES:
             raise KeyError(measure)
-        v = self._masked_f64(param_keys)
         if measure == "cosine":
+            v = self._masked_f64(param_keys)
             norms = np.sqrt(np.einsum("kp,kp->k", v, v))
             safe = np.where(norms == 0.0, 1.0, norms)
             u = v / safe[:, None]
@@ -224,10 +243,31 @@ class PoolBuffer:
                 sim[zero, :] = 0.0
                 sim[:, zero] = 0.0
             return sim
-        out = np.zeros((len(self), len(self)))
-        for i in range(len(self)):
-            diff = v - v[i]
-            out[i] = -np.sqrt(np.einsum("kp,kp->k", diff, diff))
+        k = len(self)
+        mask = self.layout.mask(param_keys)
+        masked = not mask.all()
+        p_eff = int(mask.sum()) if masked else self.num_scalars
+
+        def rows_f64(start: int, stop: int) -> np.ndarray:
+            block = self.matrix[start:stop]
+            if masked:
+                block = block[:, mask]
+            return np.asarray(block, dtype=np.float64)
+
+        if block_rows is None:
+            # (b, b, P) difference tensor dominates: b^2 * P * 8 bytes.
+            block_rows = max(1, int((_BLOCK_BYTES / (max(1, p_eff) * 8)) ** 0.5))
+        out = np.empty((k, k))
+        for i0 in range(0, k, block_rows):
+            i1 = min(i0 + block_rows, k)
+            vi = rows_f64(i0, i1)
+            for j0 in range(0, k, block_rows):
+                j1 = min(j0 + block_rows, k)
+                vj = vi if j0 == i0 else rows_f64(j0, j1)
+                # einsum reduces over P only, the same inner summation
+                # as the per-row loop — blocking either axis is exact.
+                diff = vi[:, None, :] - vj[None, :, :]
+                out[i0:i1, j0:j1] = -np.sqrt(np.einsum("bkp,bkp->bk", diff, diff))
         return out
 
     def similarity_to(
@@ -279,33 +319,64 @@ class PoolBuffer:
         return sim.argmin(axis=1)
 
     # -- aggregation (CrossAggr / GlobalModelGen, Sections III-B2/B3) ------
-    def cross_aggregate(self, co_indices: np.ndarray, alpha: float) -> "PoolBuffer":
+    def cross_aggregate(
+        self,
+        co_indices: np.ndarray,
+        alpha: float,
+        block_rows: int | None = None,
+    ) -> "PoolBuffer":
         """New pool ``alpha * M + (1 - alpha) * M[co]`` (Algorithm 1 line 13).
 
         ``co_indices`` may be ``(K,)`` — one collaborator per model —
         or ``(K, num)`` for the propeller variant, where each model
         fuses with the *uniform mean* of its propeller set.  Integer
         fields are carried from each model's own row, never averaged.
+
+        The fusion runs in row blocks of ``block_rows`` (default: sized
+        to the module's float64 temp budget): each block casts its own
+        rows and gathered collaborator rows to float64, blends, and
+        writes the rounded result straight into pre-allocated output
+        storage on this buffer's backend.  Peak temporary memory is
+        therefore O(block · P) instead of O(K · P) float64 — memmap
+        pools are no longer capped by RAM — and because the per-element
+        arithmetic is unchanged the result is bit-identical for every
+        block size.
         """
         co_indices = np.asarray(co_indices, dtype=np.int64)
-        m = self.matrix.astype(np.float64, copy=False)
-        if co_indices.ndim == 1:
-            collab = m[co_indices]
-        elif co_indices.ndim == 2:
-            # Accumulate in propeller order so the result matches the
-            # dict reference (sequential weighted_average) bit-for-bit.
-            num = co_indices.shape[1]
-            collab = np.zeros_like(m)
-            for p in range(num):
-                collab += (1.0 / num) * m[co_indices[:, p]]
-        else:
+        if co_indices.ndim not in (1, 2):
             raise ValueError("co_indices must be 1- or 2-dimensional")
-        fused = alpha * m + (1.0 - alpha) * collab
-        out = fused.astype(self.matrix.dtype)
+        k, p = self.matrix.shape
+        if block_rows is None:
+            # Budget across the block's float64 temporaries: own rows,
+            # gathered collaborator rows, and the fused result.
+            per_row = max(1, 3 * p * 8)
+            block_rows = max(1, _BLOCK_BYTES // per_row)
+        storage = type(self.storage).allocate((k, p), dtype=self.matrix.dtype)
+        out = storage.array
         int_mask = self.layout.integer_mask()
-        if int_mask.any():
-            out[:, int_mask] = self.matrix[:, int_mask]
-        return self._derived(out)
+        has_int = bool(int_mask.any())
+        for start in range(0, k, block_rows):
+            stop = min(start + block_rows, k)
+            m = self.matrix[start:stop].astype(np.float64, copy=False)
+            if co_indices.ndim == 1:
+                collab = self.matrix[co_indices[start:stop]].astype(
+                    np.float64, copy=False
+                )
+            else:
+                # Accumulate in propeller order so the result matches
+                # the dict reference (sequential weighted_average)
+                # bit-for-bit.
+                num = co_indices.shape[1]
+                collab = np.zeros((stop - start, p))
+                for j in range(num):
+                    collab += (1.0 / num) * self.matrix[
+                        co_indices[start:stop, j]
+                    ].astype(np.float64, copy=False)
+            fused = alpha * m + (1.0 - alpha) * collab
+            out[start:stop] = fused.astype(self.matrix.dtype)
+            if has_int:
+                out[start:stop, int_mask] = self.matrix[start:stop, int_mask]
+        return PoolBuffer(self.layout, storage)
 
     def mean_state(
         self, weights: Iterable[float] | None = None, *, precise: bool = True
@@ -335,12 +406,14 @@ class PoolBuffer:
                 raise ValueError("weights must have a positive sum")
             w = w / total
         if precise:
-            m = self.matrix.astype(np.float64, copy=False)
             # Sequential accumulation in pool order mirrors the dict
             # reference's summation order (bit-for-bit reproducible).
+            # Rows are cast to float64 one at a time, so the reduction
+            # streams the matrix instead of materialising a float64
+            # copy of the whole pool.
             acc = np.zeros(self.num_scalars)
             for i in range(k):
-                acc += w[i] * m[i]
+                acc += w[i] * self.matrix[i].astype(np.float64, copy=False)
             row = acc.astype(self.matrix.dtype)
         else:
             row = np.asarray(

@@ -13,12 +13,16 @@ and everything layered on it — is agnostic to the physical medium:
     :class:`MemmapStorage`, an ``np.memmap`` over a temporary file —
     keeps the *resident* pool buffers off the heap at the cost of
     page-cache traffic.  Set ``REPRO_MEMMAP_DIR`` to place the backing
-    files on a specific filesystem (e.g. fast local scratch).  Note the
-    current aggregation ops (``cross_aggregate``, ``mean_state``,
-    ``similarity_matrix``) still materialise dense float64 temporaries
-    of the working set, so memmap bounds buffer residency, not peak
-    working memory; blockwise/out-of-core aggregation is the ROADMAP
-    follow-up that lifts that (the millions-of-clients north star).
+    files on a specific filesystem (e.g. fast local scratch).
+    ``cross_aggregate`` and the euclidean ``similarity_matrix`` operate
+    in bounded row blocks (bit-identical to the unblocked math) and
+    ``mean_state`` streams one row at a time (``precise=True``) or
+    reduces in the buffer dtype (``precise=False``), so the aggregation
+    path no longer materialises float64 copies of the whole pool —
+    memmap pools are usable beyond RAM.  The cosine similarity path
+    (Gram matmul, plus the ``similarity_to``/``dispersion``
+    diagnostics) still casts the masked matrix to float64 in one
+    piece; blocking it is the remaining out-of-core step.
 
 Backends register themselves on :data:`POOL_BACKENDS` via
 :func:`register_backend`; third-party backends (GPU arrays, sharded

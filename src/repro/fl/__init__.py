@@ -15,6 +15,18 @@ SCAFFOLD, FedGen, CluSamp, FedCluster) and :mod:`repro.core`
 from repro.fl.config import FLConfig
 from repro.fl.client import Client
 from repro.fl.trainer import LocalTrainer, LocalResult
+from repro.fl.execution import (
+    ClientExecutor,
+    ExecutionBackend,
+    available_executions,
+    register_execution,
+)
+from repro.fl.hooks import (
+    ControlVariateSpec,
+    DistillationSpec,
+    HookSpec,
+    ProximalSpec,
+)
 from repro.fl.server import DispatchPlan, FederatedServer
 from repro.fl.callbacks import BestStateCheckpointer, ServerCallback, ThroughputLogger
 from repro.fl.metrics import evaluate_model, RoundRecord, TrainingHistory
@@ -27,6 +39,14 @@ __all__ = [
     "Client",
     "LocalTrainer",
     "LocalResult",
+    "ClientExecutor",
+    "ExecutionBackend",
+    "available_executions",
+    "register_execution",
+    "HookSpec",
+    "ProximalSpec",
+    "ControlVariateSpec",
+    "DistillationSpec",
     "DispatchPlan",
     "FederatedServer",
     "ServerCallback",

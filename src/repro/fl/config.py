@@ -46,6 +46,16 @@ class FLConfig:
         for pools beyond RAM); see :mod:`repro.core.storage`.
         Resolved lazily against the backend registry, so third-party
         backends registered via ``register_backend`` are valid too.
+    execution:
+        Client-execution backend for the ``collect`` phase —
+        ``"serial"`` (default), ``"thread"`` or ``"process"``; see
+        :mod:`repro.fl.execution`.  All backends are guaranteed to
+        produce bit-identical training histories; parallel backends
+        trade startup overhead for multi-core round throughput.
+        Resolved lazily against the execution registry.
+    workers:
+        Worker count for parallel execution backends (``None`` = one
+        per CPU core).  Ignored by ``serial``.
     method_params:
         Method-specific options, e.g. ``{"mu": 0.01}`` for FedProx or
         ``{"alpha": 0.99, "selection": "lowest"}`` for FedCross.
@@ -67,6 +77,8 @@ class FLConfig:
     eval_every: int = 1
     eval_batch_size: int = 256
     backend: str = "dense"
+    execution: str = "serial"
+    workers: int | None = None
     seed: int = 0
     dataset_params: dict[str, Any] = field(default_factory=dict)
     model_params: dict[str, Any] = field(default_factory=dict)
@@ -85,6 +97,10 @@ class FLConfig:
             raise ValueError("local_epochs must be positive")
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("backend must be a non-empty backend name")
+        if not isinstance(self.execution, str) or not self.execution:
+            raise ValueError("execution must be a non-empty backend name")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be None or >= 1")
 
     @property
     def clients_per_round(self) -> int:

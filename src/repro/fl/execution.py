@@ -1,0 +1,718 @@
+"""Pluggable client-execution backends for the ``collect`` phase.
+
+The :class:`~repro.fl.server.FederatedServer`'s ``collect`` phase trains
+the round's K active clients.  Mathematically those K local updates are
+embarrassingly parallel — every client owns an independent RNG stream, a
+private shard, and a dedicated upload-buffer row — but the original
+implementation ran them strictly sequentially on one process, so a
+round cost K× one local update regardless of core count.
+
+This module makes *where the K updates run* a pluggable backend, in the
+same registry style as :mod:`repro.core.storage`'s pool backends:
+
+``serial``
+    :class:`SerialExecution` — the original in-process loop on the
+    server's shared trainer template.  The default, and the reference
+    behaviour every other backend must reproduce bit-for-bit.
+``thread``
+    :class:`ThreadExecution` — a persistent thread pool, one private
+    model/trainer template per worker thread.  Threads write their
+    upload rows straight into the server's pool buffer.  Python-level
+    training code still serialises on the GIL, so the win is bounded by
+    the NumPy/BLAS fraction of the workload; useful mostly as the
+    shared-memory stepping stone and for GIL-free builds.
+``process``
+    :class:`ProcessExecution` — a persistent ``ProcessPoolExecutor``
+    whose workers each hold a reusable model/trainer template (built
+    once from a picklable :class:`TrainerSpec`) plus the full client
+    shard table (shipped once at pool start-up, inherited for free
+    under the ``fork`` start method).  Dispatch states and trained
+    uploads cross the process boundary through
+    :mod:`multiprocessing.shared_memory` ``(K, P)`` buffers: the server
+    packs each unique dispatched state into a shared dispatch row, and
+    the worker packs its trained state **directly into its upload row**
+    via :meth:`repro.utils.layout.StateLayout.flatten_into` — the ``P``
+    floats per client are written exactly once, never pickled through
+    the result queue.  Only scalars (sample counts, loss, the client's
+    advanced RNG state) ride back through the future.
+
+Determinism contract
+--------------------
+All backends produce **bit-identical** training histories and upload
+buffers for the same config/seed: each client's batch shuffling draws
+from its own generator (round-tripped through workers by state), hook
+specs own their RNG streams, float32 states survive the shared-memory
+round trip exactly, and results are returned in plan order regardless
+of completion order.  Two carve-outs: models whose *layers* own RNG
+streams shared across clients via the serial trainer template (e.g.
+``nn.Dropout``'s mask stream) consume that stream in client order under
+``serial`` — such models are only reproducible on the serial backend —
+and *raw-callable* hooks that close over shared mutable state (a
+server-side RNG, an accumulator) are invoked in completion order by
+``thread``, so only stateless raw hooks keep the guarantee there; make
+shared-state hooks a :class:`~repro.fl.hooks.HookSpec` with per-client
+streams (as FedGen's distillation spec does) or run them on ``serial``.
+
+Hooks must be :class:`~repro.fl.hooks.HookSpec` instances (not raw
+closures) to cross the process boundary; ``serial`` and ``thread``
+accept both (``process`` rejects raw callables loudly).
+
+Backends register on :data:`EXECUTION_BACKENDS` via
+:func:`register_execution`; selection is wired through
+``FLConfig.execution`` / ``FLConfig.workers`` and the CLI flags
+``--execution`` / ``--workers``.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.fl.hooks import HookSpec, resolve_hook
+from repro.fl.trainer import LocalResult, LocalTrainer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pool import PoolBuffer
+    from repro.fl.client import Client
+    from repro.fl.server import DispatchPlan
+    from repro.nn.module import Module
+
+__all__ = [
+    "TrainerSpec",
+    "ExecutionBackend",
+    "SerialExecution",
+    "ThreadExecution",
+    "ProcessExecution",
+    "ClientExecutor",
+    "EXECUTION_BACKENDS",
+    "register_execution",
+    "resolve_execution",
+    "available_executions",
+]
+
+
+EXECUTION_BACKENDS: dict[str, type["ExecutionBackend"]] = {}
+
+
+def register_execution(name: str):
+    """Class decorator registering an :class:`ExecutionBackend`."""
+
+    def decorator(cls: type["ExecutionBackend"]) -> type["ExecutionBackend"]:
+        key = name.lower()
+        if key in EXECUTION_BACKENDS:
+            raise KeyError(f"execution backend {name!r} is already registered")
+        EXECUTION_BACKENDS[key] = cls
+        cls.name = key
+        return cls
+
+    return decorator
+
+
+def resolve_execution(name: str) -> type["ExecutionBackend"]:
+    """Backend class registered under ``name`` (case-insensitive)."""
+    key = str(name).lower()
+    if key not in EXECUTION_BACKENDS:
+        raise KeyError(
+            f"unknown execution backend {name!r}; available: "
+            f"{sorted(EXECUTION_BACKENDS)}"
+        )
+    return EXECUTION_BACKENDS[key]
+
+
+def available_executions() -> list[str]:
+    return sorted(EXECUTION_BACKENDS)
+
+
+# -- trainer template -------------------------------------------------------
+@dataclass
+class TrainerSpec:
+    """Picklable recipe for a worker's private model/trainer template.
+
+    ``model_factory`` is any zero-argument picklable callable returning
+    a fresh :class:`~repro.nn.module.Module` (the simulation passes a
+    :func:`functools.partial` over the model registry); the remaining
+    fields mirror :class:`~repro.fl.trainer.LocalTrainer`'s settings.
+    """
+
+    model_factory: Callable[[], "Module"]
+    local_epochs: int = 5
+    batch_size: int = 50
+    lr: float = 0.01
+    momentum: float = 0.5
+    weight_decay: float = 0.0
+
+    def build(self) -> LocalTrainer:
+        """Materialise a private trainer around a fresh model."""
+        return LocalTrainer(
+            self.model_factory(),
+            local_epochs=self.local_epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+
+    @classmethod
+    def from_trainer(
+        cls, trainer: LocalTrainer, model_factory: "Callable[[], Module] | None" = None
+    ) -> "TrainerSpec":
+        """Spec mirroring ``trainer``; falls back to deep-copying its
+        model template when no explicit factory is supplied."""
+        factory = (
+            model_factory
+            if model_factory is not None
+            else functools.partial(copy.deepcopy, trainer.model)
+        )
+        return cls(
+            model_factory=factory,
+            local_epochs=trainer.local_epochs,
+            batch_size=trainer.batch_size,
+            lr=trainer.lr,
+            momentum=trainer.momentum,
+            weight_decay=trainer.weight_decay,
+        )
+
+
+_HYPER_FIELDS = ("local_epochs", "batch_size", "lr", "momentum", "weight_decay")
+
+
+def _trainer_hypers(trainer: LocalTrainer) -> dict:
+    """The live trainer's per-leg settings, captured per ``run`` call.
+
+    Parallel backends apply these to their private templates before
+    every leg, so mid-run mutations of the server's trainer (e.g. the
+    experiments' per-round LR decay, ``sim.trainer.lr = ...``) are
+    honoured exactly as the serial backend honours them.
+    """
+    return {field: getattr(trainer, field) for field in _HYPER_FIELDS}
+
+
+def _apply_hypers(trainer: LocalTrainer, hypers: dict) -> None:
+    for field, value in hypers.items():
+        setattr(trainer, field, value)
+
+
+def _default_workers(workers: int | None) -> int:
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return int(workers)
+    return os.cpu_count() or 1
+
+
+def _check_parallel_cohort(active: "Sequence[Client]", rows: Sequence[int]) -> None:
+    """Parallel preconditions: distinct rows *and* distinct clients.
+
+    Duplicate rows would race on one buffer slice; a duplicate client
+    would train both legs from the same RNG snapshot (serial advances
+    the stream between legs), silently breaking the bit-identical
+    contract — so both are errors rather than divergences.
+    """
+    if len(set(rows)) != len(rows):
+        raise ValueError(
+            "parallel execution backends require unique upload-buffer rows "
+            f"per plan, got {list(rows)}"
+        )
+    ids = [client.client_id for client in active]
+    if len(set(ids)) != len(ids):
+        raise ValueError(
+            "parallel execution backends require each client at most once "
+            f"per cohort, got client ids {ids}"
+        )
+
+
+def _gather(futures):
+    """Collect future results in submit order, failing *cleanly*.
+
+    On any leg error the remaining futures are cancelled and in-flight
+    ones awaited before re-raising, so no stray leg keeps writing into
+    the server's reused upload buffer (or advancing client RNG streams)
+    after control has returned to the caller.
+    """
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        wait(futures)
+        raise
+
+
+# -- backend protocol -------------------------------------------------------
+class ExecutionBackend:
+    """Runs one round's local-training legs and packs the uploads.
+
+    The contract: train ``active[i]`` from ``plans[i]``, pack the
+    trained state into ``uploads`` row ``rows[i]``, advance each
+    client's RNG exactly as serial training would, and return the
+    :class:`~repro.fl.trainer.LocalResult` list in plan order.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        spec: TrainerSpec | None = None,
+        clients: "Sequence[Client]" = (),
+        workers: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.clients = list(clients)
+        self.workers = workers
+
+    def run(
+        self,
+        trainer: LocalTrainer,
+        active: "list[Client]",
+        plans: "list[DispatchPlan]",
+        rows: Sequence[int],
+        uploads: "PoolBuffer",
+    ) -> list[LocalResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools/buffers; the backend lazily re-creates them on
+        the next :meth:`run`, so close is always safe."""
+
+
+@register_execution("serial")
+class SerialExecution(ExecutionBackend):
+    """The original sequential in-process loop (reference behaviour)."""
+
+    def run(self, trainer, active, plans, rows, uploads):
+        results: list[LocalResult] = []
+        for i, (client, plan) in enumerate(zip(active, plans)):
+            result = client.train(
+                trainer,
+                plan.state,
+                loss_hook=resolve_hook(plan.loss_hook, plan.state),
+                grad_hook=resolve_hook(plan.grad_hook, plan.state),
+                lr_override=plan.lr_override,
+            )
+            uploads.set_state(rows[i], result.state)
+            results.append(result)
+        return results
+
+
+@register_execution("thread")
+class ThreadExecution(ExecutionBackend):
+    """Persistent thread pool; one private trainer template per worker."""
+
+    def __init__(self, spec=None, clients=(), workers=None) -> None:
+        super().__init__(spec, clients, workers)
+        self._num_workers = _default_workers(workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._templates: list[LocalTrainer] = []
+        self._free: list[LocalTrainer] = []
+
+    def _ensure_pool(self) -> None:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._num_workers, thread_name_prefix="repro-exec"
+            )
+
+    def _acquire_trainer(self) -> LocalTrainer:
+        # Called from worker threads: pop/append are individually atomic
+        # and the empty-pop race is handled by falling through to build
+        # (the pool never runs more tasks than workers concurrently, so
+        # at most `workers` templates are ever built).
+        try:
+            return self._free.pop()
+        except IndexError:
+            pass
+        if self.spec is None:
+            raise RuntimeError(
+                "thread execution backend needs a TrainerSpec to build "
+                "per-worker trainer templates"
+            )
+        trainer = self.spec.build()
+        self._templates.append(trainer)
+        return trainer
+
+    def run(self, trainer, active, plans, rows, uploads):
+        _check_parallel_cohort(active[: len(plans)], rows[: len(plans)])
+        self._ensure_pool()
+        hypers = _trainer_hypers(trainer)
+
+        def leg(i: int, client, plan) -> LocalResult:
+            worker_trainer = self._acquire_trainer()
+            try:
+                _apply_hypers(worker_trainer, hypers)
+                result = client.train(
+                    worker_trainer,
+                    plan.state,
+                    loss_hook=resolve_hook(plan.loss_hook, plan.state),
+                    grad_hook=resolve_hook(plan.grad_hook, plan.state),
+                    lr_override=plan.lr_override,
+                )
+                # Rows are unique, so concurrent writes touch disjoint
+                # slices of the upload matrix.
+                uploads.set_state(rows[i], result.state)
+                return result
+            finally:
+                self._free.append(worker_trainer)
+
+        futures = [
+            self._pool.submit(leg, i, client, plan)
+            for i, (client, plan) in enumerate(zip(active, plans))
+        ]
+        return _gather(futures)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._templates.clear()
+        self._free.clear()
+
+
+# -- process backend --------------------------------------------------------
+def _release_shared_memory(shm) -> None:
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover - interpreter teardown
+        pass
+    try:
+        shm.unlink()
+    except Exception:  # pragma: no cover - already unlinked
+        pass
+
+
+class _SharedBlock:
+    """Owner of one shared-memory-backed ``(K, P)`` ndarray.
+
+    ``ref`` is the picklable handle (name, shape, dtype) workers use to
+    attach.  The segment is unlinked when the block is closed or
+    garbage-collected, so reallocation on pool-size changes never leaks
+    ``/dev/shm`` segments.
+    """
+
+    def __init__(self, shape: tuple[int, int], dtype) -> None:
+        from multiprocessing import shared_memory  # local: optional at import
+
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray(tuple(shape), dtype=dtype, buffer=self.shm.buf)
+        self.ref = (self.shm.name, tuple(int(s) for s in shape), dtype.str)
+        self._finalizer = weakref.finalize(self, _release_shared_memory, self.shm)
+
+    def close(self) -> None:
+        self.array = None
+        self._finalizer()
+
+
+# Worker-process state: trainer template, layout, client shards, and
+# attached shared-memory segments — built once per worker, reused for
+# every (client, round) task.
+_WORKER: dict = {}
+
+
+def _worker_init(spec: TrainerSpec, datasets: dict) -> None:
+    trainer = spec.build()
+    _WORKER["trainer"] = trainer
+    _WORKER["datasets"] = datasets
+    _WORKER["shm"] = {}
+    from repro.utils.layout import StateLayout
+
+    _WORKER["layout"] = StateLayout.from_state(trainer.model.state_dict())
+
+
+def _worker_attach(ref: tuple) -> np.ndarray:
+    """Attach (and cache) a shared block by its picklable ref."""
+    name, shape, dtype_str = ref
+    cache = _WORKER["shm"]
+    entry = cache.get(name)
+    if entry is None:
+        from multiprocessing import shared_memory
+
+        # Attaching registers with the resource tracker (shared with the
+        # server process under fork/spawn); that is idempotent, and the
+        # server's unlink performs the single matching unregister — the
+        # worker must NOT unregister, or the later unlink double-frees
+        # the tracker entry.
+        shm = shared_memory.SharedMemory(name=name)
+        array = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf)
+        cache[name] = (shm, array)
+        entry = cache[name]
+    return entry[1]
+
+
+def _worker_prune_shm(live_names: set[str]) -> None:
+    """Drop mappings of segments the server has since reallocated."""
+    cache = _WORKER["shm"]
+    for name in [n for n in cache if n not in live_names]:
+        shm, _ = cache.pop(name)
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+def _process_leg(task: dict):
+    """One client's local-training leg, run inside a pool worker.
+
+    Reads the dispatched state out of the shared dispatch row, trains on
+    the worker's cached shard with the client's RNG stream, packs the
+    trained state straight into the shared upload row, and returns only
+    scalars plus the advanced RNG state.
+    """
+    from repro.core.pool import _check_integer_roundtrip
+
+    trainer: LocalTrainer = _WORKER["trainer"]
+    _apply_hypers(trainer, task["hypers"])
+    layout = _WORKER["layout"]
+    _worker_prune_shm({task["dispatch_ref"][0], task["upload_ref"][0]})
+    dispatch = _worker_attach(task["dispatch_ref"])
+    upload = _worker_attach(task["upload_ref"])
+
+    state = layout.unflatten(dispatch[task["dispatch_row"]], copy=True)
+    rng = np.random.default_rng()
+    rng.bit_generator.state = task["rng_state"]
+    dataset = _WORKER["datasets"][task["client_id"]]
+
+    result = trainer.train(
+        state,
+        dataset,
+        rng,
+        loss_hook=resolve_hook(task["loss_hook"], state),
+        grad_hook=resolve_hook(task["grad_hook"], state),
+        lr_override=task["lr_override"],
+    )
+    # Guard both directions of the shm transport: the trained state must
+    # survive the buffer dtype exactly, or the server-side
+    # ``result.state`` view would silently differ from serial's native
+    # result (e.g. a float64 buffer field trained to float32-inexact
+    # values).
+    _check_integer_roundtrip(layout, result.state, upload.dtype)
+    _check_float_roundtrip(layout, result.state, upload.dtype)
+    layout.flatten_into(result.state, upload[task["upload_row"]])
+    return (
+        result.num_samples,
+        result.num_steps,
+        result.mean_loss,
+        rng.bit_generator.state,
+    )
+
+
+def _require_spec_hook(hook, which: str) -> None:
+    if hook is None or isinstance(hook, HookSpec):
+        return
+    raise TypeError(
+        f"{which} is a raw callable, which cannot cross the process "
+        "boundary; dispatch a picklable repro.fl.hooks.HookSpec instead "
+        "(or use the 'serial'/'thread' execution backend)"
+    )
+
+
+def _check_float_roundtrip(layout, state, dtype) -> None:
+    """Refuse to narrow float state through a thinner shm buffer.
+
+    The serial backend hands the dispatched dict to the trainer as-is;
+    the process backend ships it through the buffer-dtype shm row.  A
+    float field *wider* than the buffer dtype whose values do not
+    survive the round trip would make workers train from different
+    weights than serial — a silent break of the bit-identical contract
+    — so fail loudly instead (the all-float32 common case skips this
+    entirely).
+    """
+    buffer_dtype = np.dtype(dtype)
+    for spec in layout.fields:
+        value = np.asarray(state[spec.key])
+        if value.dtype.kind != "f" or value.dtype.itemsize <= buffer_dtype.itemsize:
+            continue
+        if value.size and not np.array_equal(
+            value.astype(buffer_dtype).astype(value.dtype), value
+        ):
+            raise ValueError(
+                f"float field {spec.key!r} ({value.dtype}) does not survive the "
+                f"{buffer_dtype} shared-memory round trip; dispatch "
+                f"{buffer_dtype}-exact states or use the 'serial'/'thread' "
+                "execution backend"
+            )
+
+
+@register_execution("process")
+class ProcessExecution(ExecutionBackend):
+    """Persistent worker processes + shared-memory state transport."""
+
+    def __init__(self, spec=None, clients=(), workers=None) -> None:
+        super().__init__(spec, clients, workers)
+        self._num_workers = _default_workers(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._dispatch: _SharedBlock | None = None
+        self._uploads_shm: _SharedBlock | None = None
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        if self.spec is None:
+            raise RuntimeError(
+                "process execution backend needs a TrainerSpec to build "
+                "worker-side trainer templates"
+            )
+        datasets = {c.client_id: c.dataset for c in self.clients}
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._num_workers,
+            initializer=_worker_init,
+            initargs=(self.spec, datasets),
+        )
+
+    def _ensure_shm(self, k: int, p: int, dtype) -> None:
+        shape = (k, p)
+        for attr in ("_dispatch", "_uploads_shm"):
+            block: _SharedBlock | None = getattr(self, attr)
+            if block is None or block.array is None or block.array.shape != shape or block.array.dtype != np.dtype(dtype):
+                if block is not None:
+                    block.close()
+                setattr(self, attr, _SharedBlock(shape, dtype))
+
+    def run(self, trainer, active, plans, rows, uploads):
+        from repro.core.pool import _check_integer_roundtrip
+
+        _check_parallel_cohort(active[: len(plans)], rows[: len(plans)])
+        # Validate every plan *before* submitting anything: a bad hook
+        # or state on plan n must not leave legs 0..n-1 training (and
+        # writing shared rows) behind a raised error.
+        for plan in plans:
+            _require_spec_hook(plan.loss_hook, "DispatchPlan.loss_hook")
+            _require_spec_hook(plan.grad_hook, "DispatchPlan.grad_hook")
+        self._ensure_pool()
+        layout = uploads.layout
+        self._ensure_shm(len(uploads), layout.total_size, uploads.matrix.dtype)
+
+        # Pack each *unique* dispatched state once (FedAvg-family plans
+        # all share one global-state dict; FedCross plans are distinct
+        # pool rows), keyed by object identity.
+        dispatch_rows: dict[int, int] = {}
+        for plan in plans:
+            key = id(plan.state)
+            if key not in dispatch_rows:
+                if set(plan.state) != set(layout.keys):
+                    raise KeyError(
+                        "dispatched state keys do not match the model layout; "
+                        "the process backend can only ship model-shaped states"
+                    )
+                j = len(dispatch_rows)
+                dispatch_rows[key] = j
+                _check_integer_roundtrip(layout, plan.state, self._dispatch.array.dtype)
+                _check_float_roundtrip(layout, plan.state, self._dispatch.array.dtype)
+                layout.flatten_into(plan.state, self._dispatch.array[j])
+
+        hypers = _trainer_hypers(trainer)
+        futures = []
+        for i, (client, plan) in enumerate(zip(active, plans)):
+            futures.append(
+                self._pool.submit(
+                    _process_leg,
+                    {
+                        "client_id": client.client_id,
+                        "rng_state": client.rng.bit_generator.state,
+                        "dispatch_row": dispatch_rows[id(plan.state)],
+                        "upload_row": int(rows[i]),
+                        "dispatch_ref": self._dispatch.ref,
+                        "upload_ref": self._uploads_shm.ref,
+                        "loss_hook": plan.loss_hook,
+                        "grad_hook": plan.grad_hook,
+                        "lr_override": plan.lr_override,
+                        "hypers": hypers,
+                    },
+                )
+            )
+
+        legs = _gather(futures)
+        results: list[LocalResult] = []
+        written: list[int] = []
+        for i, (client, leg) in enumerate(zip(active, legs)):
+            num_samples, num_steps, mean_loss, rng_state = leg
+            client.rng.bit_generator.state = rng_state
+            written.append(int(rows[i]))
+            results.append(
+                LocalResult(
+                    state=None,  # filled from the upload buffer below
+                    num_samples=num_samples,
+                    num_steps=num_steps,
+                    mean_loss=mean_loss,
+                )
+            )
+        # One bulk copy of the freshly written rows from the shared
+        # segment into the server's (possibly memmap-backed) buffer.
+        uploads.matrix[written] = self._uploads_shm.array[written]
+        for row, result in zip(written, results):
+            result.state = uploads.as_state(row, copy=True)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for attr in ("_dispatch", "_uploads_shm"):
+            block = getattr(self, attr)
+            if block is not None:
+                block.close()
+                setattr(self, attr, None)
+
+
+# -- facade -----------------------------------------------------------------
+class ClientExecutor:
+    """The server's handle on its execution backend.
+
+    Resolves ``backend`` against the registry, builds the backend with a
+    :class:`TrainerSpec` derived from the live trainer (plus an optional
+    explicit ``model_factory`` — required to be picklable for
+    ``process``), and forwards ``run``/``close``.  Servers construct one
+    from ``FLConfig.execution`` / ``FLConfig.workers`` by default;
+    callers may inject a custom instance through the server's
+    ``executor=`` keyword.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        *,
+        trainer: LocalTrainer | None = None,
+        clients: "Sequence[Client]" = (),
+        model_factory: "Callable[[], Module] | None" = None,
+        workers: int | None = None,
+    ) -> None:
+        spec = (
+            TrainerSpec.from_trainer(trainer, model_factory)
+            if trainer is not None
+            else None
+        )
+        self._backend = resolve_execution(backend)(
+            spec=spec, clients=clients, workers=workers
+        )
+        self._finalizer = weakref.finalize(self, self._backend.close)
+
+    @property
+    def name(self) -> str:
+        """Registered name of the active backend."""
+        return self._backend.name
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
+
+    def run(
+        self,
+        trainer: LocalTrainer,
+        active: "list[Client]",
+        plans: "list[DispatchPlan]",
+        rows: Sequence[int],
+        uploads: "PoolBuffer",
+    ) -> list[LocalResult]:
+        """Train the cohort and pack uploads; results in plan order."""
+        return self._backend.run(trainer, active, plans, rows, uploads)
+
+    def close(self) -> None:
+        """Shut down worker pools and release shared buffers (idempotent;
+        the backend transparently re-creates them on the next run)."""
+        self._backend.close()

@@ -14,10 +14,14 @@ the shared :meth:`FederatedServer.fit` loop:
     ``context`` carried through to aggregation.
 ``collect(active, plans)``
     Run local training and gather uploads.  The default implementation
-    also packs each uploaded state into a reused server-side
+    hands the cohort to the server's :class:`~repro.fl.execution
+    .ClientExecutor` (``serial`` | ``thread`` | ``process``, selected by
+    ``config.execution`` / ``config.workers``), which trains each plan
+    and packs the uploaded state into a reused server-side
     :class:`~repro.core.pool.PoolBuffer` row (``plan.context["row"]``,
-    defaulting to the client's position) as it arrives, so aggregation
-    is array ops instead of per-key dict loops.
+    defaulting to the client's position), so aggregation is array ops
+    instead of per-key dict loops.  All execution backends reproduce
+    the serial schedule bit-for-bit (see :mod:`repro.fl.execution`).
 ``aggregate(active, results, plans)``
     The method-specific model update; returns a dict of extras stored
     on the round record.  FedAvg-family methods reduce the upload
@@ -45,6 +49,8 @@ from repro.data.federated import FederatedDataset
 from repro.fl.client import Client
 from repro.fl.comm import CommunicationLedger
 from repro.fl.config import FLConfig
+from repro.fl.execution import ClientExecutor
+from repro.fl.hooks import HookSpec
 from repro.fl.metrics import RoundRecord, TrainingHistory, evaluate_model
 from repro.fl.trainer import GradHook, LocalResult, LocalTrainer, LossHook
 from repro.nn.module import Module
@@ -62,15 +68,25 @@ class DispatchPlan:
     """What one active client receives for its local-training leg.
 
     ``context`` is free-form method state threaded from ``dispatch`` to
-    ``aggregate`` (e.g. SCAFFOLD's per-client control variate). The
+    ``aggregate`` (e.g. SCAFFOLD's per-client control variate); it stays
+    on the server and is never shipped to execution workers. The
     reserved key ``"row"`` names the upload-buffer row the client's
     result is packed into (defaults to the client's cohort position;
     FedCross uses it to keep rows in middleware-model order).
+
+    ``loss_hook`` / ``grad_hook`` accept either a raw callable (runs on
+    ``serial``/``thread`` backends only) or a picklable
+    :class:`~repro.fl.hooks.HookSpec`, resolved where the training
+    executes — required for the ``process`` backend.  A raw callable
+    that closes over shared mutable state (an RNG, an accumulator) is
+    only deterministic on ``serial``: ``thread`` invokes hooks in
+    completion order.  Specs with per-client state keep every backend
+    bit-identical.
     """
 
     state: Mapping[str, np.ndarray]
-    loss_hook: LossHook | None = None
-    grad_hook: GradHook | None = None
+    loss_hook: "LossHook | HookSpec | None" = None
+    grad_hook: "GradHook | HookSpec | None" = None
     lr_override: float | None = None
     context: dict = field(default_factory=dict)
 
@@ -95,6 +111,16 @@ class FederatedServer:
     callbacks:
         :class:`~repro.fl.callbacks.ServerCallback` hooks observing the
         ``fit`` loop.
+    executor:
+        Optional pre-built :class:`~repro.fl.execution.ClientExecutor`;
+        by default one is assembled from ``config.execution`` /
+        ``config.workers``.
+    model_factory:
+        Zero-argument picklable callable rebuilding the model template —
+        used by parallel execution backends to give every worker its own
+        model/trainer.  The simulation wires this automatically; when
+        omitted, workers deep-copy ``trainer.model`` (which the
+        ``process`` backend can only do if the model pickles).
     """
 
     method_name = "base"
@@ -108,6 +134,8 @@ class FederatedServer:
         clients: Sequence[Client],
         rng: np.random.Generator,
         callbacks: "Iterable[ServerCallback] | None" = None,
+        executor: ClientExecutor | None = None,
+        model_factory=None,
     ) -> None:
         self.config = config
         self.fed_dataset = fed_dataset
@@ -122,10 +150,21 @@ class FederatedServer:
         self.round_idx = 0
         self.stop_training = False
         self.backend = getattr(config, "backend", "dense")
+        self.executor = executor or ClientExecutor(
+            getattr(config, "execution", "serial"),
+            trainer=trainer,
+            clients=self.clients,
+            model_factory=model_factory,
+            workers=getattr(config, "workers", None),
+        )
         self._layout = StateLayout.from_state(model.state_dict())
         self._uploads: "PoolBuffer | None" = None
         self._upload_rows: list[int] = []
         self._pack_cache: dict = {}
+        # Reused model-layout buffers keyed by (tag, size): "round" for
+        # the default collect, "cohort" for ad-hoc train_cohort calls —
+        # distinct tags so the two can never alias within one round.
+        self._buffer_cache: dict = {}
 
     # -- phase hooks ------------------------------------------------------
     def select_cohort(self) -> list[Client]:
@@ -142,22 +181,17 @@ class FederatedServer:
     def collect(
         self, active: list[Client], plans: list[DispatchPlan]
     ) -> list[LocalResult]:
-        """Run local training and pack each upload into the pool buffer."""
+        """Run local training and pack each upload into the pool buffer.
+
+        A thin loop-free delegation to the configured execution backend:
+        the backend trains every plan (serially or across workers),
+        writes each trained state into its upload-buffer row, and
+        returns results in plan order — bit-identical across backends.
+        """
         uploads = self._round_uploads(len(active))
-        self._upload_rows = []
-        results: list[LocalResult] = []
-        for i, (client, plan) in enumerate(zip(active, plans)):
-            result = client.train(
-                self.trainer,
-                plan.state,
-                loss_hook=plan.loss_hook,
-                grad_hook=plan.grad_hook,
-                lr_override=plan.lr_override,
-            )
-            row = plan.context.get("row", i)
-            uploads.set_state(row, result.state)
-            self._upload_rows.append(row)
-            results.append(result)
+        rows = [plan.context.get("row", i) for i, plan in enumerate(plans)]
+        results = self.executor.run(self.trainer, active, plans, rows, uploads)
+        self._upload_rows = rows[: len(results)]
         return results
 
     def aggregate(
@@ -199,14 +233,25 @@ class FederatedServer:
         return self.select_cohort()
 
     # -- pool-backed aggregation helpers -----------------------------------
-    def _round_uploads(self, k: int) -> "PoolBuffer":
-        """The reused ``(k, P)`` upload buffer on the configured backend."""
+    def _model_buffer(self, tag: str, k: int) -> "PoolBuffer":
+        """Reused ``(k, P)`` model-layout buffer on the configured backend.
+
+        One allocation per (tag, size) for the whole run; the returned
+        buffer is overwritten by the next same-key call.
+        """
         from repro.core.pool import PoolBuffer  # lazy: avoids fl<->core cycle
 
-        if self._uploads is None or len(self._uploads) != k:
-            self._uploads = PoolBuffer.zeros(
+        buf = self._buffer_cache.get((tag, k))
+        if buf is None:
+            buf = PoolBuffer.zeros(
                 self._layout, k, dtype=np.float32, backend=self.backend
             )
+            self._buffer_cache[(tag, k)] = buf
+        return buf
+
+    def _round_uploads(self, k: int) -> "PoolBuffer":
+        """The reused ``(k, P)`` upload buffer on the configured backend."""
+        self._uploads = self._model_buffer("round", k)
         return self._uploads
 
     @property
@@ -243,6 +288,22 @@ class FederatedServer:
         for i, state in enumerate(states):
             buf.set_state(i, state)
         return buf
+
+    def train_cohort(
+        self, members: list[Client], plans: list[DispatchPlan]
+    ) -> "tuple[list[LocalResult], PoolBuffer]":
+        """Train an ad-hoc cohort through the execution backend.
+
+        For schedules outside the default phase driver (e.g.
+        FedCluster's per-cluster visits): trains ``members`` from
+        ``plans`` on the configured backend and returns the results
+        plus the packed upload buffer (reused per cohort size, valid
+        until the next same-size call).
+        """
+        buf = self._model_buffer("cohort", len(members))
+        rows = [plan.context.get("row", i) for i, plan in enumerate(plans)]
+        results = self.executor.run(self.trainer, members, plans, rows, buf)
+        return results, buf
 
     def aggregate_uploads(self, results: Sequence[LocalResult]) -> dict:
         """Sample-size-weighted reduction of the collected uploads.

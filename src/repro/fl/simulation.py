@@ -10,6 +10,7 @@ this function.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -102,6 +103,11 @@ class FLSimulation:
 
         model_params = default_model_params(config, fed_dataset)
         self.model = build_model(config.model, seed=config.seed, **model_params)
+        # Picklable recipe for the template model: parallel execution
+        # backends use it to give every worker its own model instance.
+        self.model_factory = functools.partial(
+            build_model, config.model, seed=config.seed, **model_params
+        )
         self.trainer = LocalTrainer(
             self.model,
             local_epochs=config.local_epochs,
@@ -124,11 +130,20 @@ class FLSimulation:
             self.clients,
             self._server_rng,
             callbacks=callbacks,
+            model_factory=self.model_factory,
         )
 
     def run(self) -> SimulationResult:
-        """Run all configured rounds and package the result."""
-        history = self.server.fit()
+        """Run all configured rounds and package the result.
+
+        Execution-backend resources (worker pools, shared-memory
+        buffers) are released when the run finishes; they are re-created
+        lazily if the server is fitted again.
+        """
+        try:
+            history = self.server.fit()
+        finally:
+            self.server.executor.close()
         return SimulationResult(
             config=self.config,
             history=history,

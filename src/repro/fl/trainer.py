@@ -1,13 +1,21 @@
 """Client-side local training.
 
-``LocalTrainer`` owns a single reusable model instance per simulation:
-for each (client, round) it loads the dispatched state dict, runs E
-epochs of minibatch SGD, and returns the trained state dict — the
-"local updating" step of the standard FL iteration. Method-specific
-behaviour (FedProx's proximal term, SCAFFOLD's control-variate
-correction, FedGen's distillation term) is injected through two hooks
-rather than subclassing, so every method shares the exact same training
-loop.
+``LocalTrainer`` owns a single reusable model instance: for each
+(client, round) it loads the dispatched state dict, runs E epochs of
+minibatch SGD, and returns the trained state dict — the "local
+updating" step of the standard FL iteration. Method-specific behaviour
+(FedProx's proximal term, SCAFFOLD's control-variate correction,
+FedGen's distillation term) is injected through two hooks rather than
+subclassing, so every method shares the exact same training loop.
+
+The serial execution backend drives one trainer per simulation; the
+parallel backends (:mod:`repro.fl.execution`) build one private
+trainer per worker from a picklable
+:class:`~repro.fl.execution.TrainerSpec` and hand each ``train`` call
+the client's own RNG stream, which is why a training leg must depend
+only on its ``(state, dataset, rng, hooks)`` arguments — never on
+residue the template carries from a previous leg (see ``SGD.step``'s
+dtype-stability note for the one case where that used to happen).
 """
 
 from __future__ import annotations

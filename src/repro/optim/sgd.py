@@ -43,7 +43,17 @@ class SGD:
             p.zero_grad()
 
     def step(self) -> None:
-        """Apply one update using the gradients currently on the params."""
+        """Apply one update using the gradients currently on the params.
+
+        The update never changes a parameter's dtype: a wider-precision
+        gradient (e.g. SCAFFOLD's float64 control-variate correction)
+        is applied in its own precision and the result rounded back.
+        Without this, one float64 gradient would silently promote the
+        shared model template, leaking extra precision into *subsequent*
+        training legs and evaluations — making results depend on which
+        clients previously touched the template (and breaking
+        bit-reproducibility across execution backends).
+        """
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
@@ -55,7 +65,7 @@ class SGD:
                 buf = grad.copy() if buf is None else self.momentum * buf + grad
                 self._buffers[i] = buf
                 grad = grad + self.momentum * buf if self.nesterov else buf
-            p.data = p.data - self.lr * grad
+            p.data = np.asarray(p.data - self.lr * grad, dtype=p.data.dtype)
 
     def reset_state(self) -> None:
         """Drop momentum buffers (used when a client receives new weights)."""

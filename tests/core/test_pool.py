@@ -269,3 +269,96 @@ class TestCustomMeasureFallback:
                 )
         finally:
             del selection.SIMILARITY_MEASURES["manhattan"]
+
+
+class TestBlockwiseOps:
+    """Row-blocked cross-aggregation / euclidean similarity must be
+    bit-identical for every block size (the out-of-core guarantee)."""
+
+    def test_cross_aggregate_block_size_invariant(self, rng):
+        pool = make_pool(rng, k=7, with_int=True)
+        buf = PoolBuffer.from_states(pool, dtype=np.float32)
+        co = (np.arange(7) + 2) % 7
+        ref = buf.cross_aggregate(co, 0.93, block_rows=7).matrix
+        for block in (1, 2, 3, 5, 100):
+            got = buf.cross_aggregate(co, 0.93, block_rows=block).matrix
+            np.testing.assert_array_equal(got, ref)
+
+    def test_propeller_cross_aggregate_block_size_invariant(self, rng):
+        pool = make_pool(rng, k=6)
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        groups = np.stack([(np.arange(6) + 1) % 6, (np.arange(6) + 3) % 6], axis=1)
+        ref = buf.cross_aggregate(groups, 0.8, block_rows=6).matrix
+        for block in (1, 2, 4):
+            got = buf.cross_aggregate(groups, 0.8, block_rows=block).matrix
+            np.testing.assert_array_equal(got, ref)
+
+    def test_cross_aggregate_default_block_on_memmap(self, rng):
+        pool = make_pool(rng, k=5, with_int=True)
+        dense = PoolBuffer.from_states(pool, dtype=np.float32, backend="dense")
+        mm = PoolBuffer.from_states(pool, dtype=np.float32, backend="memmap")
+        co = (np.arange(5) + 1) % 5
+        out = mm.cross_aggregate(co, 0.9)
+        assert out.backend == "memmap"
+        np.testing.assert_array_equal(
+            out.matrix, dense.cross_aggregate(co, 0.9).matrix
+        )
+
+    def test_euclidean_block_size_agreement(self, rng):
+        """Cross-block-size agreement is ulp-tight (the P reduction may
+        move by the last ulp with operand shape); same block size is
+        exactly reproducible."""
+        pool = make_pool(rng, k=6)
+        buf = PoolBuffer.from_states(pool, dtype=np.float32)
+        ref = buf.similarity_matrix("euclidean", block_rows=6)
+        for block in (1, 2, 4, 50):
+            got = buf.similarity_matrix("euclidean", block_rows=block)
+            np.testing.assert_allclose(got, ref, rtol=1e-13, atol=0)
+            np.testing.assert_array_equal(
+                got, buf.similarity_matrix("euclidean", block_rows=block)
+            )
+
+    def test_euclidean_matches_per_row_loop(self, rng):
+        buf = PoolBuffer.from_states(make_pool(rng, k=5), dtype=np.float64)
+        v = buf.matrix.astype(np.float64, copy=False)
+        ref = np.zeros((5, 5))
+        for i in range(5):
+            diff = v - v[i]
+            ref[i] = -np.sqrt(np.einsum("kp,kp->k", diff, diff))
+        np.testing.assert_allclose(
+            buf.similarity_matrix("euclidean"), ref, rtol=1e-13, atol=0
+        )
+
+    def test_euclidean_cancellation_safety(self, rng):
+        """Near-identical rows (the converged-pool regime) must keep
+        small distances instead of collapsing to the catastrophic
+        cancellation of the norm-expansion formula."""
+        base = rng.standard_normal(8) * 1e3
+        states = [
+            {"w": (base + eps).astype(np.float64)}
+            for eps in (0.0, 1e-7, 2e-7)
+        ]
+        buf = PoolBuffer.from_states(states, dtype=np.float64)
+        sim = buf.similarity_matrix("euclidean")
+        expected = -np.sqrt(8) * 1e-7
+        np.testing.assert_allclose(sim[0, 1], expected, rtol=1e-6)
+        np.testing.assert_allclose(sim[1, 2], expected, rtol=1e-6)
+        assert sim[0, 2] < sim[0, 1] < 0.0
+
+    def test_mean_state_precise_streams_rows(self, rng):
+        """precise=True must match the old whole-matrix float64 path."""
+        pool = make_pool(rng, k=6, with_int=True)
+        buf = PoolBuffer.from_states(pool, dtype=np.float32)
+        weights = [float(w) for w in rng.integers(1, 9, size=6)]
+        m = buf.matrix.astype(np.float64)
+        acc = np.zeros(buf.num_scalars)
+        w = np.asarray(weights) / np.sum(weights)
+        for i in range(6):
+            acc += w[i] * m[i]
+        ref = acc.astype(np.float32)
+        got = buf.mean_state(weights, precise=True)
+        flat = np.empty(buf.num_scalars, dtype=np.float32)
+        buf.layout.flatten_into(got, flat)
+        int_mask = buf.layout.integer_mask()
+        np.testing.assert_array_equal(flat[~int_mask], ref[~int_mask])
+        np.testing.assert_array_equal(flat[int_mask], buf.matrix[0, int_mask])

@@ -1,0 +1,295 @@
+"""Client-execution backends: registry, mechanics, hook specs."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fl.config import FLConfig
+from repro.fl.execution import (
+    ClientExecutor,
+    ExecutionBackend,
+    TrainerSpec,
+    available_executions,
+    register_execution,
+    resolve_execution,
+)
+from repro.fl.hooks import ControlVariateSpec, HookSpec, ProximalSpec, resolve_hook
+from repro.fl.server import DispatchPlan
+from repro.fl.simulation import FLSimulation
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_executions())
+
+    def test_resolve_is_case_insensitive(self):
+        assert resolve_execution("SERIAL").name == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            resolve_execution("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(KeyError, match="already registered"):
+
+            @register_execution("serial")
+            class Dup(ExecutionBackend):
+                pass
+
+    def test_third_party_backend_selectable(self, tiny_config):
+        calls = []
+
+        @register_execution("probe-serial")
+        class Probe(resolve_execution("serial")):
+            def run(self, trainer, active, plans, rows, uploads):
+                calls.append(len(plans))
+                return super().run(trainer, active, plans, rows, uploads)
+
+        try:
+            sim = FLSimulation(tiny_config.replace(execution="probe-serial"))
+            sim.server.run_round(sim.server.select_cohort())
+            assert calls == [tiny_config.clients_per_round]
+        finally:
+            from repro.fl.execution import EXECUTION_BACKENDS
+
+            del EXECUTION_BACKENDS["probe-serial"]
+
+
+class TestConfigWiring:
+    def test_default_is_serial(self):
+        assert FLConfig().execution == "serial"
+        assert FLConfig().workers is None
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ValueError, match="execution"):
+            FLConfig(execution="")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            FLConfig(workers=0)
+
+    def test_server_builds_executor_from_config(self, tiny_config):
+        sim = FLSimulation(tiny_config.replace(execution="thread", workers=2))
+        assert sim.server.executor.name == "thread"
+
+    def test_workers_validated_at_backend_build(self, tiny_config):
+        with pytest.raises(ValueError, match="workers"):
+            ClientExecutor("thread", workers=-1)
+
+
+class TestTrainerSpec:
+    def test_from_trainer_mirrors_hyperparams(self, tiny_config):
+        sim = FLSimulation(tiny_config)
+        spec = TrainerSpec.from_trainer(sim.trainer, sim.model_factory)
+        trainer = spec.build()
+        assert trainer is not sim.trainer
+        assert trainer.model is not sim.model
+        assert trainer.local_epochs == sim.trainer.local_epochs
+        assert trainer.batch_size == sim.trainer.batch_size
+        assert trainer.lr == sim.trainer.lr
+
+    def test_built_model_matches_template_weights(self, tiny_config):
+        sim = FLSimulation(tiny_config)
+        spec = TrainerSpec.from_trainer(sim.trainer, sim.model_factory)
+        built = spec.build().model.state_dict()
+        for key, value in sim.model.state_dict().items():
+            np.testing.assert_array_equal(built[key], value)
+
+    def test_spec_with_factory_is_picklable(self, tiny_config):
+        sim = FLSimulation(tiny_config)
+        spec = TrainerSpec.from_trainer(sim.trainer, sim.model_factory)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.build().model.num_parameters() == sim.model.num_parameters()
+
+    def test_deepcopy_fallback_without_factory(self, tiny_config):
+        sim = FLSimulation(tiny_config)
+        spec = TrainerSpec.from_trainer(sim.trainer)
+        built = spec.build()
+        assert built.model is not sim.trainer.model
+        for key, value in sim.model.state_dict().items():
+            np.testing.assert_array_equal(built.model.state_dict()[key], value)
+
+
+class TestHookSpecs:
+    def test_raw_callables_pass_through_resolve(self):
+        fn = lambda *a: None  # noqa: E731
+        assert resolve_hook(fn, {}) is fn
+        assert resolve_hook(None, {}) is None
+
+    def test_proximal_spec_anchors_to_dispatched_state(self, tiny_config):
+        from repro.tensor import functional as F  # noqa: F401 (import check)
+
+        sim = FLSimulation(tiny_config.with_method("fedprox", mu=0.5))
+        state = sim.server.global_state()
+        hook = ProximalSpec(0.5).build(state)
+        sim.model.load_state_dict(state)
+        penalty = hook(sim.model, None, None)
+        # Model equals the anchor, so the proximal penalty is exactly 0.
+        assert float(penalty.item()) == 0.0
+
+    def test_proximal_spec_mu_zero_is_inert(self, tiny_config):
+        sim = FLSimulation(tiny_config)
+        hook = ProximalSpec(0.0).build(sim.server.global_state())
+        assert hook(sim.model, None, None) is None
+
+    def test_specs_are_picklable(self, tiny_config):
+        sim = FLSimulation(tiny_config.with_method("scaffold"))
+        plans = sim.server.dispatch(sim.server.select_cohort())
+        for plan in plans:
+            clone = pickle.loads(pickle.dumps(plan.grad_hook))
+            assert isinstance(clone, ControlVariateSpec)
+
+    def test_fedgen_distillation_spec_survives_pickle(self, tiny_config):
+        sim = FLSimulation(tiny_config.with_method("fedgen"))
+        sim.server.round_idx = 1  # past warm-up
+        plans = sim.server.dispatch(sim.server.select_cohort())
+        spec = plans[0].loss_hook
+        clone = pickle.loads(pickle.dumps(spec))
+        hook = clone.build({})
+        sim.model.eval()
+        extra = hook(sim.model, None, None)
+        assert np.isfinite(float(extra.item()))
+
+    def test_process_backend_rejects_lossy_float64_states(self, tiny_config):
+        """A float64 dispatch state that would be narrowed by the
+        float32 shm row must fail loudly, not silently diverge."""
+        import numpy as np
+
+        sim = FLSimulation(tiny_config.replace(execution="process", workers=1))
+        server = sim.server
+        active = server.select_cohort()
+        plans = server.dispatch(active)
+        lossy = {
+            k: np.asarray(v, dtype=np.float64) + 1e-12
+            for k, v in plans[0].state.items()
+        }
+        for plan in plans:
+            plan.state = lossy
+        with pytest.raises(ValueError, match="shared-memory round trip"):
+            server.collect(active, plans)
+        server.executor.close()
+
+    def test_process_backend_rejects_raw_callable_hooks(self, tiny_config):
+        sim = FLSimulation(tiny_config.replace(execution="process", workers=1))
+        server = sim.server
+        active = server.select_cohort()
+        plans = server.dispatch(active)
+        plans[0].loss_hook = lambda model, logits, targets: None
+        with pytest.raises(TypeError, match="HookSpec"):
+            server.collect(active, plans)
+        server.executor.close()
+
+
+class ExplodingSpec(HookSpec):
+    """Module-level (hence picklable) hook spec that always raises."""
+
+    def build(self, state):
+        def hook(model, logits, targets):
+            raise RuntimeError("boom")
+
+        return hook
+
+
+class TestParallelMechanics:
+    def test_duplicate_rows_rejected_on_parallel_backends(self, tiny_config):
+        sim = FLSimulation(tiny_config.replace(execution="thread", workers=2))
+        server = sim.server
+        active = server.select_cohort()
+        plans = server.dispatch(active)
+        for plan in plans:
+            plan.context["row"] = 0
+        with pytest.raises(ValueError, match="unique upload-buffer rows"):
+            server.collect(active, plans)
+        server.executor.close()
+
+    def test_duplicate_clients_rejected_on_parallel_backends(self, tiny_config):
+        """A client appearing twice would train both legs from one RNG
+        snapshot (serial advances the stream between legs) — an error,
+        not a silent divergence."""
+        sim = FLSimulation(tiny_config.replace(execution="process", workers=1))
+        server = sim.server
+        active = server.select_cohort()
+        active[1] = active[0]
+        plans = server.dispatch(active)
+        with pytest.raises(ValueError, match="at most once"):
+            server.collect(active, plans)
+        server.executor.close()
+
+    def test_thread_collect_packs_rows_like_serial(self, tiny_config):
+        serial = FLSimulation(tiny_config)
+        threaded = FLSimulation(tiny_config.replace(execution="thread", workers=2))
+        for sim in (serial, threaded):
+            server = sim.server
+            active = server.select_cohort()
+            server.collect(active, server.dispatch(active))
+        np.testing.assert_array_equal(
+            serial.server.uploads.matrix, threaded.server.uploads.matrix
+        )
+        threaded.server.executor.close()
+
+    def test_executor_close_is_idempotent_and_reusable(self, tiny_config):
+        sim = FLSimulation(tiny_config.replace(execution="thread", workers=2))
+        server = sim.server
+        server.run_round(server.select_cohort())
+        server.executor.close()
+        server.executor.close()
+        # Backend re-creates its pool lazily on the next round.
+        server.run_round(server.select_cohort())
+        server.executor.close()
+
+    def test_results_returned_in_plan_order(self, tiny_config):
+        sim = FLSimulation(tiny_config.replace(execution="thread", workers=3))
+        server = sim.server
+        active = server.select_cohort()
+        plans = server.dispatch(active)
+        results = server.collect(active, plans)
+        assert [r.num_samples for r in results] == [len(c.dataset) for c in active]
+        server.executor.close()
+
+    @pytest.mark.parametrize("execution", ["thread", "process"])
+    def test_live_trainer_mutations_honoured(self, tiny_config, execution):
+        """The experiments' per-round LR-decay idiom (mutating
+        ``sim.trainer.lr`` between rounds) must reach parallel workers,
+        not be frozen at TrainerSpec construction."""
+        import numpy as np
+
+        def run(cfg):
+            sim = FLSimulation(cfg)
+            for lr in (0.05, 0.002):
+                sim.trainer.lr = lr
+                sim.server.run_round(sim.server.sample_clients())
+                sim.server.round_idx += 1
+            sim.server.executor.close()
+            return sim.server.global_state()
+
+        ref = run(tiny_config)
+        got = run(tiny_config.replace(execution=execution, workers=2))
+        for key in ref:
+            np.testing.assert_array_equal(ref[key], got[key])
+
+    @pytest.mark.parametrize("execution", ["thread", "process"])
+    def test_failing_leg_drains_cleanly(self, tiny_config, execution):
+        """A raising hook fails the round without stray legs corrupting
+        the reused upload buffer; the next round runs normally."""
+        sim = FLSimulation(tiny_config.replace(execution=execution, workers=2))
+        server = sim.server
+        active = server.select_cohort()
+        plans = server.dispatch(active)
+        plans[0].loss_hook = ExplodingSpec()
+        with pytest.raises(RuntimeError, match="boom"):
+            server.collect(active, plans)
+        # Backend stays usable and deterministic afterwards.
+        extras = server.run_round(server.select_cohort())
+        assert "train_loss" in extras
+        server.executor.close()
+
+    def test_train_cohort_reuses_size_keyed_buffers(self, tiny_config):
+        sim = FLSimulation(tiny_config)
+        server = sim.server
+        members = server.clients[:2]
+        plans = [DispatchPlan(server.global_state()) for _ in members]
+        _, buf1 = server.train_cohort(members, plans)
+        _, buf2 = server.train_cohort(members, plans)
+        assert buf1 is buf2
+        assert len(buf1) == 2

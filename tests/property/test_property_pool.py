@@ -155,3 +155,37 @@ class TestAggregationEquivalence:
         got = global_model_generation(buf)
         for key in ref:
             np.testing.assert_allclose(got[key], ref[key], rtol=1e-6, atol=1e-6)
+
+
+class TestBlockwiseEquivalence:
+    """Row-blocked operations are bit-identical for every block size."""
+
+    @given(pool=pools(), alpha=alphas, block=st.integers(1, 8), r=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_cross_aggregate_blocked_bitwise_matches_dict(self, pool, alpha, block, r):
+        k = len(pool)
+        co = np.array([(i + (r % (k - 1) + 1)) % k for i in range(k)])
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        out = buf.cross_aggregate(co, alpha, block_rows=block)
+        for i in range(k):
+            ref = cross_aggregate(pool[i], pool[co[i]], alpha)
+            got = out.as_state(i)
+            for key in ref:
+                np.testing.assert_array_equal(got[key], ref[key])
+
+    @given(pool=pools(), keys=masks, block=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_euclidean_blocked_matches_reference(self, pool, keys, block):
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        got = buf.similarity_matrix("euclidean", param_keys=keys, block_rows=block)
+        ref = _reference_similarity_matrix(pool, "euclidean", keys)
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+        # Across block sizes the P-axis reduction may legitimately move
+        # by the last ulp (SIMD summation order varies with operand
+        # shape/alignment), so agreement is asserted ulp-tight, not
+        # bitwise — unlike cross_aggregate's elementwise guarantee.
+        unblocked = buf.similarity_matrix("euclidean", param_keys=keys)
+        np.testing.assert_allclose(got, unblocked, rtol=1e-13, atol=0)
+        # Same block size must be exactly reproducible.
+        again = buf.similarity_matrix("euclidean", param_keys=keys, block_rows=block)
+        np.testing.assert_array_equal(got, again)
