@@ -46,12 +46,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro.core.aggregation import cross_aggregate
+from repro.core.gram import GramTracker
 from repro.core.pool import PoolBuffer
 from repro.core.selection import _reference_select_by_similarity
 from repro.models import build_model
@@ -197,6 +200,171 @@ def run_baselines(model, ks, repeats, min_speedup_at_k, emit):
     return rows, failures
 
 
+def run_similarity(model, ks, repeats, min_speedup_at_max_k, emit):
+    """Similarity + diagnostics: per-round recompute vs the Gram engine.
+
+    The *recompute* column is the PR 3 server's blocking similarity
+    work per round: a full cosine ``similarity_matrix`` for CoModelSel
+    over the uploads, plus ``middleware_similarity`` and ``dispersion``
+    on the cross-aggregated pool — three O(K·P)-data passes, two of
+    them O(K²·P).
+
+    The *gram* column is the same three results served by the
+    incremental engine after the round's uploads have been streamed
+    into a :class:`~repro.core.gram.GramTracker`: Gram-driven
+    selection, the closed-form post-CrossAggr transform, and
+    Gram-algebra similarity/dispersion — pure (K, K) work that never
+    re-reads pool data.  The O(K·P)-per-upload ``update`` cost is
+    timed separately because the streaming collect phase hides it
+    behind still-running training legs; even charged in full it is one
+    data pass per round instead of three.
+    """
+    state = model.state_dict()
+    param_keys = {name for name, _ in model.named_parameters()}
+    rng = np.random.default_rng(2)
+    layout = StateLayout.from_state(state)
+    alpha = 0.99
+    emit(
+        f"{'K':>4} {'recompute (s)':>14} {'gram (s)':>12} {'updates (s)':>12} "
+        f"{'speedup':>9}"
+    )
+
+    failures = []
+    rows = []
+    for k in ks:
+        uploads = make_uploads(state, k, rng)
+        buf = PoolBuffer.from_states(uploads, layout=layout, dtype=np.float32)
+        tracker = GramTracker.from_pool(buf, param_keys=param_keys)
+        co = buf.select_collaborators(
+            "lowest", measure="cosine", param_keys=param_keys, gram=tracker.gram
+        )
+        # The fused pool both paths report diagnostics on; aggregation
+        # itself is outside this comparison.
+        new_pool = buf.cross_aggregate(co, alpha)
+
+        def recompute_path():
+            sel = buf.select_collaborators(
+                "lowest", measure="cosine", param_keys=param_keys
+            )
+            sim = new_pool.similarity_matrix("cosine", param_keys=param_keys)
+            disp = new_pool.dispersion(param_keys=param_keys)
+            return sel, sim, disp
+
+        def gram_path():
+            sel = buf.select_collaborators(
+                "lowest", measure="cosine", param_keys=param_keys, gram=tracker.gram
+            )
+            derived = tracker.cross_aggregated(sel, alpha, pool=new_pool)
+            return sel, derived.similarity(), derived.dispersion()
+
+        def update_path():
+            fresh = GramTracker(buf, param_keys=param_keys)
+            for i in range(k):
+                fresh.update_row(i)
+            return fresh
+
+        recompute_path()  # warm both paths (BLAS spin-up, mask caches)
+        gram_path()
+        t_recompute = time_call(recompute_path, repeats)
+        t_gram = time_call(gram_path, repeats)
+        t_updates = time_call(update_path, repeats)
+        speedup = t_recompute / t_gram
+        emit(
+            f"{k:>4} {t_recompute:>14.4f} {t_gram:>12.4f} {t_updates:>12.4f} "
+            f"{speedup:>8.1f}x"
+        )
+        rows.append(
+            {
+                "k": k,
+                "recompute_s": t_recompute,
+                "gram_s": t_gram,
+                "update_s": t_updates,
+                "speedup": speedup,
+            }
+        )
+
+        # Sanity: both paths must agree on all three results within the
+        # documented ulp tolerance (same co indices are not guaranteed
+        # on exact ties, so compare the achieved similarity values).
+        sel_r, sim_r, disp_r = recompute_path()
+        sel_g, sim_g, disp_g = gram_path()
+        full = buf.similarity_matrix("cosine", param_keys=param_keys)
+        np.testing.assert_allclose(
+            full[np.arange(k), sel_g], full[np.arange(k), sel_r], rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(sim_g, sim_r, rtol=1e-5, atol=1e-6)
+        scale = max(abs(disp_r), 1e-12)
+        assert abs(disp_g - disp_r) / scale < 1e-3, (disp_g, disp_r)
+
+        if k == max(ks) and speedup < min_speedup_at_max_k:
+            failures.append(
+                f"similarity K={k}: gram-engine speedup {speedup:.1f}x below "
+                f"the {min_speedup_at_max_k}x bar"
+            )
+    return rows, failures
+
+
+def run_out_of_core(emit):
+    """Memmap + cosine selection: prove no ``(K, P)`` float64 temp.
+
+    Shrinks the block budget to 1 MiB, runs one full server round of
+    pool ops on a memmap pool whose float64 image is many times
+    larger, and asserts (via tracemalloc, which tracks NumPy data
+    allocations; the memmap pages themselves are file-backed and
+    untracked) that peak traced allocation stays well under one
+    whole-pool float64 temporary.
+    """
+    budget = 1 << 20
+    k = 32
+    model = build_model("cnn", seed=0, input_shape=(3, 16, 16), num_classes=10)
+    state = model.state_dict()
+    param_keys = {name for name, _ in model.named_parameters()}
+    pool = PoolBuffer.broadcast(state, k, dtype=np.float32, backend="memmap")
+    rng = np.random.default_rng(3)
+    p = pool.num_scalars
+    for i in range(k):  # perturb row by row — no (K, P) host copy
+        pool.matrix[i] += 0.01 * rng.standard_normal(p).astype(np.float32)
+    full_f64 = k * p * 8
+
+    previous = os.environ.get("REPRO_POOL_BLOCK_BYTES")
+    os.environ["REPRO_POOL_BLOCK_BYTES"] = str(budget)
+    try:
+        tracemalloc.start()
+        tracker = GramTracker.from_pool(pool, param_keys=param_keys)
+        co = pool.select_collaborators(
+            "lowest", measure="cosine", param_keys=param_keys, gram=tracker.gram
+        )
+        fused = pool.cross_aggregate(co, 0.99)
+        derived = tracker.cross_aggregated(co, 0.99, pool=fused)
+        derived.similarity()
+        derived.dispersion()
+        fused.similarity_matrix("cosine", param_keys=param_keys)
+        fused.similarity_to(0, param_keys=param_keys)
+        fused.dispersion(param_keys=param_keys)
+        fused.mean_state(precise=True)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        if previous is None:
+            os.environ.pop("REPRO_POOL_BLOCK_BYTES", None)
+        else:
+            os.environ["REPRO_POOL_BLOCK_BYTES"] = previous
+
+    emit(
+        f"K={k}, P={p:,}: whole-pool float64 would be {full_f64 / 1e6:.1f} MB, "
+        f"peak traced allocation {peak / 1e6:.1f} MB "
+        f"(block budget {budget / 1e6:.1f} MB)"
+    )
+    failures = []
+    if peak >= full_f64 / 2:
+        failures.append(
+            f"out-of-core round allocated {peak / 1e6:.1f} MB "
+            f"(>= half a whole-pool float64 temp of {full_f64 / 1e6:.1f} MB) — "
+            "a (K, P) cast is back on the cosine path"
+        )
+    return {"k": k, "p": p, "peak_bytes": int(peak), "full_f64_bytes": int(full_f64)}, failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -228,10 +396,12 @@ def main(argv=None):
         input_shape = (3, 8, 8)
         engine_ks, engine_bar = (5, 10), 1.2
         base_ks, base_bar = (5, 10), (10, 1.2)
+        sim_ks, sim_bar = (5, 10), 3.0
     else:
         input_shape = (3, 32, 32)
         engine_ks, engine_bar = (5, 10, 20, 50), 5.0
         base_ks, base_bar = (10, 50, 200), (50, 5.0)
+        sim_ks, sim_bar = (10, 50), 5.0
 
     model = build_model("cnn", seed=0, input_shape=input_shape, num_classes=10)
     emit(
@@ -249,6 +419,16 @@ def main(argv=None):
     )
     failures += base_failures
 
+    emit("\n== Similarity + diagnostics: per-round recompute vs Gram engine ==")
+    sim_rows, sim_failures = run_similarity(
+        model, sim_ks, args.repeats, sim_bar, emit
+    )
+    failures += sim_failures
+
+    emit("\n== Out-of-core round: memmap pool, 1 MiB block budget ==")
+    ooc_row, ooc_failures = run_out_of_core(emit)
+    failures += ooc_failures
+
     if args.json:
         blob = json.dumps(
             {
@@ -258,6 +438,8 @@ def main(argv=None):
                 "smoke": args.smoke,
                 "pool_engine": engine_rows,
                 "baseline_aggregation": base_rows,
+                "similarity": sim_rows,
+                "out_of_core": ooc_row,
                 "failures": failures,
             }
         )

@@ -28,6 +28,14 @@ fields, the server's phased round loop is exposed through:
     (:mod:`repro.fl.execution`); ``process`` trains the round's clients
     on a persistent worker pool with shared-memory upload packing.
     Histories are bit-identical across backends.
+``--streaming`` / ``--no-streaming``
+    Overlap behaviour of the collect phase (default: streaming).  The
+    server consumes uploads *as legs complete*, packing each one — and
+    running per-upload work like FedCross's incremental Gram updates —
+    while slower clients are still training; ``--no-streaming``
+    restores the gathered reference schedule.  Both schedules are
+    bit-identical in histories, uploads and RNG state; streaming only
+    moves server-side work off the round's critical path.
 ``--progress``
     Attach a :class:`~repro.fl.callbacks.ThroughputLogger` printing
     per-round wall-clock and a throughput summary to stderr.
@@ -136,6 +144,17 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         default=_DEFAULTS.workers,
         help="worker count for parallel execution backends (default: one per core)",
     )
+    parser.add_argument(
+        "--streaming",
+        action=argparse.BooleanOptionalAction,
+        default=_DEFAULTS.streaming,
+        help=(
+            "consume client uploads as they complete, overlapping "
+            "server-side packing/similarity work with still-running "
+            "training legs (bit-identical to the gathered schedule; "
+            "--no-streaming restores it)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
     parser.add_argument("--alpha", type=float, default=0.9, help="FedCross fusion weight")
     parser.add_argument(
@@ -211,6 +230,7 @@ def _config_kwargs(args) -> dict:
         backend=args.backend,
         execution=args.execution,
         workers=args.workers,
+        streaming=args.streaming,
         seed=args.seed,
     )
 

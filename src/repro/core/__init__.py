@@ -34,7 +34,8 @@ from repro.core.acceleration import (
     propeller_indices,
 )
 from repro.core.fedcross import FedCrossServer
-from repro.core.pool import PoolBuffer
+from repro.core.gram import GramTracker
+from repro.core.pool import PoolBuffer, cosine_from_gram
 from repro.core.storage import (
     DenseStorage,
     MemmapStorage,
@@ -58,7 +59,9 @@ __all__ = [
     "propeller_index_matrix",
     "propeller_indices",
     "FedCrossServer",
+    "GramTracker",
     "PoolBuffer",
+    "cosine_from_gram",
     "PoolStorage",
     "DenseStorage",
     "MemmapStorage",

@@ -25,6 +25,18 @@ pack trained models straight into shared-memory rows in model order —
 bit-identical to the sequential schedule, K-way parallel in wall
 clock.
 
+Similarity work rides the **incremental Gram engine**
+(:class:`repro.core.gram.GramTracker`) whenever cosine similarity
+drives ``CoModelSel``: the streaming collect phase feeds one O(K·P)
+row update per landing upload (hidden behind still-running legs), so
+by aggregation time selection is a ``(K, K)`` argmin on the tracked
+Gram, the new pool's Gram follows by the closed-form post-CrossAggr
+transform, and ``middleware_similarity()`` / ``pool_dispersion()``
+are served as pure algebra without re-reading pool data — within the
+ulp tolerances documented in :mod:`repro.core.gram`.  ``in_order``
+runs skip the maintenance entirely; ``euclidean`` falls back to the
+blocked fresh recompute.
+
 ``method_params`` accepted (paper defaults in Section IV-A):
 
 ========================  ========================  =============================================
@@ -46,6 +58,7 @@ import numpy as np
 
 from repro.core.acceleration import DynamicAlphaSchedule, propeller_index_matrix
 from repro.core.aggregation import global_model_generation, validate_alpha
+from repro.core.gram import GramTracker
 from repro.core.pool import PoolBuffer
 from repro.core.selection import CoModelSel
 from repro.fl.client import Client
@@ -94,6 +107,22 @@ class FedCrossServer(FederatedServer):
             init_state, k, dtype=np.float32, backend=self.backend
         )
         self.result_extras: dict = {}
+        # Incremental-similarity engine: when cosine similarity drives
+        # CoModelSel, a GramTracker follows the upload buffer row by
+        # row as legs land (O(K·P) per upload, hidden behind
+        # still-running legs under streaming collect), selection
+        # becomes (K, K) algebra on the tracked Gram, and the
+        # closed-form post-CrossAggr transform keeps a pool Gram for
+        # the diagnostics without ever re-reading pool data.  in_order
+        # runs skip the maintenance cost entirely (they never needed
+        # similarity) and euclidean falls back to fresh blocked
+        # recompute (Gram-recovered distances cancel catastrophically).
+        self._track_gram = (
+            self.selector.strategy in ("highest", "lowest")
+            and self.selector.measure == "cosine"
+        )
+        self._upload_gram: GramTracker | None = None
+        self._pool_gram: GramTracker | None = None
 
     # -- pool access ---------------------------------------------------------
     @property
@@ -106,6 +135,7 @@ class FedCrossServer(FederatedServer):
         self._pool = PoolBuffer.from_states(
             list(states), layout=self._layout, dtype=np.float32, backend=self.backend
         )
+        self._pool_gram = None  # pool replaced outside the tracked flow
 
     @property
     def pool(self) -> PoolBuffer:
@@ -145,28 +175,78 @@ class FedCrossServer(FederatedServer):
             )
         return plans
 
+    def on_upload(self, row: int, result: LocalResult) -> None:
+        """Feed the incremental Gram as each upload lands (O(K·P)).
+
+        Row updates are bitwise independent of arrival order (see
+        :class:`~repro.core.gram.GramTracker`), so streamed completion
+        order and the gathered plan-order schedule produce the same
+        Gram — the property that keeps streaming collect bit-identical.
+        """
+        if not self._track_gram:
+            return
+        uploads = self.uploads
+        if self._upload_gram is None or self._upload_gram.pool is not uploads:
+            self._upload_gram = GramTracker(
+                uploads, param_keys=self.selector.param_keys
+            )
+        self._upload_gram.update_row(row)
+
+    def _fresh_upload_gram(self, uploaded: PoolBuffer) -> np.ndarray | None:
+        """The round's fully refreshed upload Gram, if one is tracked."""
+        gram = self._upload_gram
+        if not self._track_gram or gram is None or gram.pool is not uploaded:
+            return None
+        return gram.gram
+
     def aggregate(
         self,
         active: list[Client],
         results: list[LocalResult],
         plans: list[DispatchPlan],
     ) -> dict:
-        """Lines 11-14: CoModelSel + CrossAggr over the uploaded pool."""
+        """Lines 11-14: CoModelSel + CrossAggr over the uploaded pool.
+
+        When the tracker followed this round's uploads, CoModelSel runs
+        on the tracked Gram (pure ``(K, K)`` algebra — no similarity
+        recompute) and the new pool's Gram is derived by the closed-form
+        post-CrossAggr transform, keeping ``middleware_similarity`` /
+        ``pool_dispersion`` data-free too.
+        """
         k = len(self._pool)
         uploaded = self.uploads  # packed in model order by collect()
         alpha = self.alpha_at(self.round_idx)
+        gram = self._fresh_upload_gram(uploaded)
+        tracker = self._upload_gram if gram is not None else None
         if k == 1:
             co_indices = np.zeros(1, dtype=np.int64)
             # Copy: the upload buffer is reused next round and must not
             # alias the live pool.
             self._pool = uploaded.copy()
+            self._pool_gram = (
+                GramTracker(
+                    self._pool, param_keys=self.selector.param_keys, gram=gram
+                )
+                if tracker is not None
+                else None
+            )
         elif self._use_propellers(self.round_idx):
             props = propeller_index_matrix(self.round_idx, k, self.num_propellers)
             co_indices = props[:, 0]
             self._pool = uploaded.cross_aggregate(props, alpha)
+            self._pool_gram = (
+                tracker.cross_aggregated(props, alpha, pool=self._pool)
+                if tracker is not None
+                else None
+            )
         else:
-            co_indices = self.selector.select_all(uploaded, self.round_idx)
+            co_indices = self.selector.select_all(uploaded, self.round_idx, gram=gram)
             self._pool = uploaded.cross_aggregate(co_indices, alpha)
+            self._pool_gram = (
+                tracker.cross_aggregated(co_indices, alpha, pool=self._pool)
+                if tracker is not None
+                else None
+            )
 
         self.charge_round_communication(active)
         return {
@@ -198,13 +278,35 @@ class FedCrossServer(FederatedServer):
         self._pool = PoolBuffer.broadcast(
             state, len(self._pool), dtype=np.float32, backend=self.backend
         )
+        self._pool_gram = None  # pool replaced outside the tracked flow
 
     def middleware_similarity(self) -> np.ndarray:
         """Pairwise cosine similarity of the current pool (diagnostic).
 
         The paper argues middleware models grow increasingly similar
-        over training; the integration tests assert this trend.
+        over training; the integration tests assert this trend.  When
+        the incremental Gram engine followed this pool through the
+        round (cosine-selection runs), this is pure ``(K, K)`` algebra
+        on the closed-form post-CrossAggr Gram — within documented ulp
+        tolerance of a fresh recompute (see :mod:`repro.core.gram`);
+        otherwise it falls back to the blocked recompute.
         """
+        gram = self._pool_gram
+        if gram is not None and gram.pool is self._pool:
+            return gram.similarity()
         return self._pool.similarity_matrix(
             measure="cosine", param_keys=self.selector.param_keys
         )
+
+    def pool_dispersion(self) -> float:
+        """RMS distance of pool members from their mean (diagnostic).
+
+        Served from the tracked Gram when available (O(K²), no pool
+        reads — subject to the converged-pool cancellation caveat in
+        :mod:`repro.core.gram`); falls back to the cancellation-safe
+        streamed recompute otherwise.
+        """
+        gram = self._pool_gram
+        if gram is not None and gram.pool is self._pool:
+            return gram.dispersion()
+        return self._pool.dispersion(param_keys=self.selector.param_keys)

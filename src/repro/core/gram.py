@@ -1,0 +1,235 @@
+"""Incremental Gram similarity engine (``GramTracker``).
+
+``CoModelSel`` and the pool diagnostics (``middleware_similarity``,
+``dispersion``) are all functions of one object: the float64 ``(K, K)``
+Gram matrix ``G = V @ V.T`` of the masked pool rows.  Rebuilding it
+from scratch every round costs O(K²·P); this module maintains it
+*incrementally* instead:
+
+* :meth:`GramTracker.update_row` refreshes one row/column pair in
+  O(K·P) — called as each client upload lands, so under the streaming
+  collect phase the whole-round Gram work hides behind still-running
+  training legs and the server's blocking similarity cost drops to
+  O(K²) algebra;
+* :meth:`GramTracker.cross_aggregated` applies the closed-form
+  post-``CrossAggr`` transform.  For ``M' = αM + (1−α)M[co]``::
+
+      G' = α²·G + α(1−α)·(G[:, co] + G[co, :]) + (1−α)²·G[ix(co, co)]
+
+  so the *new* pool's similarity matrix and dispersion never re-read
+  pool data at all (the 2-D propeller variant has the analogous
+  mean-over-propellers expansion).
+
+Determinism and tolerance contract
+----------------------------------
+``update_row`` computes each pairwise dot as a single contiguous
+float64 1-D ``np.dot`` — the same kernel, operand length and summation
+order regardless of which row updates first, and elementwise products
+commute exactly in IEEE arithmetic — so the fully refreshed Gram is
+**bitwise independent of update order** (streamed completion order vs
+the gathered plan-order schedule).  Against a *fresh* recompute the
+entries agree to reduction-order round-off: a few ulps of the row-norm
+scale, i.e. ``|G_ij − Ĝ_ij| ≲ c·ε·‖v_i‖·‖v_j‖`` with ε the float64
+epsilon and c a small multiple of log₂P (the property tests pin this
+at ``rtol=1e-9`` plus a norm-scaled ``atol``).  The closed-form
+:meth:`cross_aggregated` transform is exact algebra over the *tracked*
+Gram; versus a recompute on the rounded new pool it additionally picks
+up one buffer-dtype rounding of the blended rows (float32 pools:
+~1e-6 relative; float64 pools: ~1e-12).  :meth:`dispersion` recovers
+``RMS‖v_i − mean‖`` from Gram sums, which cancels when the pool is far
+tighter than its norm scale — accurate while ``dispersion² ≳ ε·‖v‖²``,
+degrading to the absolute floor ``√(ε·‖v‖²)`` below that (the
+cancellation-safe streamed recompute in
+:meth:`repro.core.pool.PoolBuffer.dispersion` remains the ground
+truth for converged pools).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.pool import cosine_from_gram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pool import PoolBuffer
+
+__all__ = ["GramTracker"]
+
+
+class GramTracker:
+    """Maintains the float64 ``(K, K)`` Gram of a pool's masked rows.
+
+    Parameters
+    ----------
+    pool:
+        The tracked :class:`~repro.core.pool.PoolBuffer`.  Held by
+        reference: ``update_row`` reads the row's *current* contents.
+    param_keys:
+        Optional restriction to these state keys (the same mask
+        ``CoModelSel`` applies — trainable parameters only).
+    gram:
+        Optional initial ``(K, K)`` Gram (e.g. from
+        :meth:`cross_aggregated`).  Defaults to zeros — valid once
+        every row has been updated at least once, which is exactly
+        what one full collect phase does.
+    """
+
+    def __init__(
+        self,
+        pool: "PoolBuffer",
+        param_keys: Iterable[str] | None = None,
+        gram: np.ndarray | None = None,
+    ) -> None:
+        k = len(pool)
+        if gram is None:
+            gram = np.zeros((k, k))
+        else:
+            gram = np.array(gram, dtype=np.float64, copy=True)
+            if gram.shape != (k, k):
+                raise ValueError(
+                    f"gram of shape {gram.shape} does not match pool size {k}"
+                )
+        self.pool = pool
+        self.param_keys = set(param_keys) if param_keys is not None else None
+        self.gram = gram
+        self.updates = 0  # row updates applied (diagnostic/bench counter)
+
+    @classmethod
+    def from_pool(
+        cls, pool: "PoolBuffer", param_keys: Iterable[str] | None = None
+    ) -> "GramTracker":
+        """Tracker with a fully refreshed Gram of ``pool``'s current rows."""
+        tracker = cls(pool, param_keys=param_keys)
+        tracker.refresh()
+        return tracker
+
+    def __len__(self) -> int:
+        return self.gram.shape[0]
+
+    # -- maintenance -------------------------------------------------------
+    def update_row(self, index: int) -> None:
+        """Refresh row/column ``index`` from the pool's current data.
+
+        O(K·P): one contiguous float64 dot against every pool member,
+        with O(P) peak temporary memory (one masked row at a time —
+        never a ``(K, P)`` float64 cast, so memmap pools update
+        out-of-core).  Each dot is a 1-D contiguous ``np.dot`` whose
+        summation order depends only on the masked width, making the
+        fully refreshed Gram bitwise independent of the order rows
+        were updated in — the property that keeps streamed and
+        gathered collect schedules bit-identical.
+        """
+        k = len(self)
+        if not 0 <= index < k:
+            raise IndexError(f"row {index} out of range for pool of {k}")
+        vi = self.pool.masked_row_f64(index, self.param_keys)
+        dots = np.empty(k)
+        for j in range(k):
+            vj = vi if j == index else self.pool.masked_row_f64(j, self.param_keys)
+            dots[j] = np.dot(vi, vj)
+        self.gram[index, :] = dots
+        self.gram[:, index] = dots
+        self.updates += 1
+
+    def refresh(self) -> None:
+        """Rebuild every row through :meth:`update_row` semantics.
+
+        O(K²·P) — the from-scratch cost the incremental path avoids;
+        used to (re)base a tracker on a pool whose rows changed outside
+        the per-upload update stream.
+        """
+        for i in range(len(self)):
+            self.update_row(i)
+
+    # -- (K, K) algebra ----------------------------------------------------
+    @property
+    def norms(self) -> np.ndarray:
+        """Masked row norms, read off the Gram diagonal."""
+        return np.sqrt(np.clip(np.diag(self.gram), 0.0, None))
+
+    def similarity(self) -> np.ndarray:
+        """Cosine ``(K, K)`` similarity — pure algebra on the Gram."""
+        return cosine_from_gram(self.gram)
+
+    def similarity_to(self, index: int) -> np.ndarray:
+        """``(K,)`` cosine similarities to model ``index``."""
+        return self.similarity()[index]
+
+    def dispersion(self) -> float:
+        """RMS distance of pool members from their mean, from Gram sums.
+
+        ``mean_i ‖v_i − v̄‖² = mean(diag G) − sum(G)/K²`` — O(K²) and
+        data-free, clipped at zero against round-off.  See the module
+        docstring for the cancellation caveat on converged pools.
+        """
+        k = len(self)
+        if k == 0:
+            return 0.0
+        var = float(np.mean(np.diag(self.gram)) - self.gram.sum() / (k * k))
+        return float(np.sqrt(max(var, 0.0)))
+
+    def cross_aggregated(
+        self,
+        co_indices: np.ndarray,
+        alpha: float,
+        pool: "PoolBuffer | None" = None,
+    ) -> "GramTracker":
+        """Tracker for the pool produced by ``cross_aggregate(co, alpha)``.
+
+        Closed form, O(K²) (O(K²·num²) for a 2-D propeller matrix):
+        with ``a = alpha`` and ``b = 1 − alpha``, the blended rows
+        ``m'_i = a·m_i + b·mean_j m_{co[i, j]}`` expand bilinearly into
+        Gram entries the tracker already holds — no pool data is read.
+        ``pool`` should be the *new* buffer the Gram now describes
+        (callers use the identity to detect staleness); it defaults to
+        the tracked pool for pure-algebra uses.
+        """
+        co = np.asarray(co_indices, dtype=np.int64)
+        if co.ndim not in (1, 2):
+            raise ValueError("co_indices must be 1- or 2-dimensional")
+        k = len(self)
+        if co.shape[0] != k:
+            raise ValueError(
+                f"co_indices of length {co.shape[0]} does not match pool size {k}"
+            )
+        # The bilinear expansion assumes every tracked column is blended,
+        # but cross_aggregate carries *integer* fields (step counters...)
+        # from each row unaveraged — a tracked integer column would make
+        # the derived Gram diverge from the real new pool by O(value²),
+        # silently voiding the tolerance contract.  Track parameters
+        # only (FedCross's selector mask does) or drop integer fields.
+        layout = self.pool.layout
+        int_in_mask = layout.integer_mask() & layout.mask(self.param_keys)
+        if int_in_mask.any():
+            raise ValueError(
+                "closed-form cross_aggregated is undefined for tracked "
+                "integer fields (cross_aggregate carries them unblended); "
+                "restrict param_keys to float parameters"
+            )
+        a = float(alpha)
+        b = 1.0 - a
+        g = self.gram
+        if co.ndim == 1:
+            gc = g[:, co]  # gc[i, j] = <v_i, v_co[j]>
+            new = a * a * g + a * b * (gc + gc.T) + b * b * g[np.ix_(co, co)]
+        else:
+            num = co.shape[1]
+            # A[i, m] = sum_j <v_co[i, j], v_m>
+            acc = np.zeros((k, k))
+            for j in range(num):
+                acc += g[co[:, j], :]
+            # T[i, k] = sum_{j, l} <v_co[i, j], v_co[k, l]>
+            tot = np.zeros((k, k))
+            for l in range(num):
+                tot += acc[:, co[:, l]]
+            new = a * a * g + (a * b / num) * (acc + acc.T) + (b * b / (num * num)) * tot
+        return GramTracker(
+            pool if pool is not None else self.pool,
+            param_keys=self.param_keys,
+            gram=new,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GramTracker(K={len(self)}, updates={self.updates})"

@@ -13,10 +13,13 @@ Algorithm 1 step             PoolBuffer operation
 line 2  (init K models)      :meth:`PoolBuffer.broadcast`
 line 7-10 (collect uploads)  :meth:`PoolBuffer.from_states` /
                              :meth:`set_state` (one pack per upload)
-line 11-12 (``CoModelSel``)  :meth:`similarity_matrix` — normalized
-                             Gram matmul ``U @ U.T`` — and
-                             :meth:`select_collaborators` (masked
-                             row argmax/argmin)
+line 11-12 (``CoModelSel``)  :meth:`similarity_matrix` — blocked Gram
+                             matmul (:meth:`gram_matrix`) normalized
+                             off its diagonal — and
+                             :meth:`select_collaborators` (masked row
+                             argmax/argmin, optionally fed a Gram
+                             maintained incrementally by
+                             :class:`repro.core.gram.GramTracker`)
 line 13 (``CrossAggr``)      :meth:`cross_aggregate` — fused row blend
                              ``alpha * M + (1-alpha) * M[co]``
 line 17 (``GlobalModelGen``) :meth:`mean_state` — weighted row
@@ -35,11 +38,18 @@ The matrix itself lives in a pluggable :class:`repro.core.storage`
 backend (``dense`` in-memory array by default, ``memmap`` for pools
 beyond RAM), selected with the ``backend=`` argument of the
 constructors; derived buffers (``cross_aggregate``, ``copy``) stay on
-their parent's backend.
+their parent's backend.  Every whole-pool operation — cross-
+aggregation, both similarity measures, ``similarity_to``,
+``dispersion`` and precise ``mean_state`` — produces its float64
+temporaries in bounded row blocks (budget ``_BLOCK_BYTES``,
+overridable via ``REPRO_POOL_BLOCK_BYTES``), so a round never
+materialises a ``(K, P)`` float64 copy and memmap pools far beyond
+RAM stay usable end to end.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -47,7 +57,28 @@ import numpy as np
 from repro.core.storage import DenseStorage, PoolStorage, resolve_backend
 from repro.utils.layout import StateLayout
 
-__all__ = ["PoolBuffer", "VECTORIZED_MEASURES"]
+__all__ = ["PoolBuffer", "VECTORIZED_MEASURES", "cosine_from_gram"]
+
+
+def cosine_from_gram(gram: np.ndarray) -> np.ndarray:
+    """Cosine-similarity matrix from a raw ``(K, K)`` Gram matrix.
+
+    Norms come from the diagonal (clipped at zero against ulp-negative
+    round-off), and zero-norm rows get similarity 0 everywhere —
+    matching the dict-based reference measure ``dot / (nx * ny)``
+    exactly in form.  Pure ``(K, K)`` algebra: never touches pool data,
+    which is what makes Gram-tracker driven selection and diagnostics
+    O(K²) instead of O(K²·P).
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    norms = np.sqrt(np.clip(np.diag(gram), 0.0, None))
+    safe = np.where(norms == 0.0, 1.0, norms)
+    sim = gram / (safe[:, None] * safe[None, :])
+    zero = norms == 0.0
+    if zero.any():
+        sim[zero, :] = 0.0
+        sim[:, zero] = 0.0
+    return sim
 
 # Measures with a vectorized whole-pool implementation.  Custom measures
 # registered on repro.core.selection.SIMILARITY_MEASURES fall back to
@@ -56,10 +87,17 @@ VECTORIZED_MEASURES = ("cosine", "euclidean")
 _VALID_MEASURES = VECTORIZED_MEASURES
 
 # Soft cap on the float64 temporaries of blocked whole-pool operations
-# (cross-aggregation row blocks, euclidean difference tensors).  Keeps
-# peak working memory bounded for memmap pools far beyond RAM while
-# leaving in-RAM pools effectively unblocked.
+# (cross-aggregation row blocks, Gram row blocks, euclidean difference
+# tensors).  Keeps peak working memory bounded for memmap pools far
+# beyond RAM while leaving in-RAM pools effectively unblocked.
+# ``REPRO_POOL_BLOCK_BYTES`` overrides it at call time (the out-of-core
+# CI smoke uses a tiny budget to prove no whole-pool temp exists).
 _BLOCK_BYTES = 64 << 20
+
+
+def _block_budget() -> int:
+    raw = os.environ.get("REPRO_POOL_BLOCK_BYTES")
+    return int(raw) if raw else _BLOCK_BYTES
 
 
 def _check_integer_roundtrip(
@@ -197,11 +235,73 @@ class PoolBuffer:
         return [self.as_state(i, copy=copy) for i in range(len(self))]
 
     # -- similarity (CoModelSel, Section III-B1) ---------------------------
-    def _masked_f64(self, param_keys: Iterable[str] | None) -> np.ndarray:
+    def _mask_info(
+        self, param_keys: Iterable[str] | None
+    ) -> tuple[np.ndarray, bool, int]:
+        """Column mask, whether it actually masks, and masked width."""
         mask = self.layout.mask(param_keys)
-        if mask.all():
-            return self.matrix.astype(np.float64, copy=False)
-        return np.asarray(self.matrix[:, mask], dtype=np.float64)
+        masked = not mask.all()
+        p_eff = int(mask.sum()) if masked else self.num_scalars
+        return mask, masked, p_eff
+
+    def _rows_f64(
+        self, start: int, stop: int, mask: np.ndarray, masked: bool
+    ) -> np.ndarray:
+        """Float64 cast of rows ``start:stop`` restricted to ``mask``."""
+        block = self.matrix[start:stop]
+        if masked:
+            block = block[:, mask]
+        return np.asarray(block, dtype=np.float64)
+
+    def masked_row_f64(
+        self, index: int, param_keys: Iterable[str] | None = None
+    ) -> np.ndarray:
+        """Contiguous float64 view/copy of one masked row (O(P) temp).
+
+        The unit the :class:`repro.core.gram.GramTracker` consumes:
+        extracting one row never materialises a ``(K, P)`` float64
+        temporary, so incremental Gram maintenance stays out-of-core
+        friendly on memmap pools.
+        """
+        mask, masked, _ = self._mask_info(param_keys)
+        row = self.matrix[index]
+        if masked:
+            row = row[mask]
+        return np.ascontiguousarray(row, dtype=np.float64)
+
+    def gram_matrix(
+        self,
+        param_keys: Iterable[str] | None = None,
+        block_rows: int | None = None,
+    ) -> np.ndarray:
+        """Raw float64 ``(K, K)`` Gram ``V @ V.T`` of the masked rows.
+
+        Computed per block pair of ``block_rows`` rows (default: sized
+        to the module's temp budget), so at most two ``(b, P)`` float64
+        row casts are live at once — the cosine path no longer needs a
+        float64 copy of the whole pool, making fully out-of-core memmap
+        rounds possible.  Deterministic for a fixed block size (and the
+        default depends only on (K, P)); across block sizes the P-axis
+        reduction may move by the last ulp, the same caveat as the
+        blocked euclidean path.
+        """
+        k = len(self)
+        mask, masked, p_eff = self._mask_info(param_keys)
+        if block_rows is None:
+            # Two (b, P) float64 row casts live at once.
+            block_rows = max(1, _block_budget() // max(1, 2 * p_eff * 8))
+        out = np.empty((k, k))
+        for i0 in range(0, k, block_rows):
+            i1 = min(i0 + block_rows, k)
+            vi = self._rows_f64(i0, i1, mask, masked)
+            out[i0:i1, i0:i1] = vi @ vi.T
+            for j0 in range(i1, k, block_rows):
+                j1 = min(j0 + block_rows, k)
+                vj = self._rows_f64(j0, j1, mask, masked)
+                cross = vi @ vj.T
+                out[i0:i1, j0:j1] = cross
+                out[j0:j1, i0:i1] = cross.T
+        return out
 
     def similarity_matrix(
         self,
@@ -211,59 +311,43 @@ class PoolBuffer:
     ) -> np.ndarray:
         """Pairwise ``(K, K)`` similarity of the pool.
 
-        ``cosine`` is a single normalized Gram matmul ``U @ U.T``
-        (zero-norm rows get similarity 0, matching the dict reference);
+        ``cosine`` is a blocked Gram (:meth:`gram_matrix`) normalized by
+        the norms cached on its diagonal — one pass over pool data,
+        zero-norm rows get similarity 0 like the dict reference;
         ``euclidean`` is negative pairwise distance over explicit
         difference blocks — cancellation-safe, unlike the
         ``‖x‖²+‖y‖²-2x·y`` expansion, which loses all precision when
         pool members are near-identical (exactly the converged-pool
-        regime FedCross ends in).  Both the float64 row casts and the
-        ``(b, b, P)`` difference tensor are produced per block pair of
-        ``block_rows`` rows (default: sized to the module's temp
-        budget), so the euclidean path never materialises a float64
-        copy of the whole pool.  For a fixed block size the result is a
-        pure function of the data (deterministic, and the default block
-        size depends only on (K, P)); *across* block sizes the P-axis
-        reduction may differ by the last ulp (SIMD summation order
-        varies with operand shape/alignment), so exact cross-block-size
-        equality is deliberately not promised — unlike
+        regime FedCross ends in).  Both paths produce their float64
+        temporaries per block pair of ``block_rows`` rows (default:
+        sized to the module's temp budget), so neither materialises a
+        float64 copy of the whole pool.  For a fixed block size the
+        result is a pure function of the data (deterministic, and the
+        default block size depends only on (K, P)); *across* block
+        sizes the P-axis reduction may differ by the last ulp (SIMD
+        summation order varies with operand shape/alignment), so exact
+        cross-block-size equality is deliberately not promised — unlike
         :meth:`cross_aggregate`, whose elementwise math is bit-identical
         for every block size.
         """
         if measure not in _VALID_MEASURES:
             raise KeyError(measure)
         if measure == "cosine":
-            v = self._masked_f64(param_keys)
-            norms = np.sqrt(np.einsum("kp,kp->k", v, v))
-            safe = np.where(norms == 0.0, 1.0, norms)
-            u = v / safe[:, None]
-            sim = u @ u.T
-            zero = norms == 0.0
-            if zero.any():
-                sim[zero, :] = 0.0
-                sim[:, zero] = 0.0
-            return sim
+            return cosine_from_gram(
+                self.gram_matrix(param_keys=param_keys, block_rows=block_rows)
+            )
         k = len(self)
-        mask = self.layout.mask(param_keys)
-        masked = not mask.all()
-        p_eff = int(mask.sum()) if masked else self.num_scalars
-
-        def rows_f64(start: int, stop: int) -> np.ndarray:
-            block = self.matrix[start:stop]
-            if masked:
-                block = block[:, mask]
-            return np.asarray(block, dtype=np.float64)
-
+        mask, masked, p_eff = self._mask_info(param_keys)
         if block_rows is None:
             # (b, b, P) difference tensor dominates: b^2 * P * 8 bytes.
-            block_rows = max(1, int((_BLOCK_BYTES / (max(1, p_eff) * 8)) ** 0.5))
+            block_rows = max(1, int((_block_budget() / (max(1, p_eff) * 8)) ** 0.5))
         out = np.empty((k, k))
         for i0 in range(0, k, block_rows):
             i1 = min(i0 + block_rows, k)
-            vi = rows_f64(i0, i1)
+            vi = self._rows_f64(i0, i1, mask, masked)
             for j0 in range(0, k, block_rows):
                 j1 = min(j0 + block_rows, k)
-                vj = vi if j0 == i0 else rows_f64(j0, j1)
+                vj = vi if j0 == i0 else self._rows_f64(j0, j1, mask, masked)
                 # einsum reduces over P only, the same inner summation
                 # as the per-row loop — blocking either axis is exact.
                 diff = vi[:, None, :] - vj[None, :, :]
@@ -275,18 +359,41 @@ class PoolBuffer:
         index: int,
         measure: str = "cosine",
         param_keys: Iterable[str] | None = None,
+        block_rows: int | None = None,
     ) -> np.ndarray:
-        """``(K,)`` similarities of every pool member to model ``index``."""
+        """``(K,)`` similarities of every pool member to model ``index``.
+
+        Runs in row blocks of ``block_rows`` (default: temp-budget
+        sized): the cosine path computes per-block dot products and
+        norms in one float64 cast each — the norms are derived once
+        from those same block casts rather than a second data pass —
+        and the euclidean path takes per-block differences.  Neither
+        measure materialises a float64 copy of the whole masked pool
+        any more, so single-model queries work out-of-core too.
+        """
         if measure not in _VALID_MEASURES:
             raise KeyError(measure)
-        v = self._masked_f64(param_keys)
+        k = len(self)
+        mask, masked, p_eff = self._mask_info(param_keys)
+        if block_rows is None:
+            block_rows = max(1, _block_budget() // max(1, 2 * p_eff * 8))
+        target = self.masked_row_f64(index, param_keys)
         if measure == "cosine":
-            norms = np.sqrt(np.einsum("kp,kp->k", v, v))
+            sims = np.empty(k)
+            norms = np.empty(k)
+            for b0 in range(0, k, block_rows):
+                b1 = min(b0 + block_rows, k)
+                block = self._rows_f64(b0, b1, mask, masked)
+                sims[b0:b1] = block @ target
+                norms[b0:b1] = np.sqrt(np.einsum("kp,kp->k", block, block))
             denom = norms * norms[index]
-            sims = v @ v[index]
-            return np.divide(sims, denom, out=np.zeros(len(self)), where=denom != 0.0)
-        diff = v - v[index]
-        return -np.sqrt(np.einsum("kp,kp->k", diff, diff))
+            return np.divide(sims, denom, out=np.zeros(k), where=denom != 0.0)
+        out = np.empty(k)
+        for b0 in range(0, k, block_rows):
+            b1 = min(b0 + block_rows, k)
+            diff = self._rows_f64(b0, b1, mask, masked) - target
+            out[b0:b1] = -np.sqrt(np.einsum("kp,kp->k", diff, diff))
+        return out
 
     def select_collaborators(
         self,
@@ -294,13 +401,23 @@ class PoolBuffer:
         round_idx: int = 0,
         measure: str = "cosine",
         param_keys: Iterable[str] | None = None,
+        gram: np.ndarray | None = None,
     ) -> np.ndarray:
         """Collaborative-model index for every pool member at once.
 
         Vectorizes all three ``CoModelSel`` strategies: ``in_order`` is
         the closed-form shift, the similarity strategies are a masked
-        row argmax/argmin of the Gram matrix (self excluded).  Ties
-        resolve to the lowest index, like the dict reference.
+        row argmax/argmin of the similarity matrix (self excluded).
+        Ties resolve to the lowest index, like the dict reference.
+
+        ``gram`` may carry a precomputed raw ``(K, K)`` Gram of the
+        masked pool (e.g. maintained incrementally by a
+        :class:`repro.core.gram.GramTracker`); the cosine strategies
+        then run as pure ``(K, K)`` algebra without re-reading pool
+        data.  Only valid for ``measure="cosine"`` — euclidean
+        distances recovered from a Gram cancel catastrophically in the
+        converged-pool regime, so that combination is rejected.
+        ``in_order`` ignores ``gram`` (it never needed similarity).
         """
         k = len(self)
         if k <= 1:
@@ -310,7 +427,20 @@ class PoolBuffer:
             return (np.arange(k) + shift) % k
         if strategy not in ("highest", "lowest"):
             raise ValueError(f"unknown strategy {strategy!r}")
-        sim = self.similarity_matrix(measure=measure, param_keys=param_keys)
+        if gram is not None:
+            if measure != "cosine":
+                raise ValueError(
+                    "a precomputed gram only drives cosine selection; "
+                    f"got measure {measure!r}"
+                )
+            gram = np.asarray(gram, dtype=np.float64)
+            if gram.shape != (k, k):
+                raise ValueError(
+                    f"gram of shape {gram.shape} does not match pool size {k}"
+                )
+            sim = cosine_from_gram(gram)
+        else:
+            sim = self.similarity_matrix(measure=measure, param_keys=param_keys)
         eye = np.eye(k, dtype=bool)
         if strategy == "highest":
             np.place(sim, eye, -np.inf)
@@ -350,7 +480,7 @@ class PoolBuffer:
             # Budget across the block's float64 temporaries: own rows,
             # gathered collaborator rows, and the fused result.
             per_row = max(1, 3 * p * 8)
-            block_rows = max(1, _BLOCK_BYTES // per_row)
+            block_rows = max(1, _block_budget() // per_row)
         storage = type(self.storage).allocate((k, p), dtype=self.matrix.dtype)
         out = storage.array
         int_mask = self.layout.integer_mask()
@@ -426,11 +556,35 @@ class PoolBuffer:
         return self.layout.unflatten(row, copy=True)
 
     # -- diagnostics -------------------------------------------------------
-    def dispersion(self, param_keys: Iterable[str] | None = None) -> float:
-        """RMS distance of pool members from their mean (Lemma 3.4)."""
-        v = self._masked_f64(param_keys)
-        centered = v - v.mean(axis=0)
-        return float(np.sqrt(np.einsum("kp,kp->k", centered, centered).mean()))
+    def dispersion(
+        self,
+        param_keys: Iterable[str] | None = None,
+        block_rows: int | None = None,
+    ) -> float:
+        """RMS distance of pool members from their mean (Lemma 3.4).
+
+        Two streamed passes in row blocks — mean accumulation, then
+        centered norms — so the computation stays cancellation-safe
+        (explicit differences, never the ``‖v‖² − K‖mean‖²`` expansion)
+        without ever holding a float64 copy of the whole masked pool.
+        """
+        k = len(self)
+        if k == 0:
+            return 0.0
+        mask, masked, p_eff = self._mask_info(param_keys)
+        if block_rows is None:
+            block_rows = max(1, _block_budget() // max(1, 2 * p_eff * 8))
+        mean = np.zeros(p_eff)
+        for b0 in range(0, k, block_rows):
+            b1 = min(b0 + block_rows, k)
+            mean += self._rows_f64(b0, b1, mask, masked).sum(axis=0)
+        mean /= k
+        sq = np.empty(k)
+        for b0 in range(0, k, block_rows):
+            b1 = min(b0 + block_rows, k)
+            centered = self._rows_f64(b0, b1, mask, masked) - mean
+            sq[b0:b1] = np.einsum("kp,kp->k", centered, centered)
+        return float(np.sqrt(sq.mean()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -265,12 +265,22 @@ class CoModelSel:
             return select_highest_similarity(index, states, self.measure, self.param_keys)
         return select_lowest_similarity(index, states, self.measure, self.param_keys)
 
-    def select_all(self, pool: PoolBuffer, round_idx: int) -> np.ndarray:
+    def select_all(
+        self, pool: PoolBuffer, round_idx: int, gram: np.ndarray | None = None
+    ) -> np.ndarray:
         """Collaborator indices for the whole pool in one engine call.
 
         The server hot path: one Gram matmul covers all K queries,
         instead of K independent ``__call__`` invocations.  Custom
         registered measures fall back to the per-pair reference loop.
+
+        ``gram`` may carry a precomputed raw ``(K, K)`` Gram of the
+        masked pool — e.g. one maintained incrementally by a
+        :class:`repro.core.gram.GramTracker` as uploads land — turning
+        cosine selection into pure ``(K, K)`` algebra that never
+        re-reads pool data.  Ignored by ``in_order``; rejected for
+        non-cosine measures (see
+        :meth:`~repro.core.pool.PoolBuffer.select_collaborators`).
         """
         if self.strategy != "in_order" and self.measure not in VECTORIZED_MEASURES:
             states = pool.states()
@@ -283,4 +293,5 @@ class CoModelSel:
             round_idx=round_idx,
             measure=self.measure,
             param_keys=self.param_keys,
+            gram=gram,
         )

@@ -14,15 +14,17 @@ and everything layered on it — is agnostic to the physical medium:
     keeps the *resident* pool buffers off the heap at the cost of
     page-cache traffic.  Set ``REPRO_MEMMAP_DIR`` to place the backing
     files on a specific filesystem (e.g. fast local scratch).
-    ``cross_aggregate`` and the euclidean ``similarity_matrix`` operate
-    in bounded row blocks (bit-identical to the unblocked math) and
+    ``cross_aggregate``, the similarity paths (blocked Gram cosine,
+    blocked euclidean differences, ``similarity_to``) and the
+    ``dispersion`` diagnostic all operate in bounded row blocks, and
     ``mean_state`` streams one row at a time (``precise=True``) or
-    reduces in the buffer dtype (``precise=False``), so the aggregation
-    path no longer materialises float64 copies of the whole pool —
-    memmap pools are usable beyond RAM.  The cosine similarity path
-    (Gram matmul, plus the ``similarity_to``/``dispersion``
-    diagnostics) still casts the masked matrix to float64 in one
-    piece; blocking it is the remaining out-of-core step.
+    reduces in the buffer dtype (``precise=False``) — no pool
+    operation materialises a float64 copy of the whole matrix any
+    more, so full server rounds (selection included) run out-of-core;
+    the CI bench smoke asserts the peak-allocation bound.  The
+    incremental :class:`repro.core.gram.GramTracker` goes further for
+    the similarity results: O(P) temporaries per row update, pure
+    ``(K, K)`` algebra per query.
 
 Backends register themselves on :data:`POOL_BACKENDS` via
 :func:`register_backend`; third-party backends (GPU arrays, sharded

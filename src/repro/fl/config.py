@@ -56,6 +56,14 @@ class FLConfig:
     workers:
         Worker count for parallel execution backends (``None`` = one
         per CPU core).  Ignored by ``serial``.
+    streaming:
+        Consume client uploads *as they complete* (default ``True``):
+        the server packs each upload and runs its per-upload work
+        (e.g. FedCross's incremental Gram updates) while slower legs
+        are still training.  ``False`` keeps the gathered reference
+        schedule.  Both modes are bit-identical in histories, uploads
+        and RNG state — streaming only moves server-side work earlier
+        in wall clock.
     method_params:
         Method-specific options, e.g. ``{"mu": 0.01}`` for FedProx or
         ``{"alpha": 0.99, "selection": "lowest"}`` for FedCross.
@@ -79,6 +87,7 @@ class FLConfig:
     backend: str = "dense"
     execution: str = "serial"
     workers: int | None = None
+    streaming: bool = True
     seed: int = 0
     dataset_params: dict[str, Any] = field(default_factory=dict)
     model_params: dict[str, Any] = field(default_factory=dict)

@@ -36,6 +36,31 @@ same registry style as :mod:`repro.core.storage`'s pool backends:
     the result queue.  Only scalars (sample counts, loss, the client's
     advanced RNG state) ride back through the future.
 
+Streaming runs
+--------------
+Every backend also exposes :meth:`ExecutionBackend.run_streaming`, an
+as-completed generator yielding ``(plan_index, result)`` the moment
+each leg lands: ``serial`` yields per leg in plan order (the reference
+schedule), ``thread``/``process`` yield in completion order while
+slower legs are still training.  The server's streaming collect phase
+(``FLConfig.streaming``, on by default) consumes it to pack uploads
+and feed FedCross's incremental Gram tracker *during* the round —
+fully consuming the stream leaves bit-identical uploads, results and
+RNG state versus :meth:`ExecutionBackend.run`.  Third-party backends
+that only implement ``run`` inherit a gathered fallback.
+
+Dispatch dedup for round-shared payloads
+----------------------------------------
+Hook specs may declare :attr:`~repro.fl.hooks.HookSpec.shared_fields`
+— state mappings identical across a round's plans (SCAFFOLD's
+``c_global``, FedGen's generator snapshot).  The ``process`` backend
+packs each unique payload into a shared-memory row once per round
+(:class:`_PayloadPacker`) and ships a tiny :class:`SharedStateRef` per
+task instead; workers rebuild the mapping once per round from a
+per-worker cache.  The arrays cross the process boundary zero times
+after the segment mapping — previously they were pickled once per
+client per round.
+
 Determinism contract
 --------------------
 All backends produce **bit-identical** training histories and upload
@@ -69,14 +94,20 @@ import copy
 import functools
 import os
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.fl.hooks import HookSpec, resolve_hook
 from repro.fl.trainer import LocalResult, LocalTrainer
+from repro.utils.layout import StateLayout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pool import PoolBuffer
@@ -86,6 +117,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "TrainerSpec",
+    "SharedStateRef",
     "ExecutionBackend",
     "SerialExecution",
     "ThreadExecution",
@@ -253,6 +285,15 @@ class ExecutionBackend:
     trained state into ``uploads`` row ``rows[i]``, advance each
     client's RNG exactly as serial training would, and return the
     :class:`~repro.fl.trainer.LocalResult` list in plan order.
+
+    :meth:`run_streaming` is the as-completed variant: it yields
+    ``(plan_index, result)`` pairs the moment each leg lands, so the
+    server can pack uploads and run incremental similarity work while
+    slower legs are still training.  Consuming the whole stream leaves
+    the exact same uploads/results/RNG state as :meth:`run` — the
+    difference is purely *when* the caller sees each leg.  The default
+    implementation delegates to :meth:`run` (no overlap), so
+    third-party backends that only implement ``run`` keep working.
     """
 
     name = "abstract"
@@ -277,9 +318,45 @@ class ExecutionBackend:
     ) -> list[LocalResult]:
         raise NotImplementedError
 
+    def run_streaming(
+        self,
+        trainer: LocalTrainer,
+        active: "list[Client]",
+        plans: "list[DispatchPlan]",
+        rows: Sequence[int],
+        uploads: "PoolBuffer",
+    ) -> Iterator[tuple[int, LocalResult]]:
+        """Yield ``(plan_index, result)`` as legs complete.
+
+        Fallback: run the gathered schedule, then yield in plan order.
+        Built-in backends override with genuinely incremental variants.
+        """
+        results = self.run(trainer, active, plans, rows, uploads)
+        yield from enumerate(results)
+
     def close(self) -> None:
         """Release pools/buffers; the backend lazily re-creates them on
         the next :meth:`run`, so close is always safe."""
+
+
+def _stream_as_completed(futures: Sequence, indexed: dict) -> Iterator:
+    """Yield ``(index, result)`` in completion order, failing cleanly.
+
+    On a leg error — or the consumer abandoning the stream — the
+    remaining futures are cancelled and in-flight ones awaited before
+    control leaves, so no stray leg keeps writing into the server's
+    reused upload buffer (the streaming twin of :func:`_gather`).
+    """
+    pending = set(futures)
+    try:
+        for future in as_completed(futures):
+            pending.discard(future)
+            yield indexed[future], future.result()
+    finally:
+        if pending:
+            for future in pending:
+                future.cancel()
+            wait(list(pending))
 
 
 @register_execution("serial")
@@ -287,7 +364,12 @@ class SerialExecution(ExecutionBackend):
     """The original sequential in-process loop (reference behaviour)."""
 
     def run(self, trainer, active, plans, rows, uploads):
-        results: list[LocalResult] = []
+        return [r for _, r in self.run_streaming(trainer, active, plans, rows, uploads)]
+
+    def run_streaming(self, trainer, active, plans, rows, uploads):
+        # Legs complete in plan order, so serial streaming preserves
+        # the reference schedule exactly — each leg is yielded (and the
+        # server's per-upload work runs) before the next one trains.
         for i, (client, plan) in enumerate(zip(active, plans)):
             result = client.train(
                 trainer,
@@ -297,8 +379,7 @@ class SerialExecution(ExecutionBackend):
                 lr_override=plan.lr_override,
             )
             uploads.set_state(rows[i], result.state)
-            results.append(result)
-        return results
+            yield i, result
 
 
 @register_execution("thread")
@@ -336,34 +417,39 @@ class ThreadExecution(ExecutionBackend):
         self._templates.append(trainer)
         return trainer
 
-    def run(self, trainer, active, plans, rows, uploads):
+    def _leg(self, i: int, client, plan, rows, uploads, hypers) -> LocalResult:
+        worker_trainer = self._acquire_trainer()
+        try:
+            _apply_hypers(worker_trainer, hypers)
+            result = client.train(
+                worker_trainer,
+                plan.state,
+                loss_hook=resolve_hook(plan.loss_hook, plan.state),
+                grad_hook=resolve_hook(plan.grad_hook, plan.state),
+                lr_override=plan.lr_override,
+            )
+            # Rows are unique, so concurrent writes touch disjoint
+            # slices of the upload matrix.
+            uploads.set_state(rows[i], result.state)
+            return result
+        finally:
+            self._free.append(worker_trainer)
+
+    def _submit(self, trainer, active, plans, rows, uploads):
         _check_parallel_cohort(active[: len(plans)], rows[: len(plans)])
         self._ensure_pool()
         hypers = _trainer_hypers(trainer)
-
-        def leg(i: int, client, plan) -> LocalResult:
-            worker_trainer = self._acquire_trainer()
-            try:
-                _apply_hypers(worker_trainer, hypers)
-                result = client.train(
-                    worker_trainer,
-                    plan.state,
-                    loss_hook=resolve_hook(plan.loss_hook, plan.state),
-                    grad_hook=resolve_hook(plan.grad_hook, plan.state),
-                    lr_override=plan.lr_override,
-                )
-                # Rows are unique, so concurrent writes touch disjoint
-                # slices of the upload matrix.
-                uploads.set_state(rows[i], result.state)
-                return result
-            finally:
-                self._free.append(worker_trainer)
-
-        futures = [
-            self._pool.submit(leg, i, client, plan)
+        return [
+            self._pool.submit(self._leg, i, client, plan, rows, uploads, hypers)
             for i, (client, plan) in enumerate(zip(active, plans))
         ]
-        return _gather(futures)
+
+    def run(self, trainer, active, plans, rows, uploads):
+        return _gather(self._submit(trainer, active, plans, rows, uploads))
+
+    def run_streaming(self, trainer, active, plans, rows, uploads):
+        futures = self._submit(trainer, active, plans, rows, uploads)
+        yield from _stream_as_completed(futures, {f: i for i, f in enumerate(futures)})
 
     def close(self) -> None:
         if self._pool is not None:
@@ -409,9 +495,134 @@ class _SharedBlock:
         self._finalizer()
 
 
-# Worker-process state: trainer template, layout, client shards, and
-# attached shared-memory segments — built once per worker, reused for
-# every (client, round) task.
+@dataclass(frozen=True)
+class SharedStateRef:
+    """Picklable pointer to a round-shared state dict in shared memory.
+
+    The dispatch-dedup transport for :attr:`HookSpec.shared_fields`
+    payloads (SCAFFOLD's ``c_global``, FedGen's generator state): the
+    server packs each unique payload into one float64 row of a payload
+    segment and ships this tiny ref per task instead of re-pickling
+    the arrays per client.  Workers rebuild the mapping from
+    ``signature`` via :meth:`repro.utils.layout.StateLayout
+    .from_signature` and cache it per ``(segment, row)`` until
+    ``version`` moves on — one unflatten per worker per round.
+    """
+
+    ref: tuple  # (shm name, shape, dtype str) — _SharedBlock.ref
+    row: int
+    version: int
+    signature: tuple
+
+
+class _PayloadPacker:
+    """Server-side owner of the round-shared payload segments.
+
+    One :class:`_SharedBlock` per payload layout signature, reused
+    across rounds and regrown when a round needs more rows; rows are
+    float64 so narrower float payloads round-trip exactly (SCAFFOLD's
+    variates *are* float64 and must not be narrowed — the same guard
+    rails as the dispatch rows apply).
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[tuple, _SharedBlock] = {}
+        self._version = 0
+
+    def pack_round(self, plans) -> list[tuple]:
+        """Strip shared payloads from every plan's hooks for transit.
+
+        Returns one ``(loss_hook, grad_hook)`` pair per plan where each
+        spec carrying shared payloads is replaced by a shallow copy
+        holding :class:`SharedStateRef` placeholders (originals are
+        never mutated — the server reuses them across rounds).
+        """
+        self._version += 1
+        unique: dict[int, tuple] = {}  # id(payload) -> (payload, layout)
+        counts: dict[tuple, int] = {}
+        for plan in plans:
+            for hook in (plan.loss_hook, plan.grad_hook):
+                for _, value in self._shared_items(hook):
+                    if id(value) not in unique:
+                        layout = StateLayout.from_state(value)
+                        unique[id(value)] = (value, layout)
+                        sig = layout.signature
+                        counts[sig] = counts.get(sig, 0) + 1
+        from repro.core.pool import _check_integer_roundtrip
+
+        refs: dict[int, SharedStateRef] = {}
+        next_row: dict[tuple, int] = {}
+        for sig, count in counts.items():
+            self._ensure_block(sig, count)
+        for key, (value, layout) in unique.items():
+            sig = layout.signature
+            block = self._blocks[sig]
+            row = next_row.get(sig, 0)
+            next_row[sig] = row + 1
+            _check_integer_roundtrip(layout, value, block.array.dtype)
+            _check_float_roundtrip(layout, value, block.array.dtype)
+            layout.flatten_into(value, block.array[row])
+            refs[key] = SharedStateRef(
+                ref=block.ref, row=row, version=self._version, signature=sig
+            )
+        return [
+            (
+                self._strip(plan.loss_hook, refs),
+                self._strip(plan.grad_hook, refs),
+            )
+            for plan in plans
+        ]
+
+    @staticmethod
+    def _shared_items(hook):
+        if not isinstance(hook, HookSpec):
+            return
+        for name in getattr(hook, "shared_fields", ()):
+            value = getattr(hook, name, None)
+            if isinstance(value, Mapping) and len(value):
+                yield name, value
+
+    def _strip(self, hook, refs: dict):
+        clone = None
+        for name, value in self._shared_items(hook):
+            ref = refs.get(id(value))
+            if ref is None:  # pragma: no cover - pack_round covers all plans
+                continue
+            if clone is None:
+                clone = copy.copy(hook)
+            setattr(clone, name, ref)
+        return clone if clone is not None else hook
+
+    def _ensure_block(self, sig: tuple, rows: int) -> None:
+        layout = StateLayout.from_signature(sig)
+        block = self._blocks.get(sig)
+        if (
+            block is not None
+            and block.array is not None
+            and block.array.shape[0] >= rows
+        ):
+            return
+        if block is not None:
+            block.close()
+        self._blocks[sig] = _SharedBlock((rows, layout.total_size), np.float64)
+
+    def live_names(self) -> set[str]:
+        return {
+            block.shm.name
+            for block in self._blocks.values()
+            if block.array is not None
+        }
+
+    def close(self) -> None:
+        for block in self._blocks.values():
+            block.close()
+        self._blocks.clear()
+
+
+# Worker-process state: trainer template, layout, client shards,
+# attached shared-memory segments, and reconstructed round-shared
+# payloads — built once per worker, reused for every (client, round)
+# task.
 _WORKER: dict = {}
 
 
@@ -420,8 +631,7 @@ def _worker_init(spec: TrainerSpec, datasets: dict) -> None:
     _WORKER["trainer"] = trainer
     _WORKER["datasets"] = datasets
     _WORKER["shm"] = {}
-    from repro.utils.layout import StateLayout
-
+    _WORKER["payloads"] = {}
     _WORKER["layout"] = StateLayout.from_state(trainer.model.state_dict())
 
 
@@ -454,6 +664,43 @@ def _worker_prune_shm(live_names: set[str]) -> None:
             shm.close()
         except Exception:  # pragma: no cover
             pass
+    payloads = _WORKER.setdefault("payloads", {})
+    for key in [k for k in payloads if k[0] not in live_names]:
+        del payloads[key]
+
+
+def _worker_payload(ref: SharedStateRef) -> Mapping[str, np.ndarray]:
+    """Reconstruct (and cache) one round-shared payload from its ref.
+
+    Cached per ``(segment, row)`` with the packer's version as the
+    freshness token, so each worker unflattens a given payload once
+    per round regardless of how many of its tasks reference it.
+    """
+    payloads = _WORKER.setdefault("payloads", {})
+    key = (ref.ref[0], ref.row)
+    hit = payloads.get(key)
+    if hit is not None and hit[0] == ref.version:
+        return hit[1]
+    layout = StateLayout.from_signature(ref.signature)
+    block = _worker_attach(ref.ref)
+    value = layout.unflatten(block[ref.row], copy=True)
+    payloads[key] = (ref.version, value)
+    return value
+
+
+def _worker_restore_shared(hook):
+    """Swap :class:`SharedStateRef` placeholders back for real mappings.
+
+    The spec instance arrived pickled and is private to this task, so
+    in-place restoration is safe.
+    """
+    if not isinstance(hook, HookSpec):
+        return hook
+    for name in getattr(hook, "shared_fields", ()):
+        value = getattr(hook, name, None)
+        if isinstance(value, SharedStateRef):
+            setattr(hook, name, _worker_payload(value))
+    return hook
 
 
 def _process_leg(task: dict):
@@ -469,7 +716,9 @@ def _process_leg(task: dict):
     trainer: LocalTrainer = _WORKER["trainer"]
     _apply_hypers(trainer, task["hypers"])
     layout = _WORKER["layout"]
-    _worker_prune_shm({task["dispatch_ref"][0], task["upload_ref"][0]})
+    live = {task["dispatch_ref"][0], task["upload_ref"][0]}
+    live.update(task["payload_names"])
+    _worker_prune_shm(live)
     dispatch = _worker_attach(task["dispatch_ref"])
     upload = _worker_attach(task["upload_ref"])
 
@@ -482,8 +731,8 @@ def _process_leg(task: dict):
         state,
         dataset,
         rng,
-        loss_hook=resolve_hook(task["loss_hook"], state),
-        grad_hook=resolve_hook(task["grad_hook"], state),
+        loss_hook=resolve_hook(_worker_restore_shared(task["loss_hook"]), state),
+        grad_hook=resolve_hook(_worker_restore_shared(task["grad_hook"]), state),
         lr_override=task["lr_override"],
     )
     # Guard both directions of the shm transport: the trained state must
@@ -549,6 +798,7 @@ class ProcessExecution(ExecutionBackend):
         self._pool: ProcessPoolExecutor | None = None
         self._dispatch: _SharedBlock | None = None
         self._uploads_shm: _SharedBlock | None = None
+        self._payloads = _PayloadPacker()
 
     def _ensure_pool(self) -> None:
         if self._pool is not None:
@@ -574,7 +824,8 @@ class ProcessExecution(ExecutionBackend):
                     block.close()
                 setattr(self, attr, _SharedBlock(shape, dtype))
 
-    def run(self, trainer, active, plans, rows, uploads):
+    def _submit(self, trainer, active, plans, rows, uploads):
+        """Validate, pack shared-memory blocks, submit one future per leg."""
         from repro.core.pool import _check_integer_roundtrip
 
         _check_parallel_cohort(active[: len(plans)], rows[: len(plans)])
@@ -587,6 +838,11 @@ class ProcessExecution(ExecutionBackend):
         self._ensure_pool()
         layout = uploads.layout
         self._ensure_shm(len(uploads), layout.total_size, uploads.matrix.dtype)
+        # Round-shared hook payloads (SCAFFOLD's c_global, FedGen's
+        # generator state) are packed into payload segments once and
+        # replaced by tiny refs — never pickled per client.
+        hook_pairs = self._payloads.pack_round(plans)
+        payload_names = sorted(self._payloads.live_names())
 
         # Pack each *unique* dispatched state once (FedAvg-family plans
         # all share one global-state dict; FedCross plans are distinct
@@ -609,6 +865,7 @@ class ProcessExecution(ExecutionBackend):
         hypers = _trainer_hypers(trainer)
         futures = []
         for i, (client, plan) in enumerate(zip(active, plans)):
+            loss_hook, grad_hook = hook_pairs[i]
             futures.append(
                 self._pool.submit(
                     _process_leg,
@@ -619,35 +876,41 @@ class ProcessExecution(ExecutionBackend):
                         "upload_row": int(rows[i]),
                         "dispatch_ref": self._dispatch.ref,
                         "upload_ref": self._uploads_shm.ref,
-                        "loss_hook": plan.loss_hook,
-                        "grad_hook": plan.grad_hook,
+                        "payload_names": payload_names,
+                        "loss_hook": loss_hook,
+                        "grad_hook": grad_hook,
                         "lr_override": plan.lr_override,
                         "hypers": hypers,
                     },
                 )
             )
+        return futures
 
-        legs = _gather(futures)
-        results: list[LocalResult] = []
-        written: list[int] = []
-        for i, (client, leg) in enumerate(zip(active, legs)):
-            num_samples, num_steps, mean_loss, rng_state = leg
-            client.rng.bit_generator.state = rng_state
-            written.append(int(rows[i]))
-            results.append(
-                LocalResult(
-                    state=None,  # filled from the upload buffer below
-                    num_samples=num_samples,
-                    num_steps=num_steps,
-                    mean_loss=mean_loss,
-                )
-            )
-        # One bulk copy of the freshly written rows from the shared
-        # segment into the server's (possibly memmap-backed) buffer.
-        uploads.matrix[written] = self._uploads_shm.array[written]
-        for row, result in zip(written, results):
-            result.state = uploads.as_state(row, copy=True)
+    def run(self, trainer, active, plans, rows, uploads):
+        n = min(len(active), len(plans))
+        results: list[LocalResult | None] = [None] * n
+        for i, result in self.run_streaming(trainer, active, plans, rows, uploads):
+            results[i] = result
         return results
+
+    def run_streaming(self, trainer, active, plans, rows, uploads):
+        futures = self._submit(trainer, active, plans, rows, uploads)
+        indexed = {f: i for i, f in enumerate(futures)}
+        for i, leg in _stream_as_completed(futures, indexed):
+            num_samples, num_steps, mean_loss, rng_state = leg
+            active[i].rng.bit_generator.state = rng_state
+            row = int(rows[i])
+            # Copy this leg's freshly written row from the shared
+            # segment into the server's (possibly memmap-backed)
+            # buffer the moment it lands — slower legs are still
+            # training while the server consumes it.
+            uploads.matrix[row] = self._uploads_shm.array[row]
+            yield i, LocalResult(
+                state=uploads.as_state(row, copy=True),
+                num_samples=num_samples,
+                num_steps=num_steps,
+                mean_loss=mean_loss,
+            )
 
     def close(self) -> None:
         if self._pool is not None:
@@ -658,6 +921,7 @@ class ProcessExecution(ExecutionBackend):
             if block is not None:
                 block.close()
                 setattr(self, attr, None)
+        self._payloads.close()
 
 
 # -- facade -----------------------------------------------------------------
@@ -711,6 +975,20 @@ class ClientExecutor:
     ) -> list[LocalResult]:
         """Train the cohort and pack uploads; results in plan order."""
         return self._backend.run(trainer, active, plans, rows, uploads)
+
+    def run_streaming(
+        self,
+        trainer: LocalTrainer,
+        active: "list[Client]",
+        plans: "list[DispatchPlan]",
+        rows: Sequence[int],
+        uploads: "PoolBuffer",
+    ) -> Iterator[tuple[int, LocalResult]]:
+        """Train the cohort, yielding ``(plan_index, result)`` pairs as
+        legs land — the overlap seam the streaming collect phase
+        consumes.  Fully consuming the stream is equivalent to
+        :meth:`run` (same uploads, results and RNG advancement)."""
+        return self._backend.run_streaming(trainer, active, plans, rows, uploads)
 
     def close(self) -> None:
         """Shut down worker pools and release shared buffers (idempotent;

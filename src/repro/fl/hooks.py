@@ -63,7 +63,18 @@ class HookSpec:
     hook protocol).  Specs must be plain data — anything reachable from
     their fields is pickled to worker processes by the ``process``
     execution backend.
+
+    ``shared_fields`` names fields holding a ``{name: ndarray}`` state
+    mapping that is *shared across a round's plans* (SCAFFOLD's global
+    control variate, FedGen's frozen generator state).  The ``process``
+    backend ships each such payload through shared memory **once per
+    round** instead of pickling it once per client, swapping the field
+    for a :class:`~repro.fl.execution.SharedStateRef` in transit and
+    restoring it from a per-worker cache on the other side.  In-process
+    backends ignore it (the mapping is already shared by reference).
     """
+
+    shared_fields: tuple[str, ...] = ()
 
     def build(self, state: Mapping[str, np.ndarray]) -> Callable:
         """Resolve into a runnable hook.
@@ -121,10 +132,19 @@ class ProximalSpec(HookSpec):
 
 @dataclass
 class ControlVariateSpec(HookSpec):
-    """SCAFFOLD gradient hook: ``g ← g + (c − c_i)`` on every step."""
+    """SCAFFOLD gradient hook: ``g ← g + (c − c_i)`` on every step.
+
+    ``c_global`` is one server-side mapping shared by every plan in a
+    round, so it is declared a shared field — the ``process`` backend
+    ships it through shared memory once per round rather than pickling
+    it per client (``c_local`` is genuinely per-client and still rides
+    the task).
+    """
 
     c_global: Mapping[str, np.ndarray]
     c_local: Mapping[str, np.ndarray]
+
+    shared_fields = ("c_global",)
 
     def build(self, state: Mapping[str, np.ndarray]) -> Callable:
         c_global, c_local = self.c_global, self.c_local
@@ -159,6 +179,11 @@ class DistillationSpec(HookSpec):
     seed: Any  # int or np.random.SeedSequence
     embedded: bool = False
     _generator: Any = field(default=None, repr=False, compare=False)
+
+    # The frozen generator snapshot is identical across a round's specs
+    # (one state_dict() call in dispatch): shipped via shared memory
+    # once per round by the process backend, never pickled per client.
+    shared_fields = ("generator_state",)
 
     def __getstate__(self):
         # The rebuilt generator is a per-process cache, never shipped.

@@ -150,6 +150,7 @@ class FederatedServer:
         self.round_idx = 0
         self.stop_training = False
         self.backend = getattr(config, "backend", "dense")
+        self.streaming = bool(getattr(config, "streaming", True))
         self.executor = executor or ClientExecutor(
             getattr(config, "execution", "serial"),
             trainer=trainer,
@@ -183,16 +184,47 @@ class FederatedServer:
     ) -> list[LocalResult]:
         """Run local training and pack each upload into the pool buffer.
 
-        A thin loop-free delegation to the configured execution backend:
-        the backend trains every plan (serially or across workers),
-        writes each trained state into its upload-buffer row, and
-        returns results in plan order — bit-identical across backends.
+        A thin delegation to the configured execution backend: the
+        backend trains every plan (serially or across workers), writes
+        each trained state into its upload-buffer row, and the results
+        come back in plan order — bit-identical across backends.
+
+        With ``config.streaming`` (the default) the backend's
+        as-completed stream is consumed instead of its gathered run:
+        each upload is packed — and :meth:`on_upload` fired — the
+        moment its leg lands, overlapping server-side per-upload work
+        (e.g. FedCross's incremental Gram updates) with still-running
+        training legs.  Both modes produce bit-identical uploads,
+        results and RNG state; ``streaming=False`` keeps the gathered
+        reference schedule (``on_upload`` then fires in plan order
+        after the last leg).
         """
         uploads = self._round_uploads(len(active))
         rows = [plan.context.get("row", i) for i, plan in enumerate(plans)]
-        results = self.executor.run(self.trainer, active, plans, rows, uploads)
+        if self.streaming:
+            n = min(len(active), len(plans))
+            results: list[LocalResult | None] = [None] * n
+            for i, result in self.executor.run_streaming(
+                self.trainer, active, plans, rows, uploads
+            ):
+                results[i] = result
+                self.on_upload(rows[i], result)
+        else:
+            results = self.executor.run(self.trainer, active, plans, rows, uploads)
+            for i, result in enumerate(results):
+                self.on_upload(rows[i], result)
         self._upload_rows = rows[: len(results)]
         return results
+
+    def on_upload(self, row: int, result: LocalResult) -> None:
+        """Per-upload hook: ``result`` just landed in buffer row ``row``.
+
+        Called once per collected leg — in completion order while other
+        legs are still training when ``config.streaming`` is on, in
+        plan order after the gathered run otherwise.  Overrides must
+        therefore be *order-independent* (FedCross's Gram row updates
+        are, by construction).  Default: no-op.
+        """
 
     def aggregate(
         self,

@@ -42,9 +42,9 @@ class TestRegistry:
 
         @register_execution("probe-serial")
         class Probe(resolve_execution("serial")):
-            def run(self, trainer, active, plans, rows, uploads):
+            def run_streaming(self, trainer, active, plans, rows, uploads):
                 calls.append(len(plans))
-                return super().run(trainer, active, plans, rows, uploads)
+                return super().run_streaming(trainer, active, plans, rows, uploads)
 
         try:
             sim = FLSimulation(tiny_config.replace(execution="probe-serial"))
@@ -54,6 +54,34 @@ class TestRegistry:
             from repro.fl.execution import EXECUTION_BACKENDS
 
             del EXECUTION_BACKENDS["probe-serial"]
+
+    def test_run_only_backend_streams_via_fallback(self, tiny_config):
+        """A third-party backend implementing only ``run`` still serves
+        the streaming collect through the base-class fallback (gathered
+        run, yielded in plan order)."""
+        from repro.fl.execution import ExecutionBackend
+
+        calls = []
+
+        @register_execution("probe-run-only")
+        class RunOnly(ExecutionBackend):
+            def __init__(self, spec=None, clients=(), workers=None):
+                super().__init__(spec, clients, workers)
+                self._serial = resolve_execution("serial")(spec, clients, workers)
+
+            def run(self, trainer, active, plans, rows, uploads):
+                calls.append(len(plans))
+                return self._serial.run(trainer, active, plans, rows, uploads)
+
+        try:
+            sim = FLSimulation(tiny_config.replace(execution="probe-run-only"))
+            extras = sim.server.run_round(sim.server.select_cohort())
+            assert calls == [tiny_config.clients_per_round]
+            assert "train_loss" in extras
+        finally:
+            from repro.fl.execution import EXECUTION_BACKENDS
+
+            del EXECUTION_BACKENDS["probe-run-only"]
 
 
 class TestConfigWiring:
@@ -179,6 +207,113 @@ class TestHookSpecs:
         with pytest.raises(TypeError, match="HookSpec"):
             server.collect(active, plans)
         server.executor.close()
+
+
+class TestSharedPayloadDedup:
+    """Round-shared spec payloads ship through shm once, not per client."""
+
+    def _scaffold_plans(self, tiny_config):
+        sim = FLSimulation(tiny_config.with_method("scaffold"))
+        server = sim.server
+        active = server.select_cohort()
+        return server, active, server.dispatch(active)
+
+    def test_pack_round_dedups_shared_c_global(self, tiny_config):
+        from repro.fl.execution import SharedStateRef, _PayloadPacker
+
+        _, _, plans = self._scaffold_plans(tiny_config)
+        packer = _PayloadPacker()
+        try:
+            pairs = packer.pack_round(plans)
+            refs = [pair[1].c_global for pair in pairs]
+            assert all(isinstance(ref, SharedStateRef) for ref in refs)
+            # One shared payload -> every plan points at the same row of
+            # the same segment.
+            assert len({(ref.ref[0], ref.row) for ref in refs}) == 1
+            # c_local is per-client and must still ride the spec.
+            assert all(
+                not isinstance(pair[1].c_local, SharedStateRef) for pair in pairs
+            )
+        finally:
+            packer.close()
+
+    def test_pack_round_leaves_originals_untouched(self, tiny_config):
+        from repro.fl.execution import _PayloadPacker
+
+        server, _, plans = self._scaffold_plans(tiny_config)
+        packer = _PayloadPacker()
+        try:
+            packer.pack_round(plans)
+            for plan in plans:
+                assert plan.grad_hook.c_global is server._c_global
+        finally:
+            packer.close()
+
+    def test_shared_payload_roundtrips_exactly(self, tiny_config):
+        from repro.fl.execution import _PayloadPacker
+        from repro.utils.layout import StateLayout
+
+        _, _, plans = self._scaffold_plans(tiny_config)
+        packer = _PayloadPacker()
+        try:
+            pairs = packer.pack_round(plans)
+            ref = pairs[0][1].c_global
+            layout = StateLayout.from_signature(ref.signature)
+            block = packer._blocks[ref.signature]
+            rebuilt = layout.unflatten(block.array[ref.row], copy=True)
+            original = plans[0].grad_hook.c_global
+            assert set(rebuilt) == set(original)
+            for key in original:
+                assert rebuilt[key].dtype == np.asarray(original[key]).dtype
+                np.testing.assert_array_equal(rebuilt[key], original[key])
+        finally:
+            packer.close()
+
+    def test_version_advances_per_round(self, tiny_config):
+        from repro.fl.execution import _PayloadPacker
+
+        _, _, plans = self._scaffold_plans(tiny_config)
+        packer = _PayloadPacker()
+        try:
+            first = packer.pack_round(plans)[0][1].c_global
+            second = packer.pack_round(plans)[0][1].c_global
+            assert second.version == first.version + 1
+        finally:
+            packer.close()
+
+    def test_hookless_plans_pack_nothing(self, tiny_config):
+        from repro.fl.execution import _PayloadPacker
+
+        sim = FLSimulation(tiny_config)  # fedavg: no hooks at all
+        server = sim.server
+        active = server.select_cohort()
+        plans = server.dispatch(active)
+        packer = _PayloadPacker()
+        try:
+            pairs = packer.pack_round(plans)
+            assert packer.live_names() == set()
+            assert [p[0] for p in pairs] == [plan.loss_hook for plan in plans]
+        finally:
+            packer.close()
+
+    def test_scaffold_process_round_matches_serial(self, tiny_config):
+        """End to end through the worker-side cache: the deduped payload
+        transport must not change a single bit."""
+
+        def run(cfg):
+            sim = FLSimulation(cfg.with_method("scaffold"))
+            sim.server.run_round(sim.server.select_cohort())
+            state = sim.server.global_state()
+            c_global = dict(sim.server._c_global)
+            sim.server.executor.close()
+            return state, c_global
+
+        ref_state, ref_c = run(tiny_config)
+        got_state, got_c = run(tiny_config.replace(execution="process", workers=2))
+        for key in ref_state:
+            np.testing.assert_array_equal(ref_state[key], got_state[key])
+        for key in ref_c:
+            np.testing.assert_array_equal(ref_c[key], got_c[key])
 
 
 class ExplodingSpec(HookSpec):

@@ -1,0 +1,190 @@
+"""Streaming collect: bit-identical to the gathered schedule (ISSUE 4).
+
+The streaming collect phase consumes uploads as legs complete and runs
+per-upload server work (``on_upload``) while slower legs still train.
+The contract: for every method and every execution backend, a
+streaming run is **bit-identical** to the gathered reference schedule
+— same histories, same final state, same pool matrices, same RNG
+advancement.  All seven registered methods are checked on the serial
+backend; the parallel backends are checked on the methods that
+exercise their hardest paths (FedCross's incremental Gram, SCAFFOLD's
+and FedGen's shared-payload specs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fl.config import FLConfig
+from repro.fl.registry import available_methods
+from repro.fl.simulation import FLSimulation
+
+ALL_METHODS = ("fedavg", "fedprox", "scaffold", "fedgen", "clusamp", "fedcluster", "fedcross")
+
+
+def _config(method: str, execution: str, streaming: bool) -> FLConfig:
+    return FLConfig(
+        method=method,
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=0.5,
+        num_clients=4,
+        participation=0.5,
+        rounds=2,
+        local_epochs=1,
+        batch_size=16,
+        eval_every=1,
+        seed=11,
+        execution=execution,
+        workers=2,
+        streaming=streaming,
+        dataset_params={"samples_per_client": 20, "num_test": 40},
+        method_params={"mu": 0.1} if method == "fedprox" else {},
+    )
+
+
+def _run(config: FLConfig):
+    sim = FLSimulation(config)
+    result = sim.run()
+    pool = getattr(sim.server, "pool", None)
+    matrix = np.array(pool.matrix, copy=True) if pool is not None else None
+    return result, matrix
+
+
+def _assert_identical(ref, got, label):
+    ref_result, ref_pool = ref
+    got_result, got_pool = got
+    for a, b in zip(ref_result.history.records, got_result.history.records):
+        assert a.accuracy == b.accuracy, label
+        assert a.loss == b.loss, label
+        assert a.train_loss == b.train_loss, label
+        assert a.comm_up_params == b.comm_up_params, label
+    for key in ref_result.final_state:
+        np.testing.assert_array_equal(
+            ref_result.final_state[key], got_result.final_state[key], err_msg=label
+        )
+    if ref_pool is not None:
+        np.testing.assert_array_equal(ref_pool, got_pool, err_msg=label)
+
+
+class TestStreamingBitIdentity:
+    def test_all_seven_methods_registered(self):
+        assert set(ALL_METHODS) <= set(available_methods())
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_serial_streaming_matches_gathered(self, method):
+        ref = _run(_config(method, "serial", streaming=False))
+        got = _run(_config(method, "serial", streaming=True))
+        _assert_identical(ref, got, f"{method}/serial")
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_thread_streaming_matches_gathered(self, method):
+        ref = _run(_config(method, "thread", streaming=False))
+        got = _run(_config(method, "thread", streaming=True))
+        _assert_identical(ref, got, f"{method}/thread")
+
+    @pytest.mark.parametrize("method", ["fedcross", "scaffold", "fedgen"])
+    def test_process_streaming_matches_gathered(self, method):
+        ref = _run(_config(method, "process", streaming=False))
+        got = _run(_config(method, "process", streaming=True))
+        _assert_identical(ref, got, f"{method}/process")
+
+    @pytest.mark.parametrize("method", ["fedcross", "scaffold"])
+    def test_streaming_matches_across_backends(self, method):
+        """Streaming on a parallel backend equals streaming serial."""
+        ref = _run(_config(method, "serial", streaming=True))
+        got = _run(_config(method, "thread", streaming=True))
+        _assert_identical(ref, got, f"{method}/serial-vs-thread")
+
+
+class TestOnUploadHook:
+    def test_on_upload_fires_once_per_row(self, tiny_config):
+        calls = []
+        sim = FLSimulation(tiny_config.replace(streaming=True))
+        server = sim.server
+        original = server.on_upload
+        server.on_upload = lambda row, result: (calls.append(row), original(row, result))
+        active = server.select_cohort()
+        results = server.collect(active, server.dispatch(active))
+        assert sorted(calls) == list(range(len(active)))
+        assert len(results) == len(active)
+
+    def test_on_upload_fires_in_gathered_mode_too(self, tiny_config):
+        """The hook contract is mode-independent — gathered collect
+        fires it in plan order after the run."""
+        calls = []
+        sim = FLSimulation(tiny_config.replace(streaming=False))
+        server = sim.server
+        server.on_upload = lambda row, result: calls.append(row)
+        active = server.select_cohort()
+        server.collect(active, server.dispatch(active))
+        assert calls == list(range(len(active)))
+
+    def test_streaming_flag_wired_from_config(self, tiny_config):
+        assert FLSimulation(tiny_config).server.streaming is True
+        assert (
+            FLSimulation(tiny_config.replace(streaming=False)).server.streaming is False
+        )
+
+
+class TestFedCrossGramUnderStreaming:
+    def test_upload_gram_fresh_after_collect(self, tiny_config):
+        cfg = tiny_config.with_method("fedcross", alpha=0.8, selection="lowest")
+        sim = FLSimulation(cfg)
+        server = sim.server
+        active = server.select_cohort()
+        server.collect(active, server.dispatch(active))
+        tracker = server._upload_gram
+        assert tracker is not None and tracker.pool is server.uploads
+        fresh = server.uploads.gram_matrix(param_keys=server.selector.param_keys)
+        np.testing.assert_allclose(tracker.gram, fresh, rtol=1e-9, atol=1e-9)
+
+    def test_pool_gram_serves_middleware_similarity(self, tiny_config):
+        cfg = tiny_config.replace(rounds=2).with_method(
+            "fedcross", alpha=0.8, selection="lowest"
+        )
+        sim = FLSimulation(cfg)
+        sim.server.fit()
+        assert sim.server._pool_gram is not None
+        assert sim.server._pool_gram.pool is sim.server.pool
+        got = sim.server.middleware_similarity()
+        fresh = sim.server.pool.similarity_matrix(
+            "cosine", param_keys=sim.server.selector.param_keys
+        )
+        np.testing.assert_allclose(got, fresh, rtol=1e-5, atol=1e-6)
+        disp = sim.server.pool_dispersion()
+        ref = sim.server.pool.dispersion(param_keys=sim.server.selector.param_keys)
+        # Converged-pool cancellation floor (see repro.core.gram).
+        floor = float(
+            np.sqrt(np.abs(sim.server._pool_gram.gram).max() * 1e-9)
+        )
+        assert abs(disp - ref) <= max(1e-6 * (1.0 + ref), floor)
+
+    def test_in_order_runs_skip_gram_maintenance(self, tiny_config):
+        cfg = tiny_config.with_method("fedcross", alpha=0.8, selection="in_order")
+        sim = FLSimulation(cfg)
+        server = sim.server
+        assert server._track_gram is False
+        server.run_round(server.select_cohort())
+        assert server._upload_gram is None
+        assert server._pool_gram is None
+        # Diagnostics still work through the fresh-recompute fallback.
+        assert server.middleware_similarity().shape == (
+            cfg.clients_per_round,
+            cfg.clients_per_round,
+        )
+        assert server.pool_dispersion() >= 0.0
+
+    def test_checkpoint_restore_invalidates_pool_gram(self, tiny_config):
+        cfg = tiny_config.with_method("fedcross", alpha=0.8, selection="lowest")
+        sim = FLSimulation(cfg)
+        server = sim.server
+        server.run_round(server.select_cohort())
+        assert server._pool_gram is not None
+        server.set_global_state(server.global_state())
+        assert server._pool_gram is None
+        # middleware setter too
+        server.run_round(server.select_cohort())
+        server.round_idx += 1
+        assert server._pool_gram is not None
+        server.middleware = [dict(s) for s in server.middleware]
+        assert server._pool_gram is None

@@ -175,6 +175,40 @@ class TestBlockwiseEquivalence:
 
     @given(pool=pools(), keys=masks, block=st.integers(1, 8))
     @settings(max_examples=40, deadline=None)
+    def test_cosine_blocked_matches_reference(self, pool, keys, block):
+        """The blocked Gram cosine path (no whole-pool float64 temp)
+        agrees with the per-pair reference for every block size, and a
+        fixed block size is exactly reproducible."""
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        got = buf.similarity_matrix("cosine", param_keys=keys, block_rows=block)
+        ref = _reference_similarity_matrix(pool, "cosine", keys)
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+        unblocked = buf.similarity_matrix("cosine", param_keys=keys)
+        np.testing.assert_allclose(got, unblocked, rtol=1e-12, atol=1e-13)
+        again = buf.similarity_matrix("cosine", param_keys=keys, block_rows=block)
+        np.testing.assert_array_equal(got, again)
+
+    @given(pool=pools(), keys=masks, block=st.integers(1, 8), measure=measures)
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_to_blocked_matches_matrix_row(self, pool, keys, block, measure):
+        """Single-model queries run blocked too — they must agree with
+        the corresponding full-matrix row to reduction round-off."""
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        full = buf.similarity_matrix(measure, param_keys=keys)
+        for index in range(len(pool)):
+            got = buf.similarity_to(index, measure, param_keys=keys, block_rows=block)
+            np.testing.assert_allclose(got, full[index], rtol=1e-10, atol=1e-10)
+
+    @given(pool=pools(), keys=masks, block=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_dispersion_blocked_matches_unblocked(self, pool, keys, block):
+        buf = PoolBuffer.from_states(pool, dtype=np.float64)
+        got = buf.dispersion(param_keys=keys, block_rows=block)
+        ref = buf.dispersion(param_keys=keys)
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-12)
+
+    @given(pool=pools(), keys=masks, block=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
     def test_euclidean_blocked_matches_reference(self, pool, keys, block):
         buf = PoolBuffer.from_states(pool, dtype=np.float64)
         got = buf.similarity_matrix("euclidean", param_keys=keys, block_rows=block)
