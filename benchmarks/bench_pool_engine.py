@@ -28,6 +28,12 @@ The asserted bar is the *aggregate-phase* cost: ``reduce`` must be
 ≥5× cheaper than the dict loop at K=50 (the blocking server step the
 phase refactor replaced).
 
+Two further sections: **similarity** (per-round recompute vs the
+incremental Gram engine), and **sharded** (the full vectorized round
+on row-sharded storage vs dense — asserts bit-identical global models
+and gates the same-host overhead ratio of shard-local access), plus
+the out-of-core memmap smoke asserting no whole-pool float64 temp.
+
 Run directly (not collected by the tier-1 pytest command)::
 
     PYTHONPATH=src python benchmarks/bench_pool_engine.py           # full
@@ -304,6 +310,71 @@ def run_similarity(model, ks, repeats, min_speedup_at_max_k, emit):
     return rows, failures
 
 
+def run_sharded(model, ks, repeats, max_ratio_at_max_k, emit, shards=4):
+    """Sharded backend: the dense pool round vs the same round sharded.
+
+    Times the full vectorized server round (pack, blocked-Gram cosine
+    selection, cross-aggregation, GlobalModelGen) on the ``dense``
+    backend and on ``sharded`` storage with ``shards`` row shards, and
+    asserts the resulting global model is **bit-identical** — the
+    sharded backend's core contract.  The gated metric is the same-host
+    overhead ratio ``sharded / dense`` (lower is better): it captures
+    the cost of shard-local views + bounded cross-shard gathers
+    replacing whole-matrix views, which must stay a small constant, not
+    grow with K.
+    """
+    state = model.state_dict()
+    param_keys = {name for name, _ in model.named_parameters()}
+    rng = np.random.default_rng(4)
+    layout = StateLayout.from_state(state)
+    emit(
+        f"{'K':>4} {'shards':>7} {'dense (s)':>12} {'sharded (s)':>12} "
+        f"{'ratio':>7}"
+    )
+
+    failures = []
+    rows = []
+    for k in ks:
+        uploads = make_uploads(state, k, rng)
+
+        def dense_round():
+            return pool_round(uploads, layout, param_keys)
+
+        def sharded_round():
+            buf = PoolBuffer.from_states(
+                uploads, layout=layout, dtype=np.float32,
+                backend="sharded", backend_options={"shards": shards},
+            )
+            co = buf.select_collaborators(
+                "lowest", measure="cosine", param_keys=param_keys
+            )
+            return buf.cross_aggregate(co, 0.99).mean_state()
+
+        dense_round()  # warm both paths (BLAS spin-up, mask caches)
+        sharded_round()
+        t_dense = time_call(dense_round, repeats)
+        t_sharded = time_call(sharded_round, repeats)
+        ratio = t_sharded / t_dense
+        emit(f"{k:>4} {shards:>7} {t_dense:>12.4f} {t_sharded:>12.4f} {ratio:>6.2f}x")
+        rows.append(
+            {"k": k, "shards": shards, "dense_s": t_dense,
+             "sharded_s": t_sharded, "ratio": ratio}
+        )
+
+        # The acceptance bar: sharded must reproduce dense bit-for-bit.
+        ref = dense_round()
+        got = sharded_round()
+        for key in ref:
+            np.testing.assert_array_equal(got[key], ref[key])
+
+        if k == max(ks) and ratio > max_ratio_at_max_k:
+            failures.append(
+                f"sharded K={k}: overhead ratio {ratio:.2f}x above the "
+                f"{max_ratio_at_max_k}x bar"
+            )
+    return rows, failures
+
+
 def run_out_of_core(emit):
     """Memmap + cosine selection: prove no ``(K, P)`` float64 temp.
 
@@ -397,11 +468,13 @@ def main(argv=None):
         engine_ks, engine_bar = (5, 10), 1.2
         base_ks, base_bar = (5, 10), (10, 1.2)
         sim_ks, sim_bar = (5, 10), 3.0
+        shard_ks, shard_bar = (5, 10), 3.0
     else:
         input_shape = (3, 32, 32)
         engine_ks, engine_bar = (5, 10, 20, 50), 5.0
         base_ks, base_bar = (10, 50, 200), (50, 5.0)
         sim_ks, sim_bar = (10, 50), 5.0
+        shard_ks, shard_bar = (10, 50), 2.5
 
     model = build_model("cnn", seed=0, input_shape=input_shape, num_classes=10)
     emit(
@@ -425,6 +498,12 @@ def main(argv=None):
     )
     failures += sim_failures
 
+    emit("\n== Sharded backend: dense round vs sharded round ==")
+    shard_rows, shard_failures = run_sharded(
+        model, shard_ks, args.repeats, shard_bar, emit
+    )
+    failures += shard_failures
+
     emit("\n== Out-of-core round: memmap pool, 1 MiB block budget ==")
     ooc_row, ooc_failures = run_out_of_core(emit)
     failures += ooc_failures
@@ -439,6 +518,7 @@ def main(argv=None):
                 "pool_engine": engine_rows,
                 "baseline_aggregation": base_rows,
                 "similarity": sim_rows,
+                "sharded": shard_rows,
                 "out_of_core": ooc_row,
                 "failures": failures,
             }

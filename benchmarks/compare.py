@@ -19,6 +19,9 @@ same-host **ratios** each benchmark computes internally:
     ``baseline_aggregation[].agg_speedup`` (BLAS reduction vs dict
     loop), ``similarity[].speedup`` (Gram engine vs per-round
     recompute) — higher is better;
+    ``sharded[].ratio`` (sharded round vs dense round on the same
+    host) — lower is better (a rising ratio means shard-local access
+    is getting more expensive than whole-matrix views);
     ``out_of_core.peak_bytes / full_f64_bytes`` — lower is better (a
     rising ratio means whole-pool temporaries are creeping back).
 ``BENCH_client_execution.json``
@@ -65,6 +68,7 @@ GATES = [
     ("BENCH_pool_engine.json", "pool_engine", ("k",), "speedup", "higher", False),
     ("BENCH_pool_engine.json", "baseline_aggregation", ("k",), "agg_speedup", "higher", False),
     ("BENCH_pool_engine.json", "similarity", ("k",), "speedup", "higher", False),
+    ("BENCH_pool_engine.json", "sharded", ("k", "shards"), "ratio", "lower", False),
     ("BENCH_client_execution.json", "streaming", ("k", "backend"), "ratio", "lower", True),
 ]
 FILES = sorted({gate[0] for gate in GATES})

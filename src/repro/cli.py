@@ -19,10 +19,13 @@ off a default instance, so the two can never drift): batch size 50,
 20 clients, Section IV-A local-training settings.  Beyond the config
 fields, the server's phased round loop is exposed through:
 
-``--backend dense|memmap``
+``--backend dense|memmap|sharded`` / ``--shards N`` / ``--shard-placement``
     Pool-storage backend for the server's model buffers
     (:mod:`repro.core.storage`); ``memmap`` keeps pools on disk for
-    populations beyond RAM.
+    populations beyond RAM, ``sharded`` splits the pool into N row
+    shards (``--shards``, each shard dense or memmap per
+    ``--shard-placement``) so no operation ever needs the whole
+    matrix as one allocation — all backends are bit-identical.
 ``--execution serial|thread|process`` / ``--workers N``
     Client-execution backend for the collect phase
     (:mod:`repro.fl.execution`); ``process`` trains the round's clients
@@ -75,7 +78,7 @@ def _backend(value: str) -> str:
 
     try:
         resolve_backend(value)
-    except KeyError as exc:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(exc.args[0])
     return value.lower()
 
@@ -130,7 +133,29 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         "--backend",
         type=_backend,
         default=_DEFAULTS.backend,
-        help='pool-storage backend: "dense" (in-memory) or "memmap" (file-backed)',
+        help=(
+            'pool-storage backend: "dense" (in-memory), "memmap" '
+            '(file-backed) or "sharded" (row shards; see --shards)'
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=_DEFAULTS.shards,
+        help=(
+            "row-shard count for the sharded pool backend "
+            "(default: REPRO_POOL_SHARDS or 4)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-placement",
+        type=_backend,
+        default=_DEFAULTS.shard_placement,
+        help=(
+            'storage medium of each row shard of the sharded backend: '
+            '"dense" (default) or "memmap" (shards on disk — pools '
+            "beyond RAM)"
+        ),
     )
     parser.add_argument(
         "--execution",
@@ -228,6 +253,8 @@ def _config_kwargs(args) -> dict:
         eval_every=args.eval_every,
         eval_batch_size=args.eval_batch_size,
         backend=args.backend,
+        shards=args.shards,
+        shard_placement=args.shard_placement,
         execution=args.execution,
         workers=args.workers,
         streaming=args.streaming,

@@ -40,6 +40,7 @@ from repro.core.storage import (
     DenseStorage,
     MemmapStorage,
     PoolStorage,
+    ShardedStorage,
     available_backends,
     register_backend,
     resolve_backend,
@@ -65,6 +66,7 @@ __all__ = [
     "PoolStorage",
     "DenseStorage",
     "MemmapStorage",
+    "ShardedStorage",
     "register_backend",
     "resolve_backend",
     "available_backends",

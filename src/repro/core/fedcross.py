@@ -104,7 +104,8 @@ class FedCrossServer(FederatedServer):
         init_state = self.model.state_dict()
         self._layout = StateLayout.from_state(init_state)
         self._pool = PoolBuffer.broadcast(
-            init_state, k, dtype=np.float32, backend=self.backend
+            init_state, k, dtype=np.float32, backend=self.backend,
+            backend_options=self.backend_options,
         )
         self.result_extras: dict = {}
         # Incremental-similarity engine: when cosine similarity drives
@@ -133,7 +134,8 @@ class FedCrossServer(FederatedServer):
     @middleware.setter
     def middleware(self, states: Sequence[Mapping[str, np.ndarray]]) -> None:
         self._pool = PoolBuffer.from_states(
-            list(states), layout=self._layout, dtype=np.float32, backend=self.backend
+            list(states), layout=self._layout, dtype=np.float32,
+            backend=self.backend, backend_options=self.backend_options,
         )
         self._pool_gram = None  # pool replaced outside the tracked flow
 
@@ -276,7 +278,8 @@ class FedCrossServer(FederatedServer):
         exactly Algorithm 1's line-2 initialisation from a shared state.
         """
         self._pool = PoolBuffer.broadcast(
-            state, len(self._pool), dtype=np.float32, backend=self.backend
+            state, len(self._pool), dtype=np.float32, backend=self.backend,
+            backend_options=self.backend_options,
         )
         self._pool_gram = None  # pool replaced outside the tracked flow
 

@@ -109,26 +109,56 @@ class GramTracker:
         return self.gram.shape[0]
 
     # -- maintenance -------------------------------------------------------
+    def shard_dots(self, index: int, start: int, stop: int) -> np.ndarray:
+        """Dot contributions of pool rows ``[start, stop)`` against row
+        ``index`` — one shard's share of an :meth:`update_row`.
+
+        This is the distributable unit of Gram maintenance: each shard
+        of a sharded pool owns its rows' contributions, computing dots
+        of the broadcast updated row against *its own rows only*
+        (shard-local reads via
+        :meth:`~repro.core.pool.PoolBuffer.masked_row_f64`, O(P) peak
+        temporary).  Each dot is a 1-D contiguous ``np.dot`` whose
+        summation order depends only on the masked width, so the
+        assembled row is bitwise identical no matter how rows are
+        sharded or in which order shards report.
+        """
+        return self._shard_dots(
+            self.pool.masked_row_f64(index, self.param_keys), index, start, stop
+        )
+
+    def _shard_dots(
+        self, vi: np.ndarray, index: int, start: int, stop: int
+    ) -> np.ndarray:
+        dots = np.empty(stop - start)
+        for j in range(start, stop):
+            vj = vi if j == index else self.pool.masked_row_f64(j, self.param_keys)
+            dots[j - start] = np.dot(vi, vj)
+        return dots
+
     def update_row(self, index: int) -> None:
         """Refresh row/column ``index`` from the pool's current data.
 
         O(K·P): one contiguous float64 dot against every pool member,
         with O(P) peak temporary memory (one masked row at a time —
         never a ``(K, P)`` float64 cast, so memmap pools update
-        out-of-core).  Each dot is a 1-D contiguous ``np.dot`` whose
-        summation order depends only on the masked width, making the
-        fully refreshed Gram bitwise independent of the order rows
-        were updated in — the property that keeps streamed and
-        gathered collect schedules bit-identical.
+        out-of-core).  The dots are gathered per storage shard
+        (:meth:`shard_dots` — on sharded pools every read is a
+        zero-copy view into the owning shard), and because each dot is
+        a 1-D contiguous ``np.dot`` the fully refreshed Gram is
+        bitwise independent both of the order rows were updated in —
+        the property that keeps streamed and gathered collect
+        schedules bit-identical — and of the shard layout itself.
         """
         k = len(self)
         if not 0 <= index < k:
             raise IndexError(f"row {index} out of range for pool of {k}")
         vi = self.pool.masked_row_f64(index, self.param_keys)
         dots = np.empty(k)
-        for j in range(k):
-            vj = vi if j == index else self.pool.masked_row_f64(j, self.param_keys)
-            dots[j] = np.dot(vi, vj)
+        bounds = self.pool.storage.shard_boundaries()
+        for s in range(len(bounds) - 1):
+            start, stop = bounds[s], bounds[s + 1]
+            dots[start:stop] = self._shard_dots(vi, index, start, stop)
         self.gram[index, :] = dots
         self.gram[:, index] = dots
         self.updates += 1

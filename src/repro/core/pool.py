@@ -36,28 +36,53 @@ through aggregation unaveraged, never blended in floating point.
 
 The matrix itself lives in a pluggable :class:`repro.core.storage`
 backend (``dense`` in-memory array by default, ``memmap`` for pools
-beyond RAM), selected with the ``backend=`` argument of the
-constructors; derived buffers (``cross_aggregate``, ``copy``) stay on
-their parent's backend.  Every whole-pool operation — cross-
-aggregation, both similarity measures, ``similarity_to``,
-``dispersion`` and precise ``mean_state`` — produces its float64
+beyond RAM, ``sharded`` for row-sharded pools beyond one allocation),
+selected with the ``backend=`` argument of the constructors; derived
+buffers (``cross_aggregate``, ``copy``) stay on their parent's backend
+with its configuration (shard count/placement included).
+
+Blocked operation & sharding contract
+-------------------------------------
+Every whole-pool operation — cross-aggregation, both similarity
+measures, ``similarity_to``, ``dispersion`` and both ``mean_state``
+modes — walks the pool through :func:`iter_row_spans`, producing its
 temporaries in bounded row blocks (budget ``_BLOCK_BYTES``,
-overridable via ``REPRO_POOL_BLOCK_BYTES``), so a round never
-materialises a ``(K, P)`` float64 copy and memmap pools far beyond
-RAM stay usable end to end.
+overridable via ``REPRO_POOL_BLOCK_BYTES``), and touches pool data
+only through the storage row protocol.  A round therefore never
+materialises a ``(K, P)`` float64 copy, and on ``sharded`` storage
+never even a whole-pool buffer-dtype copy (cross-shard blocks are
+gathered per block, bounded by the budget).
+
+Two span policies keep the backends bit-identical:
+
+* *reduction* operations (Gram, euclidean, ``similarity_to``,
+  ``dispersion``, ``mean_state``) partition rows purely by the byte
+  budget — a function of (K, P) only, never of the shard layout — so
+  for a fixed budget every backend computes the same BLAS calls on
+  bit-equal contiguous blocks and the results match **bitwise** across
+  dense / memmap / sharded;
+* *elementwise* operations (``cross_aggregate``) are bit-identical for
+  every block partition by construction, so their spans additionally
+  split at shard boundaries (``align=True``) and stay shard-local —
+  zero-copy reads and writes on the owning shard.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.storage import DenseStorage, PoolStorage, resolve_backend
 from repro.utils.layout import StateLayout
 
-__all__ = ["PoolBuffer", "VECTORIZED_MEASURES", "cosine_from_gram"]
+__all__ = [
+    "PoolBuffer",
+    "VECTORIZED_MEASURES",
+    "cosine_from_gram",
+    "iter_row_spans",
+]
 
 
 def cosine_from_gram(gram: np.ndarray) -> np.ndarray:
@@ -88,16 +113,43 @@ _VALID_MEASURES = VECTORIZED_MEASURES
 
 # Soft cap on the float64 temporaries of blocked whole-pool operations
 # (cross-aggregation row blocks, Gram row blocks, euclidean difference
-# tensors).  Keeps peak working memory bounded for memmap pools far
-# beyond RAM while leaving in-RAM pools effectively unblocked.
+# tensors).  Keeps peak working memory bounded for memmap/sharded pools
+# far beyond RAM while leaving in-RAM pools effectively unblocked.
 # ``REPRO_POOL_BLOCK_BYTES`` overrides it at call time (the out-of-core
-# CI smoke uses a tiny budget to prove no whole-pool temp exists).
+# CI smoke and the sharded stress test use tiny budgets to prove no
+# whole-pool temp exists).
 _BLOCK_BYTES = 64 << 20
 
 
 def _block_budget() -> int:
     raw = os.environ.get("REPRO_POOL_BLOCK_BYTES")
     return int(raw) if raw else _BLOCK_BYTES
+
+
+def iter_row_spans(
+    k: int,
+    block_rows: int,
+    boundaries: Sequence[int] | None = None,
+) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` row spans of at most ``block_rows`` rows.
+
+    The shard-aware block iterator every blocked pool operation walks.
+    With ``boundaries`` (a storage's :meth:`~repro.core.storage
+    .PoolStorage.shard_boundaries`), spans additionally split at shard
+    fenceposts so each span is shard-local — valid only for operations
+    that are bit-identical under any block partition (elementwise
+    blends).  Reductions pass ``boundaries=None``: their partition must
+    be a pure function of (K, budget) so every backend reduces in the
+    same grouping and stays bitwise comparable.
+    """
+    block_rows = max(1, int(block_rows))
+    fences = [b for b in (boundaries or ()) if 0 < b < k]
+    start = 0
+    for fence in [*fences, k]:
+        while start < fence:
+            stop = min(start + block_rows, fence)
+            yield start, stop
+            start = stop
 
 
 def _check_integer_roundtrip(
@@ -138,10 +190,10 @@ class PoolBuffer:
 
     def __init__(self, layout: StateLayout, data: "np.ndarray | PoolStorage") -> None:
         storage = data if isinstance(data, PoolStorage) else DenseStorage(np.asarray(data))
-        matrix = storage.array
-        if matrix.ndim != 2 or matrix.shape[1] != layout.total_size:
+        shape = storage.shape
+        if len(shape) != 2 or shape[1] != layout.total_size:
             raise ValueError(
-                f"matrix of shape {matrix.shape} does not match layout "
+                f"matrix of shape {shape} does not match layout "
                 f"with {layout.total_size} scalars"
             )
         self.layout = layout
@@ -149,7 +201,13 @@ class PoolBuffer:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The live ``(K, P)`` backing array."""
+        """The ``(K, P)`` backing array.
+
+        Live and writable on single-medium backends (``dense``,
+        ``memmap``); a gathered **read-only copy** on ``sharded``
+        storage (diagnostic use — library code goes through the row
+        accessors, which write straight into the owning shard).
+        """
         return self.storage.array
 
     @property
@@ -157,12 +215,24 @@ class PoolBuffer:
         """Registered name of this buffer's storage backend."""
         return self.storage.name
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The buffer dtype (without materialising the matrix)."""
+        return self.storage.dtype
+
     # -- construction -----------------------------------------------------
     @classmethod
     def zeros(
-        cls, layout: StateLayout, k: int, dtype=np.float32, backend: str = "dense"
+        cls,
+        layout: StateLayout,
+        k: int,
+        dtype=np.float32,
+        backend: str = "dense",
+        backend_options: Mapping | None = None,
     ) -> "PoolBuffer":
-        storage = resolve_backend(backend).allocate((k, layout.total_size), dtype=dtype)
+        storage = resolve_backend(backend).allocate(
+            (k, layout.total_size), dtype=dtype, **dict(backend_options or {})
+        )
         return cls(layout, storage)
 
     @classmethod
@@ -172,13 +242,17 @@ class PoolBuffer:
         layout: StateLayout | None = None,
         dtype=np.float32,
         backend: str = "dense",
+        backend_options: Mapping | None = None,
     ) -> "PoolBuffer":
         """Pack a sequence of state dicts into a fresh buffer."""
         if not states:
             raise ValueError("cannot build a PoolBuffer from an empty pool")
         if layout is None:
             layout = StateLayout.from_state(states[0])
-        buf = cls.zeros(layout, len(states), dtype=dtype, backend=backend)
+        buf = cls.zeros(
+            layout, len(states), dtype=dtype, backend=backend,
+            backend_options=backend_options,
+        )
         for i, state in enumerate(states):
             buf.set_state(i, state)
         return buf
@@ -190,13 +264,17 @@ class PoolBuffer:
         k: int,
         dtype=np.float32,
         backend: str = "dense",
+        backend_options: Mapping | None = None,
     ) -> "PoolBuffer":
         """K identical copies of one state (Algorithm 1 line 2)."""
         layout = StateLayout.from_state(state)
         _check_integer_roundtrip(layout, state, np.dtype(dtype))
         row = layout.flatten(state, dtype=dtype)
-        buf = cls.zeros(layout, k, dtype=dtype, backend=backend)
-        buf.matrix[:] = row
+        buf = cls.zeros(
+            layout, k, dtype=dtype, backend=backend,
+            backend_options=backend_options,
+        )
+        buf.storage.fill_rows(row)
         return buf
 
     def copy(self) -> "PoolBuffer":
@@ -204,22 +282,34 @@ class PoolBuffer:
 
     # -- basic access ------------------------------------------------------
     def __len__(self) -> int:
-        return self.matrix.shape[0]
+        return self.storage.shape[0]
 
     @property
     def num_models(self) -> int:
-        return self.matrix.shape[0]
+        return self.storage.shape[0]
 
     @property
     def num_scalars(self) -> int:
-        return self.matrix.shape[1]
+        return self.storage.shape[1]
+
+    def row(self, index: int) -> np.ndarray:
+        """Writable flat view of row ``index`` (lives on its shard)."""
+        return self.storage.row(index)
+
+    def set_row(self, index: int, values: np.ndarray) -> None:
+        """Overwrite row ``index`` with ``values`` (lands on its shard)."""
+        self.storage.row(index)[:] = values
 
     def set_state(self, index: int, state: Mapping[str, np.ndarray]) -> None:
-        """Pack ``state`` into row ``index`` (O(P) single pass)."""
+        """Pack ``state`` into row ``index`` (O(P) single pass).
+
+        Writes through the storage row protocol, so on sharded pools
+        each upload lands directly in its owning shard.
+        """
         if set(state) != set(self.layout.keys):
             raise KeyError("state keys do not match pool layout")
-        _check_integer_roundtrip(self.layout, state, self.matrix.dtype)
-        self.layout.flatten_into(state, self.matrix[index])
+        _check_integer_roundtrip(self.layout, state, self.dtype)
+        self.layout.flatten_into(state, self.storage.row(index))
 
     def as_state(self, index: int, copy: bool = False) -> dict[str, np.ndarray]:
         """State dict of model ``index``.
@@ -228,7 +318,7 @@ class PoolBuffer:
         the buffer row — O(1) metadata, safe to hand to
         ``load_state_dict`` (which copies) but not to mutate in place.
         """
-        return self.layout.unflatten(self.matrix[index], copy=copy)
+        return self.layout.unflatten(self.storage.row(index), copy=copy)
 
     def states(self, copy: bool = False) -> list[dict[str, np.ndarray]]:
         """All pool members as state dicts (views unless ``copy``)."""
@@ -247,8 +337,14 @@ class PoolBuffer:
     def _rows_f64(
         self, start: int, stop: int, mask: np.ndarray, masked: bool
     ) -> np.ndarray:
-        """Float64 cast of rows ``start:stop`` restricted to ``mask``."""
-        block = self.matrix[start:stop]
+        """Float64 cast of rows ``start:stop`` restricted to ``mask``.
+
+        Reads through the storage row protocol: shard-local spans are
+        zero-copy views, cross-shard spans bounded gathered copies —
+        either way the cast produces the same contiguous float64 block
+        on every backend (the cross-backend bitwise guarantee).
+        """
+        block = self.storage.row_block(start, stop)
         if masked:
             block = block[:, mask]
         return np.asarray(block, dtype=np.float64)
@@ -260,11 +356,12 @@ class PoolBuffer:
 
         The unit the :class:`repro.core.gram.GramTracker` consumes:
         extracting one row never materialises a ``(K, P)`` float64
-        temporary, so incremental Gram maintenance stays out-of-core
-        friendly on memmap pools.
+        temporary and never leaves the row's owning shard, so
+        incremental Gram maintenance stays out-of-core and
+        shard-local.
         """
         mask, masked, _ = self._mask_info(param_keys)
-        row = self.matrix[index]
+        row = self.storage.row(index)
         if masked:
             row = row[mask]
         return np.ascontiguousarray(row, dtype=np.float64)
@@ -278,12 +375,14 @@ class PoolBuffer:
 
         Computed per block pair of ``block_rows`` rows (default: sized
         to the module's temp budget), so at most two ``(b, P)`` float64
-        row casts are live at once — the cosine path no longer needs a
-        float64 copy of the whole pool, making fully out-of-core memmap
-        rounds possible.  Deterministic for a fixed block size (and the
-        default depends only on (K, P)); across block sizes the P-axis
-        reduction may move by the last ulp, the same caveat as the
-        blocked euclidean path.
+        row casts are live at once — the cosine path never needs a
+        float64 copy of the whole pool, making fully out-of-core
+        memmap/sharded rounds possible.  Deterministic for a fixed
+        block size (and the default depends only on (K, P), never the
+        shard layout — so the result is bitwise identical across
+        storage backends); across block sizes the P-axis reduction may
+        move by the last ulp, the same caveat as the blocked euclidean
+        path.
         """
         k = len(self)
         mask, masked, p_eff = self._mask_info(param_keys)
@@ -291,8 +390,7 @@ class PoolBuffer:
             # Two (b, P) float64 row casts live at once.
             block_rows = max(1, _block_budget() // max(1, 2 * p_eff * 8))
         out = np.empty((k, k))
-        for i0 in range(0, k, block_rows):
-            i1 = min(i0 + block_rows, k)
+        for i0, i1 in iter_row_spans(k, block_rows):
             vi = self._rows_f64(i0, i1, mask, masked)
             out[i0:i1, i0:i1] = vi @ vi.T
             for j0 in range(i1, k, block_rows):
@@ -322,10 +420,11 @@ class PoolBuffer:
         temporaries per block pair of ``block_rows`` rows (default:
         sized to the module's temp budget), so neither materialises a
         float64 copy of the whole pool.  For a fixed block size the
-        result is a pure function of the data (deterministic, and the
-        default block size depends only on (K, P)); *across* block
-        sizes the P-axis reduction may differ by the last ulp (SIMD
-        summation order varies with operand shape/alignment), so exact
+        result is a pure function of the data (deterministic, bitwise
+        identical across storage backends; the default block size
+        depends only on (K, P)); *across* block sizes the P-axis
+        reduction may differ by the last ulp (SIMD summation order
+        varies with operand shape/alignment), so exact
         cross-block-size equality is deliberately not promised — unlike
         :meth:`cross_aggregate`, whose elementwise math is bit-identical
         for every block size.
@@ -342,11 +441,9 @@ class PoolBuffer:
             # (b, b, P) difference tensor dominates: b^2 * P * 8 bytes.
             block_rows = max(1, int((_block_budget() / (max(1, p_eff) * 8)) ** 0.5))
         out = np.empty((k, k))
-        for i0 in range(0, k, block_rows):
-            i1 = min(i0 + block_rows, k)
+        for i0, i1 in iter_row_spans(k, block_rows):
             vi = self._rows_f64(i0, i1, mask, masked)
-            for j0 in range(0, k, block_rows):
-                j1 = min(j0 + block_rows, k)
+            for j0, j1 in iter_row_spans(k, block_rows):
                 vj = vi if j0 == i0 else self._rows_f64(j0, j1, mask, masked)
                 # einsum reduces over P only, the same inner summation
                 # as the per-row loop — blocking either axis is exact.
@@ -368,8 +465,8 @@ class PoolBuffer:
         norms in one float64 cast each — the norms are derived once
         from those same block casts rather than a second data pass —
         and the euclidean path takes per-block differences.  Neither
-        measure materialises a float64 copy of the whole masked pool
-        any more, so single-model queries work out-of-core too.
+        measure materialises a float64 copy of the whole masked pool,
+        so single-model queries work out-of-core too.
         """
         if measure not in _VALID_MEASURES:
             raise KeyError(measure)
@@ -381,16 +478,14 @@ class PoolBuffer:
         if measure == "cosine":
             sims = np.empty(k)
             norms = np.empty(k)
-            for b0 in range(0, k, block_rows):
-                b1 = min(b0 + block_rows, k)
+            for b0, b1 in iter_row_spans(k, block_rows):
                 block = self._rows_f64(b0, b1, mask, masked)
                 sims[b0:b1] = block @ target
                 norms[b0:b1] = np.sqrt(np.einsum("kp,kp->k", block, block))
             denom = norms * norms[index]
             return np.divide(sims, denom, out=np.zeros(k), where=denom != 0.0)
         out = np.empty(k)
-        for b0 in range(0, k, block_rows):
-            b1 = min(b0 + block_rows, k)
+        for b0, b1 in iter_row_spans(k, block_rows):
             diff = self._rows_f64(b0, b1, mask, masked) - target
             out[b0:b1] = -np.sqrt(np.einsum("kp,kp->k", diff, diff))
         return out
@@ -467,29 +562,35 @@ class PoolBuffer:
         rows and gathered collaborator rows to float64, blends, and
         writes the rounded result straight into pre-allocated output
         storage on this buffer's backend.  Peak temporary memory is
-        therefore O(block · P) instead of O(K · P) float64 — memmap
-        pools are no longer capped by RAM — and because the per-element
-        arithmetic is unchanged the result is bit-identical for every
-        block size.
+        therefore O(block · P) instead of O(K · P) float64 — memmap and
+        sharded pools are not capped by RAM — and because the
+        per-element arithmetic is unchanged the result is bit-identical
+        for every block size.  Spans walk :func:`iter_row_spans` with
+        this storage's shard boundaries (elementwise math is partition
+        invariant), so on sharded pools each block's own-row reads and
+        output writes stay on one shard; only the gathered collaborator
+        rows cross shards, by construction.
         """
         co_indices = np.asarray(co_indices, dtype=np.int64)
         if co_indices.ndim not in (1, 2):
             raise ValueError("co_indices must be 1- or 2-dimensional")
-        k, p = self.matrix.shape
+        k, p = self.storage.shape
+        dtype = self.dtype
         if block_rows is None:
             # Budget across the block's float64 temporaries: own rows,
             # gathered collaborator rows, and the fused result.
             per_row = max(1, 3 * p * 8)
             block_rows = max(1, _block_budget() // per_row)
-        storage = type(self.storage).allocate((k, p), dtype=self.matrix.dtype)
-        out = storage.array
+        storage = self.storage.allocate_like((k, p), dtype=dtype)
         int_mask = self.layout.integer_mask()
         has_int = bool(int_mask.any())
-        for start in range(0, k, block_rows):
-            stop = min(start + block_rows, k)
-            m = self.matrix[start:stop].astype(np.float64, copy=False)
+        for start, stop in iter_row_spans(
+            k, block_rows, self.storage.shard_boundaries()
+        ):
+            src = self.storage.row_block(start, stop)
+            m = src.astype(np.float64, copy=False)
             if co_indices.ndim == 1:
-                collab = self.matrix[co_indices[start:stop]].astype(
+                collab = self.storage.gather_rows(co_indices[start:stop]).astype(
                     np.float64, copy=False
                 )
             else:
@@ -499,13 +600,13 @@ class PoolBuffer:
                 num = co_indices.shape[1]
                 collab = np.zeros((stop - start, p))
                 for j in range(num):
-                    collab += (1.0 / num) * self.matrix[
+                    collab += (1.0 / num) * self.storage.gather_rows(
                         co_indices[start:stop, j]
-                    ].astype(np.float64, copy=False)
-            fused = alpha * m + (1.0 - alpha) * collab
-            out[start:stop] = fused.astype(self.matrix.dtype)
+                    ).astype(np.float64, copy=False)
+            fused = (alpha * m + (1.0 - alpha) * collab).astype(dtype)
             if has_int:
-                out[start:stop, int_mask] = self.matrix[start:stop, int_mask]
+                fused[:, int_mask] = src[:, int_mask]
+            storage.write_rows(start, fused)
         return PoolBuffer(self.layout, storage)
 
     def mean_state(
@@ -518,13 +619,18 @@ class PoolBuffer:
         like the dict-based :func:`repro.utils.params.weighted_average`.
 
         ``precise=True`` accumulates in float64, sequentially in pool
-        order — bit-for-bit the dict reference.  ``precise=False`` is a
-        single BLAS matvec in the buffer dtype (one pass over the
-        matrix, no float64 blow-up): ~6× faster at K=50 and accurate to
-        float32 rounding, the right trade for FedAvg-family aggregation
-        where the inputs are float32 to begin with.
+        order — bit-for-bit the dict reference, streaming one row at a
+        time.  ``precise=False`` reduces in the buffer dtype — a BLAS
+        matvec per budget-sized row block (one block, hence one matvec,
+        for in-RAM pools): ~6× faster at K=50 and accurate to float32
+        rounding, the right trade for FedAvg-family aggregation where
+        the inputs are float32 to begin with.  Both modes partition
+        rows purely by the byte budget, never the shard layout, so for
+        a fixed ``REPRO_POOL_BLOCK_BYTES`` every storage backend
+        produces the bitwise-identical state.
         """
         k = len(self)
+        dtype = self.dtype
         if weights is None:
             w = np.full(k, 1.0 / k)
         else:
@@ -535,24 +641,35 @@ class PoolBuffer:
             if total <= 0:
                 raise ValueError("weights must have a positive sum")
             w = w / total
+        p = self.num_scalars
         if precise:
             # Sequential accumulation in pool order mirrors the dict
             # reference's summation order (bit-for-bit reproducible).
             # Rows are cast to float64 one at a time, so the reduction
             # streams the matrix instead of materialising a float64
             # copy of the whole pool.
-            acc = np.zeros(self.num_scalars)
+            acc = np.zeros(p)
             for i in range(k):
-                acc += w[i] * self.matrix[i].astype(np.float64, copy=False)
-            row = acc.astype(self.matrix.dtype)
+                acc += w[i] * self.storage.row(i).astype(np.float64, copy=False)
+            row = acc.astype(dtype)
         else:
-            row = np.asarray(
-                w.astype(self.matrix.dtype, copy=False) @ self.matrix,
-                dtype=self.matrix.dtype,
+            w_low = w.astype(dtype, copy=False)
+            block_rows = max(
+                1, _block_budget() // max(1, p * np.dtype(dtype).itemsize)
             )
+            spans = list(iter_row_spans(k, block_rows))
+            if len(spans) == 1:
+                # One budget-sized block: the single BLAS matvec of the
+                # in-RAM fast path, unchanged.
+                row = np.asarray(w_low @ self.storage.row_block(0, k), dtype=dtype)
+            else:
+                acc_low = np.zeros(p, dtype=dtype)
+                for b0, b1 in spans:
+                    acc_low += w_low[b0:b1] @ self.storage.row_block(b0, b1)
+                row = acc_low
         int_mask = self.layout.integer_mask()
         if int_mask.any():
-            row[int_mask] = self.matrix[0, int_mask]
+            row[int_mask] = self.storage.row(0)[int_mask]
         return self.layout.unflatten(row, copy=True)
 
     # -- diagnostics -------------------------------------------------------
@@ -575,13 +692,11 @@ class PoolBuffer:
         if block_rows is None:
             block_rows = max(1, _block_budget() // max(1, 2 * p_eff * 8))
         mean = np.zeros(p_eff)
-        for b0 in range(0, k, block_rows):
-            b1 = min(b0 + block_rows, k)
+        for b0, b1 in iter_row_spans(k, block_rows):
             mean += self._rows_f64(b0, b1, mask, masked).sum(axis=0)
         mean /= k
         sq = np.empty(k)
-        for b0 in range(0, k, block_rows):
-            b1 = min(b0 + block_rows, k)
+        for b0, b1 in iter_row_spans(k, block_rows):
             centered = self._rows_f64(b0, b1, mask, masked) - mean
             sq[b0:b1] = np.einsum("kp,kp->k", centered, centered)
         return float(np.sqrt(sq.mean()))
@@ -589,5 +704,5 @@ class PoolBuffer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PoolBuffer(K={self.num_models}, P={self.num_scalars}, "
-            f"dtype={self.matrix.dtype})"
+            f"dtype={self.dtype})"
         )

@@ -3,8 +3,9 @@
 :class:`repro.core.pool.PoolBuffer` expresses every Algorithm 1 server
 step as array operations on one ``(K, P)`` matrix; *where that matrix
 lives* is this module's concern.  A :class:`PoolStorage` backend owns
-the allocation and exposes it as a NumPy array, so the pool engine —
-and everything layered on it — is agnostic to the physical medium:
+the allocation and exposes it through a small row-oriented protocol, so
+the pool engine — and everything layered on it — is agnostic to the
+physical medium:
 
 ``dense``
     :class:`DenseStorage`, a plain in-memory ``np.ndarray`` — today's
@@ -14,34 +15,71 @@ and everything layered on it — is agnostic to the physical medium:
     keeps the *resident* pool buffers off the heap at the cost of
     page-cache traffic.  Set ``REPRO_MEMMAP_DIR`` to place the backing
     files on a specific filesystem (e.g. fast local scratch).
-    ``cross_aggregate``, the similarity paths (blocked Gram cosine,
-    blocked euclidean differences, ``similarity_to``) and the
-    ``dispersion`` diagnostic all operate in bounded row blocks, and
-    ``mean_state`` streams one row at a time (``precise=True``) or
-    reduces in the buffer dtype (``precise=False``) — no pool
-    operation materialises a float64 copy of the whole matrix any
-    more, so full server rounds (selection included) run out-of-core;
-    the CI bench smoke asserts the peak-allocation bound.  The
-    incremental :class:`repro.core.gram.GramTracker` goes further for
-    the similarity results: O(P) temporaries per row update, pure
-    ``(K, K)`` algebra per query.
+``sharded``
+    :class:`ShardedStorage`, the ``(K, P)`` matrix split into
+    contiguous **row shards**, each shard itself a ``dense`` or
+    ``memmap`` storage (the ``placement`` option).  No operation on a
+    sharded pool ever requires the full matrix as one allocation: the
+    pool engine reads/writes through the row protocol below, serving
+    shard-local row blocks as zero-copy views and cross-shard blocks
+    as bounded gathered copies.  Shard count comes from the ``shards``
+    option (``FLConfig.shards`` / ``--shards``; default
+    ``REPRO_POOL_SHARDS`` or 4) — the single-node rehearsal of the
+    multi-node pool layout the ROADMAP's millions-of-clients north
+    star needs, and the protocol seam a distributed/GPU backend slots
+    in behind.
+
+Row protocol
+------------
+Beyond ``allocate``/``from_array``/``array``/``clone``, every backend
+serves bounded row access used by the pool engine's blocked
+operations (base-class defaults delegate to ``array``, so pre-existing
+third-party backends keep working unchanged):
+
+* :meth:`PoolStorage.row` — one writable row (client uploads land
+  directly in their owning shard through this);
+* :meth:`PoolStorage.row_block` — rows ``[start, stop)`` for reading
+  (view where the medium allows, copy otherwise);
+* :meth:`PoolStorage.write_rows` / :meth:`PoolStorage.fill_rows` —
+  blocked writes;
+* :meth:`PoolStorage.gather_rows` — arbitrary row gathers
+  (cross-aggregation collaborator rows);
+* :meth:`PoolStorage.shard_boundaries` — the row spans owned by each
+  shard, consumed by the pool engine's shard-aware block iterator and
+  the Gram tracker's shard-local dot updates.
+
+``cross_aggregate``, the similarity paths (blocked Gram cosine,
+blocked euclidean differences, ``similarity_to``), the ``dispersion``
+diagnostic and both ``mean_state`` modes all operate in bounded row
+blocks under the ``REPRO_POOL_BLOCK_BYTES`` budget — no pool operation
+materialises a float64 (or, for sharded pools, even a buffer-dtype)
+copy of the whole matrix, so full server rounds run out-of-core; the
+CI bench smoke and the sharded large-K stress test assert the
+peak-allocation bounds.  The incremental
+:class:`repro.core.gram.GramTracker` goes further for the similarity
+results: O(P) temporaries per row update, pure ``(K, K)`` algebra per
+query.
 
 Backends register themselves on :data:`POOL_BACKENDS` via
-:func:`register_backend`; third-party backends (GPU arrays, sharded
-segments) only need to subclass :class:`PoolStorage` and register under
-a new name, then become selectable through ``FLConfig.backend`` and the
-``--backend`` CLI flag.
+:func:`register_backend`; third-party backends (GPU arrays,
+distributed segments) only need to subclass :class:`PoolStorage` and
+register under a new name, then become selectable through
+``FLConfig.backend`` and the ``--backend`` CLI flag.
 
 All backends must be *bit-transparent*: the same sequence of array
 operations over the same values must produce identical results
-regardless of backend (the memmap equivalence tests enforce this).
+regardless of backend (the cross-backend equivalence matrix in
+``tests/integration/test_backend_matrix.py`` enforces this for dense,
+memmap and sharded end to end).
 """
 
 from __future__ import annotations
 
+import bisect
 import os
 import tempfile
 import weakref
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -49,6 +87,7 @@ __all__ = [
     "PoolStorage",
     "DenseStorage",
     "MemmapStorage",
+    "ShardedStorage",
     "POOL_BACKENDS",
     "register_backend",
     "resolve_backend",
@@ -74,10 +113,15 @@ def register_backend(name: str):
 
 
 def resolve_backend(name: str) -> type["PoolStorage"]:
-    """Backend class registered under ``name`` (case-insensitive)."""
+    """Backend class registered under ``name`` (case-insensitive).
+
+    Unknown names raise :class:`ValueError` naming every registered
+    backend, so ``--backend`` typos fail with the fix in the message
+    instead of a bare ``KeyError``.
+    """
     key = str(name).lower()
     if key not in POOL_BACKENDS:
-        raise KeyError(
+        raise ValueError(
             f"unknown pool backend {name!r}; available: {sorted(POOL_BACKENDS)}"
         )
     return POOL_BACKENDS[key]
@@ -90,9 +134,14 @@ def available_backends() -> list[str]:
 class PoolStorage:
     """Owner of one 2-D array; subclasses choose the physical medium.
 
-    The contract is deliberately small: allocate, adopt an existing
-    array, expose the live ``array``, and clone.  Every array returned
-    must behave as a writable ``np.ndarray`` (``np.memmap`` qualifies).
+    The core contract is small: allocate, adopt an existing array,
+    expose the live ``array``, and clone.  On top of it sits the row
+    protocol (:meth:`row`, :meth:`row_block`, :meth:`write_rows`,
+    :meth:`gather_rows`, :meth:`fill_rows`, :meth:`shard_boundaries`)
+    whose base-class defaults simply index ``array`` — single-medium
+    backends inherit them for free, while segmented backends like
+    :class:`ShardedStorage` override them so no caller ever needs the
+    whole matrix as one allocation.
     """
 
     name = "abstract"
@@ -109,16 +158,82 @@ class PoolStorage:
 
     @property
     def array(self) -> np.ndarray:
-        """The live backing array."""
+        """The live backing array (segmented backends may return a copy)."""
         raise NotImplementedError
 
     def clone(self) -> "PoolStorage":
         """Independent storage with the same values, same backend."""
         return type(self).from_array(np.array(self.array, copy=True))
 
+    def allocate_like(self, shape: tuple[int, int], dtype=np.float32) -> "PoolStorage":
+        """Fresh zeroed storage preserving this instance's configuration.
+
+        Derived pools (``cross_aggregate`` outputs, copies) allocate
+        through the *instance* so option-carrying backends (shard
+        count/placement) propagate; the default just calls the class
+        :meth:`allocate`.
+        """
+        return type(self).allocate(shape, dtype=dtype)
+
+    # -- row protocol ------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(K, P)`` without materialising anything."""
+        return tuple(self.array.shape)  # type: ignore[return-value]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    def row(self, index: int) -> np.ndarray:
+        """Writable 1-D view of row ``index`` (lives on its shard)."""
+        return self.array[index]
+
+    def row_block(self, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` for reading.
+
+        A zero-copy view where the medium allows (single-medium
+        backends, shard-local spans of a sharded pool); a bounded
+        contiguous copy otherwise.  Callers must not mutate the result.
+        """
+        return self.array[start:stop]
+
+    def write_rows(self, start: int, values: np.ndarray) -> None:
+        """Write the block ``values`` into rows ``start:start+len(values)``."""
+        self.array[start : start + values.shape[0]] = values
+
+    def gather_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Contiguous copy of the (arbitrary) ``indices`` rows, in order."""
+        return self.array[np.asarray(indices, dtype=np.int64)]
+
+    def fill_rows(self, values: np.ndarray) -> None:
+        """Broadcast one row's ``values`` over every row."""
+        self.array[:] = values
+
+    def shard_boundaries(self) -> tuple[int, ...]:
+        """Row-span fenceposts ``(0, ..., K)`` of the physical shards.
+
+        Single-medium backends are one shard: ``(0, K)``.  The pool
+        engine's shard-aware block iterator splits shard-local
+        operations on these, and the Gram tracker groups its per-row
+        dot updates by them.
+        """
+        return (0, self.shape[0])
+
+    def flush(self) -> None:
+        """Force dirty state to the backing medium (no-op by default)."""
+
+    @classmethod
+    def _reject_options(cls, options: dict) -> None:
+        if options:
+            raise ValueError(
+                f"pool backend {cls.name!r} accepts no storage options, "
+                f"got {sorted(options)}"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        a = self.array
-        return f"{type(self).__name__}(shape={a.shape}, dtype={a.dtype})"
+        k, p = self.shape
+        return f"{type(self).__name__}(shape=({k}, {p}), dtype={self.dtype})"
 
 
 @register_backend("dense")
@@ -129,7 +244,8 @@ class DenseStorage(PoolStorage):
         self._array = np.asarray(array)
 
     @classmethod
-    def allocate(cls, shape, dtype=np.float32) -> "DenseStorage":
+    def allocate(cls, shape, dtype=np.float32, **options) -> "DenseStorage":
+        cls._reject_options(options)
         return cls(np.zeros(shape, dtype=dtype))
 
     @classmethod
@@ -174,7 +290,8 @@ class MemmapStorage(PoolStorage):
         return cls(array, path)
 
     @classmethod
-    def allocate(cls, shape, dtype=np.float32) -> "MemmapStorage":
+    def allocate(cls, shape, dtype=np.float32, **options) -> "MemmapStorage":
+        cls._reject_options(options)
         # A fresh w+ memmap is zero-filled by the OS already.
         return cls._create(shape, dtype)
 
@@ -192,3 +309,217 @@ class MemmapStorage(PoolStorage):
     def flush(self) -> None:
         """Force dirty pages to the backing file."""
         self._array.flush()
+
+
+# Default shard count when neither the ``shards`` option nor the
+# ``REPRO_POOL_SHARDS`` environment override names one.
+_DEFAULT_SHARDS = 4
+
+
+def _even_boundaries(k: int, shards: int) -> tuple[int, ...]:
+    """Fenceposts of ``shards`` near-equal contiguous row spans of ``k``."""
+    shards = max(1, min(int(shards), max(1, k)))
+    return tuple(round(s * k / shards) for s in range(shards + 1))
+
+
+@register_backend("sharded")
+class ShardedStorage(PoolStorage):
+    """The ``(K, P)`` matrix split into contiguous row shards.
+
+    Parameters (as ``allocate``/``from_array`` options, wired through
+    ``FLConfig.shards`` / ``--shards``):
+
+    ``shards``
+        Shard count (clamped to ``[1, K]``; rows are split into
+        near-equal contiguous spans).  Defaults to the
+        ``REPRO_POOL_SHARDS`` environment variable, then 4.
+    ``placement``
+        Backend name each shard is stored on — ``"dense"`` (default)
+        or ``"memmap"`` (pools beyond RAM; this is the layout the
+        large-K stress test drives).  Any registered single-medium
+        backend qualifies; ``"sharded"`` itself is rejected.
+
+    The full matrix never exists as one allocation: ``array`` is a
+    *gathered, read-only copy* for diagnostics/tests, and every pool
+    operation goes through the row protocol — ``row``/``row_block``
+    serve shard-local access as zero-copy views into the owning shard,
+    cross-shard blocks as bounded gathered copies.  Because a gathered
+    block holds exactly the same values in the same contiguous layout
+    a single-medium backend would serve, every blocked pool operation
+    is **bit-identical** to its dense result (the equivalence-matrix
+    suite and the sharded property tests pin this).
+
+    Derived storages (``clone``, ``allocate_like``) keep the shard
+    count and placement, so cross-aggregated pools stay sharded the
+    same way round after round.
+    """
+
+    def __init__(self, shards: Sequence[PoolStorage], boundaries: Sequence[int],
+                 requested_shards: int, placement: str) -> None:
+        if len(boundaries) != len(shards) + 1:
+            raise ValueError("boundaries must have one more entry than shards")
+        self._shards = list(shards)
+        self._boundaries = tuple(int(b) for b in boundaries)
+        self._requested_shards = int(requested_shards)
+        self._placement = placement
+        p = self._shards[0].shape[1] if self._shards else 0
+        self._shape = (self._boundaries[-1], p)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def _resolve_options(cls, shards, placement) -> tuple[int, str]:
+        if shards is None:
+            shards = int(os.environ.get("REPRO_POOL_SHARDS") or _DEFAULT_SHARDS)
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        placement = str(placement).lower()
+        shard_cls = resolve_backend(placement)
+        if issubclass(shard_cls, ShardedStorage):
+            raise ValueError("sharded placement cannot itself be 'sharded'")
+        return shards, placement
+
+    @classmethod
+    def allocate(
+        cls, shape, dtype=np.float32, *, shards: int | None = None,
+        placement: str = "dense", **options,
+    ) -> "ShardedStorage":
+        cls._reject_options(options)
+        shards, placement = cls._resolve_options(shards, placement)
+        k, p = int(shape[0]), int(shape[1])
+        bounds = _even_boundaries(k, shards)
+        shard_cls = resolve_backend(placement)
+        pieces = [
+            shard_cls.allocate((bounds[s + 1] - bounds[s], p), dtype=dtype)
+            for s in range(len(bounds) - 1)
+        ]
+        return cls(pieces, bounds, shards, placement)
+
+    @classmethod
+    def from_array(
+        cls, array: np.ndarray, *, shards: int | None = None,
+        placement: str = "dense",
+    ) -> "ShardedStorage":
+        array = np.asarray(array)
+        storage = cls.allocate(array.shape, dtype=array.dtype,
+                               shards=shards, placement=placement)
+        for (start, stop), piece in zip(storage.shard_spans(), storage._shards):
+            piece.array[:] = array[start:stop]
+        return storage
+
+    def allocate_like(self, shape, dtype=np.float32) -> "ShardedStorage":
+        return type(self).allocate(
+            shape, dtype=dtype,
+            shards=self._requested_shards, placement=self._placement,
+        )
+
+    def clone(self) -> "ShardedStorage":
+        pieces = [piece.clone() for piece in self._shards]
+        return type(self)(pieces, self._boundaries,
+                          self._requested_shards, self._placement)
+
+    # -- shard introspection ----------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def placement(self) -> str:
+        """Backend name each shard lives on (``dense`` / ``memmap``)."""
+        return self._placement
+
+    @property
+    def shards(self) -> tuple[PoolStorage, ...]:
+        """The per-shard storages, in row order."""
+        return tuple(self._shards)
+
+    def shard_boundaries(self) -> tuple[int, ...]:
+        return self._boundaries
+
+    def shard_spans(self) -> list[tuple[int, int]]:
+        """``(start, stop)`` row span of each shard, in order."""
+        b = self._boundaries
+        return [(b[s], b[s + 1]) for s in range(len(b) - 1)]
+
+    def _locate(self, index: int) -> tuple[int, int]:
+        """(shard number, row offset inside that shard) of global row."""
+        k = self._shape[0]
+        if not 0 <= index < k:
+            raise IndexError(f"row {index} out of range for pool of {k}")
+        s = bisect.bisect_right(self._boundaries, index) - 1
+        # Empty leading spans share a boundary value; step to the span
+        # that actually contains the row.
+        while self._boundaries[s + 1] <= index:  # pragma: no cover - defensive
+            s += 1
+        return s, index - self._boundaries[s]
+
+    # -- row protocol ------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._shards[0].dtype if self._shards else np.dtype(np.float32)
+
+    @property
+    def array(self) -> np.ndarray:
+        """Gathered **read-only copy** of the whole matrix.
+
+        Diagnostic/test convenience only — O(K·P) memory, and writes do
+        not reach the shards (the copy is flagged unwritable so silent
+        divergence is impossible).  Library code uses the row protocol.
+        """
+        out = np.empty(self._shape, dtype=self.dtype)
+        for (start, stop), piece in zip(self.shard_spans(), self._shards):
+            out[start:stop] = piece.array
+        out.setflags(write=False)
+        return out
+
+    def row(self, index: int) -> np.ndarray:
+        s, offset = self._locate(index)
+        return self._shards[s].array[offset]
+
+    def row_block(self, start: int, stop: int) -> np.ndarray:
+        start, stop = int(start), int(stop)
+        s, offset = self._locate(start) if stop > start else (0, 0)
+        if stop <= start:
+            return np.empty((0, self._shape[1]), dtype=self.dtype)
+        if stop <= self._boundaries[s + 1]:
+            # Shard-local span: zero-copy view into the owning shard.
+            return self._shards[s].array[offset : offset + (stop - start)]
+        out = np.empty((stop - start, self._shape[1]), dtype=self.dtype)
+        for (b0, b1), piece in zip(self.shard_spans(), self._shards):
+            lo, hi = max(start, b0), min(stop, b1)
+            if lo < hi:
+                out[lo - start : hi - start] = piece.array[lo - b0 : hi - b0]
+        return out
+
+    def write_rows(self, start: int, values: np.ndarray) -> None:
+        stop = start + values.shape[0]
+        for (b0, b1), piece in zip(self.shard_spans(), self._shards):
+            lo, hi = max(start, b0), min(stop, b1)
+            if lo < hi:
+                piece.array[lo - b0 : hi - b0] = values[lo - start : hi - start]
+
+    def gather_rows(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty((indices.shape[0], self._shape[1]), dtype=self.dtype)
+        for n, j in enumerate(indices):
+            out[n] = self.row(int(j))
+        return out
+
+    def fill_rows(self, values: np.ndarray) -> None:
+        for piece in self._shards:
+            piece.array[:] = values
+
+    def flush(self) -> None:
+        for piece in self._shards:
+            piece.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        k, p = self._shape
+        return (
+            f"ShardedStorage(shape=({k}, {p}), dtype={self.dtype}, "
+            f"shards={self.num_shards}, placement={self._placement!r})"
+        )

@@ -42,10 +42,21 @@ class FLConfig:
         Global-model evaluation cadence in rounds.
     backend:
         Pool-storage backend for the server's model buffers —
-        ``"dense"`` (in-memory, default) or ``"memmap"`` (file-backed
-        for pools beyond RAM); see :mod:`repro.core.storage`.
-        Resolved lazily against the backend registry, so third-party
-        backends registered via ``register_backend`` are valid too.
+        ``"dense"`` (in-memory, default), ``"memmap"`` (file-backed
+        for pools beyond RAM) or ``"sharded"`` (row shards, each
+        dense or memmap — pools beyond one allocation); see
+        :mod:`repro.core.storage`.  Resolved lazily against the
+        backend registry, so third-party backends registered via
+        ``register_backend`` are valid too.
+    shards:
+        Row-shard count for the ``sharded`` backend (``None`` = the
+        backend default: ``REPRO_POOL_SHARDS`` or 4).  Forwarded to
+        the backend as a storage option, so only set it for backends
+        that accept it (``dense``/``memmap`` reject options loudly).
+    shard_placement:
+        Storage medium of each row shard of the ``sharded`` backend —
+        ``"dense"`` (backend default) or ``"memmap"`` (shards on disk:
+        the pools-beyond-RAM layout).  Forwarded like ``shards``.
     execution:
         Client-execution backend for the ``collect`` phase —
         ``"serial"`` (default), ``"thread"`` or ``"process"``; see
@@ -85,6 +96,8 @@ class FLConfig:
     eval_every: int = 1
     eval_batch_size: int = 256
     backend: str = "dense"
+    shards: int | None = None
+    shard_placement: str | None = None
     execution: str = "serial"
     workers: int | None = None
     streaming: bool = True
@@ -106,6 +119,12 @@ class FLConfig:
             raise ValueError("local_epochs must be positive")
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("backend must be a non-empty backend name")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be None or >= 1")
+        if self.shard_placement is not None and (
+            not isinstance(self.shard_placement, str) or not self.shard_placement
+        ):
+            raise ValueError("shard_placement must be None or a backend name")
         if not isinstance(self.execution, str) or not self.execution:
             raise ValueError("execution must be a non-empty backend name")
         if self.workers is not None and self.workers < 1:

@@ -837,7 +837,7 @@ class ProcessExecution(ExecutionBackend):
             _require_spec_hook(plan.grad_hook, "DispatchPlan.grad_hook")
         self._ensure_pool()
         layout = uploads.layout
-        self._ensure_shm(len(uploads), layout.total_size, uploads.matrix.dtype)
+        self._ensure_shm(len(uploads), layout.total_size, uploads.dtype)
         # Round-shared hook payloads (SCAFFOLD's c_global, FedGen's
         # generator state) are packed into payload segments once and
         # replaced by tiny refs — never pickled per client.
@@ -901,10 +901,10 @@ class ProcessExecution(ExecutionBackend):
             active[i].rng.bit_generator.state = rng_state
             row = int(rows[i])
             # Copy this leg's freshly written row from the shared
-            # segment into the server's (possibly memmap-backed)
-            # buffer the moment it lands — slower legs are still
-            # training while the server consumes it.
-            uploads.matrix[row] = self._uploads_shm.array[row]
+            # segment into the server's buffer the moment it lands —
+            # straight into the row's owning shard on sharded (or
+            # memmap-backed) storage, while slower legs still train.
+            uploads.set_row(row, self._uploads_shm.array[row])
             yield i, LocalResult(
                 state=uploads.as_state(row, copy=True),
                 num_samples=num_samples,

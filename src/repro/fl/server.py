@@ -150,6 +150,15 @@ class FederatedServer:
         self.round_idx = 0
         self.stop_training = False
         self.backend = getattr(config, "backend", "dense")
+        # Storage options forwarded to the pool backend's allocate();
+        # only option-accepting backends (sharded) see a non-empty dict.
+        self.backend_options: dict = {}
+        shards = getattr(config, "shards", None)
+        if shards is not None:
+            self.backend_options["shards"] = shards
+        placement = getattr(config, "shard_placement", None)
+        if placement is not None:
+            self.backend_options["placement"] = placement
         self.streaming = bool(getattr(config, "streaming", True))
         self.executor = executor or ClientExecutor(
             getattr(config, "execution", "serial"),
@@ -276,7 +285,8 @@ class FederatedServer:
         buf = self._buffer_cache.get((tag, k))
         if buf is None:
             buf = PoolBuffer.zeros(
-                self._layout, k, dtype=np.float32, backend=self.backend
+                self._layout, k, dtype=np.float32, backend=self.backend,
+                backend_options=self.backend_options,
             )
             self._buffer_cache[(tag, k)] = buf
         return buf
@@ -315,7 +325,10 @@ class FederatedServer:
         key = (id(layout), len(states), np.dtype(dtype).str)
         buf = self._pack_cache.get(key)
         if buf is None:
-            buf = PoolBuffer.zeros(layout, len(states), dtype=dtype, backend=self.backend)
+            buf = PoolBuffer.zeros(
+                layout, len(states), dtype=dtype, backend=self.backend,
+                backend_options=self.backend_options,
+            )
             self._pack_cache[key] = buf
         for i, state in enumerate(states):
             buf.set_state(i, state)

@@ -19,6 +19,8 @@ class TestValidation:
             {"local_epochs": 0},
             {"k_active": 0},
             {"k_active": 100, "num_clients": 10},
+            {"shards": 0},
+            {"shard_placement": ""},
         ],
     )
     def test_invalid_configs_raise(self, kwargs):

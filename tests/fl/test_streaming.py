@@ -88,12 +88,10 @@ class TestStreamingBitIdentity:
         got = _run(_config(method, "process", streaming=True))
         _assert_identical(ref, got, f"{method}/process")
 
-    @pytest.mark.parametrize("method", ["fedcross", "scaffold"])
-    def test_streaming_matches_across_backends(self, method):
-        """Streaming on a parallel backend equals streaming serial."""
-        ref = _run(_config(method, "serial", streaming=True))
-        got = _run(_config(method, "thread", streaming=True))
-        _assert_identical(ref, got, f"{method}/serial-vs-thread")
+    # Cross-execution-backend streaming equality (the old ad-hoc
+    # serial-vs-thread pairwise check) now lives in the full
+    # storage × execution × schedule grid of
+    # tests/integration/test_backend_matrix.py.
 
 
 class TestOnUploadHook:

@@ -21,6 +21,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "table99"])
 
+    def test_unknown_backend_fails_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "gpu"])
+        err = capsys.readouterr().err
+        assert "unknown pool backend" in err and "sharded" in err
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--shards", "0"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -78,6 +88,28 @@ class TestCommands:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {"fedavg", "fedcross"}
+
+    @pytest.mark.parametrize("placement", [None, "memmap"])
+    def test_run_sharded_backend_json(self, capsys, placement):
+        argv = [
+            "run",
+            "--method", "fedcross",
+            "--clients", "4",
+            "--participation", "1.0",
+            "--rounds", "2",
+            "--local-epochs", "1",
+            "--eval-every", "1",
+            "--backend", "sharded",
+            "--shards", "3",
+            "--json",
+        ]
+        if placement is not None:
+            argv += ["--shard-placement", placement]
+        code = main(argv)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "sharded"
+        assert len(payload["accuracies"]) == 2
 
     def test_bench_table1(self, capsys):
         assert main(["bench", "table1"]) == 0
