@@ -35,6 +35,10 @@ import numpy as np
 
 from repro.fl.config import FLConfig
 from repro.fl.simulation import FLSimulation
+from repro.models.registry import build_model
+from repro.optim import SGD
+from repro.tensor import Tensor
+from repro.tensor.functional import cross_entropy, im2col_indices
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -160,6 +164,219 @@ def histories_bit_identical(k: int, input_size: int, emit) -> bool:
     return ok
 
 
+# ----------------------------------------------------------------------
+# Array-backend dispatch overhead (ISSUE 6)
+# ----------------------------------------------------------------------
+def _direct_cnn_step(params, bufs, x, y, lr, momentum):
+    """Seed-direct raw-numpy replica of one FedAvgCNN client step.
+
+    Reproduces the exact pre-dispatch op sequence (same im2col indices,
+    same ``einsum(..., optimize=True)`` calls, same reshape-based pool
+    fast path, same float32 rounding points), so its updated parameters
+    are **bit-identical** to the dispatched tensor stack's — verified by
+    :func:`run_backend_dispatch` before any timing is trusted — and its
+    wall clock is the true zero-dispatch baseline.
+    """
+
+    def conv_fwd(inp, w, b, padding):
+        n = inp.shape[0]
+        c_out, _, kh, kw = w.shape
+        x_pad = np.pad(inp, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        k_idx, i_idx, j_idx = im2col_indices(x_pad.shape, kh, kw, 1)
+        cols = x_pad[:, k_idx, i_idx, j_idx]
+        w_mat = w.reshape(c_out, -1)
+        out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+        out_h = x_pad.shape[2] - kh + 1
+        out_w = x_pad.shape[3] - kw + 1
+        out = out.reshape(n, c_out, out_h, out_w) + b.reshape(1, c_out, 1, 1)
+        return out, (x_pad.shape, cols, w_mat, (k_idx, i_idx, j_idx), padding)
+
+    def conv_bwd(g, w, cache):
+        pad_shape, cols, w_mat, (k_idx, i_idx, j_idx), padding = cache
+        n, c_out = g.shape[0], g.shape[1]
+        g_mat = g.reshape(n, c_out, -1)
+        grad_w = np.einsum("nop,nkp->ok", g_mat, cols, optimize=True).reshape(w.shape)
+        grad_b = g.sum(axis=(0, 2, 3))
+        grad_cols = np.einsum("ok,nop->nkp", w_mat, g_mat, optimize=True)
+        grad_pad = np.zeros(pad_shape, dtype=g.dtype)
+        np.add.at(grad_pad, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+        if padding:
+            grad_pad = grad_pad[:, :, padding:-padding, padding:-padding]
+        return grad_pad, grad_w, grad_b
+
+    def pool_fwd(inp):
+        n, c, h, w = inp.shape
+        r = inp.reshape(n, c, h // 2, 2, w // 2, 2)
+        out = r.max(axis=(3, 5))
+        mask = (r == out[:, :, :, None, :, None]).astype(inp.dtype)
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        return out, (mask, counts, (n, c, h, w))
+
+    def pool_bwd(g, cache):
+        mask, counts, shape = cache
+        return ((mask / counts) * g[:, :, :, None, :, None]).reshape(shape)
+
+    def relu_fwd(pre):
+        mask = pre > 0
+        return np.where(mask, pre, 0.0).astype(pre.dtype), mask
+
+    nb = x.shape[0]
+    w1, b1, w2, b2, wf1, bf1, wf2, bf2 = params
+
+    # forward
+    c1, c1_cache = conv_fwd(x, w1, b1, padding=2)
+    r1, r1_mask = relu_fwd(c1)
+    p1, p1_cache = pool_fwd(r1)
+    c2, c2_cache = conv_fwd(p1, w2, b2, padding=2)
+    r2, r2_mask = relu_fwd(c2)
+    p2, p2_cache = pool_fwd(r2)
+    flat = p2.reshape(nb, -1)
+    h1 = flat @ wf1.transpose((1, 0)) + bf1
+    a1, a1_mask = relu_fwd(h1)
+    logits = a1 @ wf2.transpose((1, 0)) + bf2
+
+    # loss (log-softmax + mean NLL)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+    softmax_vals = np.exp(log_probs)
+    rows = np.arange(nb)
+    loss = -log_probs[rows, y].mean()
+
+    # backward
+    g_lp = np.zeros_like(log_probs)
+    g_lp[rows, y] = -1.0 * (1.0 / nb)
+    g_logits = (g_lp - softmax_vals * g_lp.sum(axis=-1, keepdims=True)).astype(
+        logits.dtype, copy=True
+    )
+    g_bf2 = g_logits.sum(axis=0)
+    g_wf2 = (a1.transpose((1, 0)) @ g_logits).transpose((1, 0))
+    g_a1 = g_logits @ wf2
+    g_h1 = g_a1 * a1_mask
+    g_bf1 = g_h1.sum(axis=0)
+    g_wf1 = (flat.transpose((1, 0)) @ g_h1).transpose((1, 0))
+    g_flat = g_h1 @ wf1
+    g_p2 = g_flat.reshape(p2.shape)
+    g_r2 = pool_bwd(g_p2, p2_cache)
+    g_c2 = g_r2 * r2_mask
+    g_p1, g_w2, g_b2 = conv_bwd(g_c2, w2, c2_cache)
+    g_r1 = pool_bwd(g_p1, p1_cache)
+    g_c1 = g_r1 * r1_mask
+    _, g_w1, g_b1 = conv_bwd(g_c1, w1, c1_cache)
+
+    # SGD with momentum (the trainer's update, dtype-stable)
+    grads = [g_w1, g_b1, g_w2, g_b2, g_wf1, g_bf1, g_wf2, g_bf2]
+    for idx, (p, g) in enumerate(zip(params, grads)):
+        g = g.astype(p.dtype, copy=True)
+        if momentum:
+            buf = bufs[idx]
+            buf = g.copy() if buf is None else momentum * buf + g
+            bufs[idx] = buf
+            g = buf
+        params[idx] = np.asarray(p - lr * g, dtype=p.dtype)
+    return float(loss)
+
+
+_PARAM_KEYS = (
+    "conv1.weight", "conv1.bias", "conv2.weight", "conv2.bias",
+    "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias",
+)
+
+
+def run_backend_dispatch(smoke: bool, repeats: int, max_overhead: float, emit):
+    """Seed-direct vs dispatched-numpy client step (ISSUE 6 tentpole).
+
+    Times one FedAvgCNN forward/loss/backward/SGD step through the
+    array-backend dispatch layer (the only path since the refactor)
+    against :func:`_direct_cnn_step`, a raw-numpy replica of the seed's
+    pre-dispatch op sequence.  Bit-identical parameter updates between
+    the two legs are asserted first; the dispatch overhead bar
+    (``ratio <= 1 + max_overhead``) gates full runs only — a smoke step
+    is a sub-millisecond micro-timing, pure jitter on shared runners.
+    """
+    if smoke:
+        model_name, input_size, batch, inner = "cnn_s", 8, 16, 10
+    else:
+        model_name, input_size, batch, inner = "cnn", 16, 50, 5
+    lr, momentum = 0.01, 0.5
+
+    def fresh_legs():
+        model = build_model(
+            model_name, seed=0, input_shape=(3, input_size, input_size), num_classes=10
+        )
+        state = model.state_dict()
+        params = [state[k].copy() for k in _PARAM_KEYS]
+        return model, params
+
+    rng = np.random.default_rng(42)
+    x = rng.standard_normal((batch, 3, input_size, input_size)).astype(np.float32)
+    y = rng.integers(0, 10, size=batch)
+
+    def dispatched_step(model, optimizer):
+        optimizer.zero_grad()
+        loss = cross_entropy(model(Tensor(x)), y)
+        loss.backward()
+        optimizer.step()
+        return float(loss.numpy())
+
+    # Bit-identity: a few steps from shared init must land on the same
+    # parameters — otherwise the "direct" leg times a different program.
+    model, params = fresh_legs()
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum)
+    bufs = [None] * len(params)
+    identical = True
+    for _ in range(3):
+        dispatched_step(model, optimizer)
+        _direct_cnn_step(params, bufs, x, y, lr, momentum)
+    state = model.state_dict()
+    for key, direct_p in zip(_PARAM_KEYS, params):
+        if not np.array_equal(state[key], direct_p):
+            identical = False
+    failures = [] if identical else [
+        "dispatched client step diverged from the seed-direct numpy replica"
+    ]
+
+    def best_per_step(step, *step_args):
+        best = float("inf")
+        step(*step_args)  # warm-up
+        for _ in range(max(repeats, 2)):
+            start = time.perf_counter()
+            for _ in range(inner):
+                step(*step_args)
+            best = min(best, (time.perf_counter() - start) / inner)
+        return best
+
+    model, params = fresh_legs()
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum)
+    bufs = [None] * len(params)
+    direct_s = best_per_step(_direct_cnn_step, params, bufs, x, y, lr, momentum)
+    dispatched_s = best_per_step(dispatched_step, model, optimizer)
+    ratio = dispatched_s / direct_s
+
+    emit(f"{'model':>8} {'batch':>6} {'direct (ms)':>12} {'dispatched (ms)':>16} "
+         f"{'ratio':>7} {'bit-identical':>14}")
+    emit(f"{model_name:>8} {batch:>6} {direct_s * 1e3:>12.3f} "
+         f"{dispatched_s * 1e3:>16.3f} {ratio:>6.2f}x {str(identical):>14}")
+    if not smoke and ratio > 1.0 + max_overhead:
+        failures.append(
+            f"array-backend dispatch overhead {ratio:.3f}x direct numpy "
+            f"(bar: <= {1.0 + max_overhead:.2f}x)"
+        )
+    elif smoke:
+        emit("  (overhead bar skipped in smoke mode: sub-ms step, jitter-bound)")
+    rows = [
+        {
+            "model": model_name,
+            "batch": batch,
+            "direct_s": direct_s,
+            "dispatched_s": dispatched_s,
+            "ratio": ratio,
+            "bit_identical": identical,
+        }
+    ]
+    return rows, failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -191,6 +408,15 @@ def main(argv=None):
         help=(
             "streaming/gathered collect wall-clock bar on the process "
             "backend (noise headroom over the <= 1.0 target)"
+        ),
+    )
+    parser.add_argument(
+        "--max-dispatch-overhead",
+        type=float,
+        default=0.05,
+        help=(
+            "array-backend dispatch overhead bar: dispatched client step "
+            "<= (1 + this) x the seed-direct numpy replica (full runs only)"
         ),
     )
     args = parser.parse_args(argv)
@@ -258,6 +484,12 @@ def main(argv=None):
     if not deterministic:
         failures.append("histories/pools diverged across execution backends")
 
+    emit("\n== array-backend dispatch overhead (seed-direct vs dispatched) ==")
+    dispatch_rows, dispatch_failures = run_backend_dispatch(
+        args.smoke, args.repeats, args.max_dispatch_overhead, emit
+    )
+    failures += dispatch_failures
+
     payload = {
         "cores": cores,
         "input_size": input_size,
@@ -265,6 +497,7 @@ def main(argv=None):
         "smoke": args.smoke,
         "collect": rows,
         "streaming": stream_rows,
+        "backend_dispatch": dispatch_rows,
         "deterministic": deterministic,
         "failures": failures,
     }

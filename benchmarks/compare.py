@@ -58,20 +58,32 @@ import json
 import os
 import sys
 
-# (file, section, key fields, metric, direction, skip_smoke)
+# (file, section, key fields, metric, direction, skip_smoke[, threshold])
 # skip_smoke: the streaming ratio compares two ~0.1 s micro-timings in
 # smoke mode — pure scheduler jitter on shared runners, which is why
 # bench_client_execution.py itself only asserts its streaming bar on
 # full runs.  The gate follows suit and only gates that section on
 # full-mode artifacts.
+# threshold: optional per-gate override of the global --threshold; the
+# backend_dispatch gate uses a tight 5% bar against its parity-seeded
+# baseline (ratio 1.0), because dispatch indirection should cost
+# ~nothing — a 25% tolerance would hide a real hot-path regression.
 GATES = [
     ("BENCH_pool_engine.json", "pool_engine", ("k",), "speedup", "higher", False),
     ("BENCH_pool_engine.json", "baseline_aggregation", ("k",), "agg_speedup", "higher", False),
     ("BENCH_pool_engine.json", "similarity", ("k",), "speedup", "higher", False),
     ("BENCH_pool_engine.json", "sharded", ("k", "shards"), "ratio", "lower", False),
     ("BENCH_client_execution.json", "streaming", ("k", "backend"), "ratio", "lower", True),
+    ("BENCH_client_execution.json", "backend_dispatch", ("model",), "ratio", "lower", True, 0.05),
 ]
 FILES = sorted({gate[0] for gate in GATES})
+
+
+def _gate_fields(gate):
+    """Unpack a GATES entry; the per-gate threshold defaults to None."""
+    file, section, keys, metric, direction, skip_smoke = gate[:6]
+    override = gate[6] if len(gate) > 6 else None
+    return file, section, keys, metric, direction, skip_smoke, override
 
 
 def _load(path: str):
@@ -102,9 +114,11 @@ def compare(fresh_dir: str, baseline_dir: str, threshold: float, emit=print):
         if base is None:
             notes.append(f"{path}: no committed baseline — skipping (seed one with --write-baseline)")
             continue
-        for file, section, keys, metric, direction, skip_smoke in GATES:
+        for gate in GATES:
+            file, section, keys, metric, direction, skip_smoke, override = _gate_fields(gate)
             if file != path:
                 continue
+            gate_threshold = threshold if override is None else override
             if skip_smoke and fresh.get("smoke"):
                 notes.append(
                     f"{path}:{section}: smoke-mode artifact — ratio is "
@@ -124,15 +138,15 @@ def compare(fresh_dir: str, baseline_dir: str, threshold: float, emit=print):
                     continue
                 got, ref = float(fresh_row[metric]), float(base_row[metric])
                 if direction == "higher":
-                    bad = got < ref * (1.0 - threshold)
+                    bad = got < ref * (1.0 - gate_threshold)
                 else:
-                    bad = got > ref * (1.0 + threshold)
+                    bad = got > ref * (1.0 + gate_threshold)
                 verdict = "REGRESSION" if bad else "ok"
                 emit(f"  {label}: baseline {ref:.3f} -> fresh {got:.3f} [{verdict}]")
                 if bad:
                     regressions.append(
                         f"{label}: {got:.3f} vs baseline {ref:.3f} "
-                        f"(>{threshold:.0%} {'drop' if direction == 'higher' else 'rise'})"
+                        f"(>{gate_threshold:.0%} {'drop' if direction == 'higher' else 'rise'})"
                     )
         # Out-of-core temp ratio: dict-shaped section, gated separately.
         if path == "BENCH_pool_engine.json":
@@ -156,7 +170,8 @@ def compare(fresh_dir: str, baseline_dir: str, threshold: float, emit=print):
 def _merge_conservative(path: str, fresh: dict, base: dict) -> dict:
     """Fold ``fresh`` into ``base`` keeping the worst gated value seen."""
     merged = dict(fresh)
-    for file, section, keys, metric, direction, _skip_smoke in GATES:
+    for gate in GATES:
+        file, section, keys, metric, direction, _skip_smoke, _override = _gate_fields(gate)
         if file != path:
             continue
         base_rows = _index(base.get(section) or [], keys)

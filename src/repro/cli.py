@@ -39,6 +39,12 @@ fields, the server's phased round loop is exposed through:
     restores the gathered reference schedule.  Both schedules are
     bit-identical in histories, uploads and RNG state; streaming only
     moves server-side work off the round's critical path.
+``--array-backend numpy|cupy|...``
+    Array backend tensor math dispatches through
+    (:mod:`repro.tensor.backend`); workers of the ``process``
+    execution backend activate it too.  The ``numpy`` backend is
+    bit-identical to direct-numpy execution; ``cupy`` registers only
+    when importable.
 ``--progress``
     Attach a :class:`~repro.fl.callbacks.ThroughputLogger` printing
     per-round wall-clock and a throughput summary to stderr.
@@ -90,6 +96,17 @@ def _execution(value: str) -> str:
     try:
         resolve_execution(value)
     except KeyError as exc:
+        raise argparse.ArgumentTypeError(exc.args[0])
+    return value.lower()
+
+
+def _array_backend(value: str) -> str:
+    """Validate ``--array-backend`` against the live array-backend registry."""
+    from repro.tensor.backend import resolve_array_backend
+
+    try:
+        resolve_array_backend(value)
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(exc.args[0])
     return value.lower()
 
@@ -168,6 +185,16 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=_DEFAULTS.workers,
         help="worker count for parallel execution backends (default: one per core)",
+    )
+    parser.add_argument(
+        "--array-backend",
+        type=_array_backend,
+        default=_DEFAULTS.array_backend,
+        help=(
+            "array backend tensor math dispatches through "
+            '("numpy", "cupy" when installed, ...; default: the '
+            "process-wide active backend — REPRO_ARRAY_BACKEND or numpy)"
+        ),
     )
     parser.add_argument(
         "--streaming",
@@ -257,6 +284,7 @@ def _config_kwargs(args) -> dict:
         shard_placement=args.shard_placement,
         execution=args.execution,
         workers=args.workers,
+        array_backend=args.array_backend,
         streaming=args.streaming,
         seed=args.seed,
     )
@@ -373,12 +401,14 @@ def _cmd_bench(args) -> int:
 def _cmd_list() -> int:
     from repro.core.storage import available_backends
     from repro.fl.execution import available_executions
+    from repro.tensor.backend import available_array_backends
 
     print("methods:  ", ", ".join(available_methods()))
     print("models:   ", ", ".join(available_models()))
     print("datasets: ", ", ".join(sorted(DATASET_BUILDERS)))
     print("backends: ", ", ".join(available_backends()))
     print("execution:", ", ".join(available_executions()))
+    print("arrays:   ", ", ".join(available_array_backends()))
     return 0
 
 

@@ -83,6 +83,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.utils.registry import Registry
+
 __all__ = [
     "PoolStorage",
     "DenseStorage",
@@ -95,21 +97,12 @@ __all__ = [
 ]
 
 
-POOL_BACKENDS: dict[str, type["PoolStorage"]] = {}
+POOL_BACKENDS = Registry("pool backend", error_type=ValueError)
 
 
 def register_backend(name: str):
     """Class decorator registering a :class:`PoolStorage` backend."""
-
-    def decorator(cls: type["PoolStorage"]) -> type["PoolStorage"]:
-        key = name.lower()
-        if key in POOL_BACKENDS:
-            raise KeyError(f"pool backend {name!r} is already registered")
-        POOL_BACKENDS[key] = cls
-        cls.name = key
-        return cls
-
-    return decorator
+    return POOL_BACKENDS.register(name)
 
 
 def resolve_backend(name: str) -> type["PoolStorage"]:
@@ -119,16 +112,11 @@ def resolve_backend(name: str) -> type["PoolStorage"]:
     backend, so ``--backend`` typos fail with the fix in the message
     instead of a bare ``KeyError``.
     """
-    key = str(name).lower()
-    if key not in POOL_BACKENDS:
-        raise ValueError(
-            f"unknown pool backend {name!r}; available: {sorted(POOL_BACKENDS)}"
-        )
-    return POOL_BACKENDS[key]
+    return POOL_BACKENDS.resolve(name)
 
 
 def available_backends() -> list[str]:
-    return sorted(POOL_BACKENDS)
+    return POOL_BACKENDS.available()
 
 
 class PoolStorage:

@@ -67,6 +67,14 @@ class FLConfig:
     workers:
         Worker count for parallel execution backends (``None`` = one
         per CPU core).  Ignored by ``serial``.
+    array_backend:
+        Array backend every tensor/nn/optim operation dispatches
+        through — ``None`` (default) keeps the process-wide active
+        backend (``REPRO_ARRAY_BACKEND`` or ``"numpy"``); a name such
+        as ``"numpy"`` pins the run, including process workers, to
+        that backend; see :mod:`repro.tensor.backend`.  The ``numpy``
+        backend is bit-identical to direct-numpy execution.  Resolved
+        lazily against the array-backend registry.
     streaming:
         Consume client uploads *as they complete* (default ``True``):
         the server packs each upload and runs its per-upload work
@@ -100,6 +108,7 @@ class FLConfig:
     shard_placement: str | None = None
     execution: str = "serial"
     workers: int | None = None
+    array_backend: str | None = None
     streaming: bool = True
     seed: int = 0
     dataset_params: dict[str, Any] = field(default_factory=dict)
@@ -129,6 +138,10 @@ class FLConfig:
             raise ValueError("execution must be a non-empty backend name")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be None or >= 1")
+        if self.array_backend is not None and (
+            not isinstance(self.array_backend, str) or not self.array_backend
+        ):
+            raise ValueError("array_backend must be None or a backend name")
 
     @property
     def clients_per_round(self) -> int:

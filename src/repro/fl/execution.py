@@ -108,6 +108,7 @@ import numpy as np
 from repro.fl.hooks import HookSpec, resolve_hook
 from repro.fl.trainer import LocalResult, LocalTrainer
 from repro.utils.layout import StateLayout
+from repro.utils.registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pool import PoolBuffer
@@ -130,36 +131,21 @@ __all__ = [
 ]
 
 
-EXECUTION_BACKENDS: dict[str, type["ExecutionBackend"]] = {}
+EXECUTION_BACKENDS = Registry("execution backend", error_type=KeyError)
 
 
 def register_execution(name: str):
     """Class decorator registering an :class:`ExecutionBackend`."""
-
-    def decorator(cls: type["ExecutionBackend"]) -> type["ExecutionBackend"]:
-        key = name.lower()
-        if key in EXECUTION_BACKENDS:
-            raise KeyError(f"execution backend {name!r} is already registered")
-        EXECUTION_BACKENDS[key] = cls
-        cls.name = key
-        return cls
-
-    return decorator
+    return EXECUTION_BACKENDS.register(name)
 
 
 def resolve_execution(name: str) -> type["ExecutionBackend"]:
     """Backend class registered under ``name`` (case-insensitive)."""
-    key = str(name).lower()
-    if key not in EXECUTION_BACKENDS:
-        raise KeyError(
-            f"unknown execution backend {name!r}; available: "
-            f"{sorted(EXECUTION_BACKENDS)}"
-        )
-    return EXECUTION_BACKENDS[key]
+    return EXECUTION_BACKENDS.resolve(name)
 
 
 def available_executions() -> list[str]:
-    return sorted(EXECUTION_BACKENDS)
+    return EXECUTION_BACKENDS.available()
 
 
 # -- trainer template -------------------------------------------------------
@@ -171,6 +157,14 @@ class TrainerSpec:
     a fresh :class:`~repro.nn.module.Module` (the simulation passes a
     :func:`functools.partial` over the model registry); the remaining
     fields mirror :class:`~repro.fl.trainer.LocalTrainer`'s settings.
+
+    ``array_backend`` pins the array backend (see
+    :mod:`repro.tensor.backend`) the template is built — and every leg
+    trained — on.  Because the spec travels to process workers and
+    :meth:`build` runs inside them, this is how a run's backend choice
+    reaches worker processes that never saw the server's
+    ``set_array_backend`` call.  ``None`` keeps each process's active
+    backend.
     """
 
     model_factory: Callable[[], "Module"]
@@ -179,9 +173,14 @@ class TrainerSpec:
     lr: float = 0.01
     momentum: float = 0.5
     weight_decay: float = 0.0
+    array_backend: str | None = None
 
     def build(self) -> LocalTrainer:
         """Materialise a private trainer around a fresh model."""
+        if self.array_backend is not None:
+            from repro.tensor.backend import set_array_backend
+
+            set_array_backend(self.array_backend)
         return LocalTrainer(
             self.model_factory(),
             local_epochs=self.local_epochs,
@@ -193,7 +192,10 @@ class TrainerSpec:
 
     @classmethod
     def from_trainer(
-        cls, trainer: LocalTrainer, model_factory: "Callable[[], Module] | None" = None
+        cls,
+        trainer: LocalTrainer,
+        model_factory: "Callable[[], Module] | None" = None,
+        array_backend: str | None = None,
     ) -> "TrainerSpec":
         """Spec mirroring ``trainer``; falls back to deep-copying its
         model template when no explicit factory is supplied."""
@@ -209,6 +211,7 @@ class TrainerSpec:
             lr=trainer.lr,
             momentum=trainer.momentum,
             weight_decay=trainer.weight_decay,
+            array_backend=array_backend,
         )
 
 
@@ -945,9 +948,10 @@ class ClientExecutor:
         clients: "Sequence[Client]" = (),
         model_factory: "Callable[[], Module] | None" = None,
         workers: int | None = None,
+        array_backend: str | None = None,
     ) -> None:
         spec = (
-            TrainerSpec.from_trainer(trainer, model_factory)
+            TrainerSpec.from_trainer(trainer, model_factory, array_backend=array_backend)
             if trainer is not None
             else None
         )

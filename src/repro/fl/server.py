@@ -166,6 +166,7 @@ class FederatedServer:
             clients=self.clients,
             model_factory=model_factory,
             workers=getattr(config, "workers", None),
+            array_backend=getattr(config, "array_backend", None),
         )
         self._layout = StateLayout.from_state(model.state_dict())
         self._uploads: "PoolBuffer | None" = None

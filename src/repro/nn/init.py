@@ -4,6 +4,12 @@ All initialisers are pure functions from an explicit RNG to an ndarray,
 so model construction is fully deterministic given a seed — a property
 the FL experiments rely on: every method under comparison starts from
 identical weights.
+
+This module is a documented **host-numpy boundary** (allowlisted by
+``tools/check_numpy_imports.py``): weights are always drawn on the host
+``numpy.random.Generator`` so the bit-stream is identical on every
+array backend; :class:`~repro.tensor.Tensor` construction moves them to
+the active backend's device.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ __all__ = [
     "xavier_uniform",
     "xavier_normal",
     "uniform",
+    "normal",
     "zeros",
     "ones",
 ]
@@ -65,6 +72,11 @@ def xavier_normal(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarra
 def uniform(rng: np.random.Generator, shape: tuple[int, ...], bound: float) -> np.ndarray:
     """Uniform init in ``[-bound, bound]`` (bias vectors)."""
     return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 1.0) -> np.ndarray:
+    """Zero-mean normal init with standard deviation ``std`` (embeddings)."""
+    return (rng.standard_normal(shape) * std).astype(np.float32)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:

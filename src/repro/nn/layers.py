@@ -1,16 +1,24 @@
-"""Core trainable layers: Linear, Conv2d, Embedding, Dropout, Flatten."""
+"""Core trainable layers: Linear, Conv2d, Embedding, Dropout, Flatten.
+
+No direct ``numpy`` here: weight initialisation goes through
+:mod:`repro.nn.init` (the host-RNG boundary) and all math through the
+:class:`~repro.tensor.Tensor` dispatch layer, so layers run unchanged
+on every registered array backend.
+"""
 
 from __future__ import annotations
 
 import math
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, as_tensor
 from repro.utils.rng import default_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["Linear", "Conv2d", "Embedding", "Dropout", "Flatten", "Identity"]
 
@@ -94,11 +102,14 @@ class Embedding(Module):
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(
-            (rng.standard_normal((num_embeddings, embedding_dim)) * 0.1).astype(np.float32)
+            init.normal(rng, (num_embeddings, embedding_dim), std=0.1)
         )
 
-    def forward(self, indices: np.ndarray) -> Tensor:
-        return F.embedding(indices, self.weight)
+    def forward(self, indices) -> Tensor:
+        # Normalise like every other layer: indices become an integer
+        # Tensor, so the lookup flows through the array-backend dispatch
+        # instead of special-casing raw ndarrays.
+        return F.embedding(as_tensor(indices), self.weight)
 
     def __repr__(self) -> str:
         return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.nn.module import Module
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["CrossEntropyLoss", "MSELoss", "BCEWithLogitsLoss"]
 

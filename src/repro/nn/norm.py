@@ -9,9 +9,9 @@ builders accept either.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.tensor.backend import to_host
 from repro.tensor.tensor import Tensor
 
 __all__ = ["BatchNorm2d", "GroupNorm", "LayerNorm"]
@@ -25,10 +25,10 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
-        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
-        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
-        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.weight = Parameter(init.ones(num_features))
+        self.bias = Parameter(init.zeros(num_features))
+        self.register_buffer("running_mean", init.zeros(num_features))
+        self.register_buffer("running_var", init.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
@@ -36,10 +36,11 @@ class BatchNorm2d(Module):
         if self.training:
             mean = x.mean(axis=(0, 2, 3), keepdims=True)
             var = x.var(axis=(0, 2, 3), keepdims=True)
-            # Track running statistics with detached batch moments.
+            # Track running statistics with detached batch moments
+            # (buffers live on the host; ``to_host`` is free on numpy).
             m = self.momentum
-            batch_mean = mean.data.reshape(-1)
-            batch_var = var.data.reshape(-1)
+            batch_mean = to_host(mean.data).reshape(-1)
+            batch_var = to_host(var.data).reshape(-1)
             self._set_buffer("running_mean", (1 - m) * self.running_mean + m * batch_mean)
             self._set_buffer("running_var", (1 - m) * self.running_var + m * batch_var)
         else:
@@ -66,8 +67,8 @@ class GroupNorm(Module):
         self.num_groups = num_groups
         self.num_channels = num_channels
         self.eps = eps
-        self.weight = Parameter(np.ones(num_channels, dtype=np.float32))
-        self.bias = Parameter(np.zeros(num_channels, dtype=np.float32))
+        self.weight = Parameter(init.ones(num_channels))
+        self.bias = Parameter(init.zeros(num_channels))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
@@ -93,8 +94,8 @@ class LayerNorm(Module):
         super().__init__()
         self.normalized_shape = normalized_shape
         self.eps = eps
-        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32))
-        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
+        self.weight = Parameter(init.ones(normalized_shape))
+        self.bias = Parameter(init.zeros(normalized_shape))
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)

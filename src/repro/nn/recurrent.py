@@ -9,14 +9,16 @@ dicts have the familiar ``weight_ih/weight_hh/bias_ih/bias_hh`` keys.
 from __future__ import annotations
 
 import math
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.nn import init
 from repro.nn.module import Module, ModuleList, Parameter
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, concatenate, stack
 from repro.utils.rng import default_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -43,8 +45,8 @@ class LSTMCell(Module):
         """One step: ``x`` is ``(N, input_size)``; returns ``(h, c)``."""
         n = x.shape[0]
         if state is None:
-            h = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
-            c = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+            h = Tensor(init.zeros((n, self.hidden_size)))
+            c = Tensor(init.zeros((n, self.hidden_size)))
         else:
             h, c = state
         gates = F.linear(x, self.weight_ih, self.bias_ih) + F.linear(h, self.weight_hh, self.bias_hh)

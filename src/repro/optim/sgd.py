@@ -7,11 +7,13 @@ update ``p <- p - lr b``; Nesterov variant supported) so the paper's
 
 from __future__ import annotations
 
-from typing import Iterable
-
-import numpy as np
+from typing import TYPE_CHECKING, Iterable
 
 from repro.nn.module import Parameter
+from repro.tensor.backend import active_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["SGD"]
 
@@ -54,6 +56,7 @@ class SGD:
         clients previously touched the template (and breaking
         bit-reproducibility across execution backends).
         """
+        backend = active_backend()
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
@@ -65,7 +68,7 @@ class SGD:
                 buf = grad.copy() if buf is None else self.momentum * buf + grad
                 self._buffers[i] = buf
                 grad = grad + self.momentum * buf if self.nesterov else buf
-            p.data = np.asarray(p.data - self.lr * grad, dtype=p.data.dtype)
+            p.data = backend.asarray(p.data - self.lr * grad, dtype=p.data.dtype)
 
     def reset_state(self) -> None:
         """Drop momentum buffers (used when a client receives new weights)."""

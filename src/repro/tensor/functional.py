@@ -9,12 +9,21 @@ Convolutions use the classic im2col lowering: each sliding window is
 unrolled into a column so the convolution becomes one large matrix
 multiply. On small CIFAR-scale inputs this is the fastest pure-NumPy
 strategy by a wide margin.
+
+Array math dispatches through the active
+:class:`~repro.tensor.backend.ArrayBackend`.  Two documented host-side
+exceptions keep raw NumPy: :func:`im2col_indices` (window *index
+metadata* — tiny integer arrays computed once per shape and converted
+to backend arrays by the callers that index with them) and
+:func:`one_hot` (a host-label helper whose output feeds host-side
+pipelines, not the training hot path).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.backend import active_backend
 from repro.tensor.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -59,6 +68,10 @@ def im2col_indices(
     For input of shape ``(N, C, H, W)`` (already padded), the returned
     indices select an array of shape ``(C*kh*kw, out_h*out_w)`` per
     sample when used as ``x[:, k, i, j]``.
+
+    Host NumPy on purpose: these are integer index *metadata*, a few KB
+    computed per (shape, kernel, stride) combination; callers convert
+    them to backend arrays before indexing device arrays with them.
     """
     _, c, h, w = x_shape
     out_h = (h - kh) // stride + 1
@@ -91,6 +104,7 @@ def conv2d(
     weight: ``(C_out, C_in, kH, kW)`` filters.
     bias: optional ``(C_out,)``.
     """
+    bk = active_backend()
     x = as_tensor(x)
     weight = as_tensor(weight)
     n, c_in, h, w = x.shape
@@ -99,36 +113,39 @@ def conv2d(
         raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
 
     if padding:
-        x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        x_pad = bk.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
     else:
         x_pad = x.data
     hp, wp = x_pad.shape[2], x_pad.shape[3]
     out_h = (hp - kh) // stride + 1
     out_w = (wp - kw) // stride + 1
 
-    k_idx, i_idx, j_idx = im2col_indices(x_pad.shape, kh, kw, stride)
+    k_idx, i_idx, j_idx = (
+        bk.asarray(idx) for idx in im2col_indices(x_pad.shape, kh, kw, stride)
+    )
     # cols: (N, C*kh*kw, out_h*out_w)
     cols = x_pad[:, k_idx, i_idx, j_idx]
     w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
-    out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+    out = bk.einsum("ok,nkp->nop", w_mat, cols)
     out = out.reshape(n, c_out, out_h, out_w)
     if bias is not None:
         out = out + bias.data.reshape(1, c_out, 1, 1)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
-    def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)  # (N, C_out, out_h, out_w)
+    def backward(g) -> None:
+        bk = active_backend()
+        g = bk.asarray(g)  # (N, C_out, out_h, out_w)
         g_mat = g.reshape(n, c_out, -1)  # (N, C_out, P)
         if weight.requires_grad:
-            grad_w = np.einsum("nop,nkp->ok", g_mat, cols, optimize=True)
+            grad_w = bk.einsum("nop,nkp->ok", g_mat, cols)
             weight._accumulate(grad_w.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(g.sum(axis=(0, 2, 3)))
         if x.requires_grad:
-            grad_cols = np.einsum("ok,nop->nkp", w_mat, g_mat, optimize=True)
-            grad_pad = np.zeros((n, c_in, hp, wp), dtype=x.data.dtype)
-            np.add.at(grad_pad, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+            grad_cols = bk.einsum("ok,nop->nkp", w_mat, g_mat)
+            grad_pad = bk.zeros((n, c_in, hp, wp), dtype=x.data.dtype)
+            bk.add_at(grad_pad, (slice(None), k_idx, i_idx, j_idx), grad_cols)
             if padding:
                 grad_pad = grad_pad[:, :, padding:-padding, padding:-padding]
             x._accumulate(grad_pad)
@@ -138,6 +155,7 @@ def conv2d(
 
 def max_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Tensor:
     """Max pooling over non-overlapping (or strided) windows, NCHW."""
+    bk = active_backend()
     x = as_tensor(x)
     stride = stride or kernel_size
     n, c, h, w = x.shape
@@ -153,28 +171,32 @@ def max_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Te
         # Break ties: distribute gradient evenly among tied maxima.
         counts = mask.sum(axis=(3, 5), keepdims=True)
 
-        def backward(g: np.ndarray) -> None:
-            g6 = np.asarray(g)[:, :, :, None, :, None]
+        def backward(g) -> None:
+            g6 = active_backend().asarray(g)[:, :, :, None, :, None]
             grad = (mask / counts) * g6
             x._accumulate(grad.reshape(n, c, h, w))
 
         return Tensor._make(out, (x,), backward, "max_pool2d")
 
     # General strided path via im2col.
-    k_idx, i_idx, j_idx = im2col_indices((n, c, h, w), kernel_size, kernel_size, stride)
+    k_idx, i_idx, j_idx = (
+        bk.asarray(idx)
+        for idx in im2col_indices((n, c, h, w), kernel_size, kernel_size, stride)
+    )
     cols = x.data[:, k_idx, i_idx, j_idx]  # (N, C*k*k, P)
     cols = cols.reshape(n, c, kernel_size * kernel_size, -1)
     arg = cols.argmax(axis=2)  # (N, C, P)
-    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
+    out = bk.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
     out = out.reshape(n, c, out_h, out_w)
 
-    def backward_general(g: np.ndarray) -> None:
-        g = np.asarray(g).reshape(n, c, -1)
-        grad_cols = np.zeros((n, c, kernel_size * kernel_size, g.shape[-1]), dtype=x.data.dtype)
-        np.put_along_axis(grad_cols, arg[:, :, None, :], g[:, :, None, :], axis=2)
+    def backward_general(g) -> None:
+        bk = active_backend()
+        g = bk.asarray(g).reshape(n, c, -1)
+        grad_cols = bk.zeros((n, c, kernel_size * kernel_size, g.shape[-1]), dtype=x.data.dtype)
+        bk.put_along_axis(grad_cols, arg[:, :, None, :], g[:, :, None, :], axis=2)
         grad_cols = grad_cols.reshape(n, c * kernel_size * kernel_size, -1)
-        grad = np.zeros_like(x.data)
-        np.add.at(grad, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+        grad = bk.zeros_like(x.data)
+        bk.add_at(grad, (slice(None), k_idx, i_idx, j_idx), grad_cols)
         x._accumulate(grad)
 
     return Tensor._make(out, (x,), backward_general, "max_pool2d")
@@ -191,9 +213,10 @@ def avg_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Te
         out = reshaped.mean(axis=(3, 5))
         scale = 1.0 / (kernel_size * kernel_size)
 
-        def backward(g: np.ndarray) -> None:
-            g6 = np.asarray(g)[:, :, :, None, :, None]
-            grad = np.broadcast_to(g6 * scale, (n, c, out_h, kernel_size, out_w, kernel_size))
+        def backward(g) -> None:
+            bk = active_backend()
+            g6 = bk.asarray(g)[:, :, :, None, :, None]
+            grad = bk.broadcast_to(g6 * scale, (n, c, out_h, kernel_size, out_w, kernel_size))
             x._accumulate(grad.reshape(n, c, h, w))
 
         return Tensor._make(out, (x,), backward, "avg_pool2d")
@@ -210,14 +233,15 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 # ----------------------------------------------------------------------
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable log-softmax with a fused backward pass."""
+    bk = active_backend()
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    log_z = bk.log(bk.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - log_z
-    softmax_vals = np.exp(out)
+    softmax_vals = bk.exp(out)
 
-    def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
+    def backward(g) -> None:
+        g = active_backend().asarray(g)
         x._accumulate(g - softmax_vals * g.sum(axis=axis, keepdims=True))
 
     return Tensor._make(out, (x,), backward, "log_softmax")
@@ -225,13 +249,14 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax with a fused backward pass."""
+    bk = active_backend()
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
+    e = bk.exp(shifted)
     out = e / e.sum(axis=axis, keepdims=True)
 
-    def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
+    def backward(g) -> None:
+        g = active_backend().asarray(g)
         inner = (g * out).sum(axis=axis, keepdims=True)
         x._accumulate(out * (g - inner))
 
@@ -239,22 +264,26 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
-    """Plain ndarray one-hot encoding of integer labels."""
+    """Plain ndarray one-hot encoding of integer labels (host helper)."""
     labels = np.asarray(labels, dtype=np.int64)
     out = np.zeros((labels.size, num_classes), dtype=dtype)
     out[np.arange(labels.size), labels.reshape(-1)] = 1.0
     return out.reshape(labels.shape + (num_classes,))
 
 
-def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+def nll_loss(log_probs: Tensor, targets, reduction: str = "mean") -> Tensor:
     """Negative log likelihood given ``log_softmax`` outputs.
 
-    ``targets`` is an integer ndarray of shape ``(N,)``.
+    ``targets`` is an integer array (or integer Tensor) of shape ``(N,)``.
     """
+    bk = active_backend()
     log_probs = as_tensor(log_probs)
-    targets = np.asarray(targets, dtype=np.int64)
+    targets = bk.asarray(
+        targets.data if isinstance(targets, Tensor) else targets, dtype=np.int64
+    )
     n = log_probs.shape[0]
-    picked = log_probs.data[np.arange(n), targets]
+    rows = bk.arange(n)
+    picked = log_probs.data[rows, targets]
     if reduction == "mean":
         value = -picked.mean()
         scale = 1.0 / n
@@ -264,16 +293,19 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") ->
     else:
         raise ValueError(f"unknown reduction {reduction!r}")
 
-    def backward(g: np.ndarray) -> None:
-        g = float(np.asarray(g))
-        grad = np.zeros_like(log_probs.data)
-        grad[np.arange(n), targets] = -g * scale
+    def backward(g) -> None:
+        bk = active_backend()
+        g = float(bk.to_numpy(bk.asarray(g)))
+        grad = bk.zeros_like(log_probs.data)
+        grad[rows, targets] = -g * scale
         log_probs._accumulate(grad)
 
-    return Tensor._make(np.asarray(value, dtype=log_probs.dtype), (log_probs,), backward, "nll")
+    return Tensor._make(
+        bk.asarray(value, dtype=log_probs.dtype), (log_probs,), backward, "nll"
+    )
 
 
-def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+def cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
     """Softmax cross-entropy from raw logits (the paper's classification loss)."""
     return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
 
@@ -287,23 +319,27 @@ def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
     return sq.mean() if reduction == "mean" else sq.sum()
 
 
-def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
     """Stable BCE from logits: ``max(z,0) - z*y + log(1 + exp(-|z|))``."""
+    bk = active_backend()
     logits = as_tensor(logits)
     z = logits.data
-    y = np.asarray(targets, dtype=z.dtype)
-    value = np.maximum(z, 0) - z * y + np.log1p(np.exp(-np.abs(z)))
+    y = bk.asarray(
+        targets.data if isinstance(targets, Tensor) else targets, dtype=z.dtype
+    )
+    value = bk.maximum(z, 0) - z * y + bk.log1p(bk.exp(-bk.abs(z)))
     out_val = value.mean()
     # Stable sigmoid: exp only ever sees non-positive arguments.
     pos = z >= 0
-    ez = np.exp(np.where(pos, -z, z))
-    sig = np.where(pos, 1.0 / (1.0 + ez), ez / (1.0 + ez))
+    ez = bk.exp(bk.where(pos, -z, z))
+    sig = bk.where(pos, 1.0 / (1.0 + ez), ez / (1.0 + ez))
 
-    def backward(g: np.ndarray) -> None:
-        g = float(np.asarray(g))
+    def backward(g) -> None:
+        bk = active_backend()
+        g = float(bk.to_numpy(bk.asarray(g)))
         logits._accumulate(g * (sig - y) / z.size)
 
-    return Tensor._make(np.asarray(out_val, dtype=z.dtype), (logits,), backward, "bce_logits")
+    return Tensor._make(bk.asarray(out_val, dtype=z.dtype), (logits,), backward, "bce_logits")
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
@@ -312,26 +348,36 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         return as_tensor(x)
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    bk = active_backend()
     x = as_tensor(x)
     keep = 1.0 - p
-    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    mask = (bk.random_uniform(rng, x.shape) < keep).astype(x.data.dtype) / keep
     out = x.data * mask
 
-    def backward(g: np.ndarray) -> None:
-        x._accumulate(np.asarray(g) * mask)
+    def backward(g) -> None:
+        x._accumulate(active_backend().asarray(g) * mask)
 
     return Tensor._make(out, (x,), backward, "dropout")
 
 
-def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
-    """Lookup rows of ``weight`` (``(vocab, dim)``) by integer ``indices``."""
+def embedding(indices, weight: Tensor) -> Tensor:
+    """Lookup rows of ``weight`` (``(vocab, dim)``) by integer ``indices``.
+
+    ``indices`` may be an integer array or an integer :class:`Tensor`
+    (layers normalise through :func:`~repro.tensor.tensor.as_tensor`, so
+    indices flow through the dispatch layer like every other input).
+    """
+    bk = active_backend()
     weight = as_tensor(weight)
-    idx = np.asarray(indices, dtype=np.int64)
+    idx = bk.asarray(
+        indices.data if isinstance(indices, Tensor) else indices, dtype=np.int64
+    )
     out = weight.data[idx]
 
-    def backward(g: np.ndarray) -> None:
-        grad = np.zeros_like(weight.data)
-        np.add.at(grad, idx.reshape(-1), np.asarray(g).reshape(-1, weight.shape[1]))
+    def backward(g) -> None:
+        bk = active_backend()
+        grad = bk.zeros_like(weight.data)
+        bk.add_at(grad, idx.reshape(-1), bk.asarray(g).reshape(-1, weight.shape[1]))
         weight._accumulate(grad)
 
     return Tensor._make(out, (weight,), backward, "embedding")

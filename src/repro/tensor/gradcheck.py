@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.tensor.backend import to_host
 from repro.tensor.tensor import Tensor
 
 __all__ = ["gradcheck"]
@@ -54,10 +55,10 @@ def gradcheck(
     out = fn(*inputs)
     loss = out.sum() if out.size != 1 else out
     loss.backward()
-    analytic = [None if t.grad is None else t.grad.copy() for t in inputs]
+    analytic = [None if t.grad is None else to_host(t.grad).copy() for t in inputs]
 
     for idx, t in enumerate(inputs):
-        numeric = np.zeros_like(t.data, dtype=np.float64)
+        numeric = np.zeros(t.data.shape, dtype=np.float64)
         flat = t.data.reshape(-1)
         num_flat = numeric.reshape(-1)
         for i in range(flat.size):
@@ -84,4 +85,4 @@ def gradcheck(
 def _eval_sum(fn: Callable[..., Tensor], inputs: Sequence[Tensor]) -> float:
     """Evaluate ``sum(fn(*inputs))`` without touching existing gradients."""
     out = fn(*inputs)
-    return float(np.asarray(out.data, dtype=np.float64).sum())
+    return float(np.asarray(to_host(out.data), dtype=np.float64).sum())

@@ -1,29 +1,40 @@
 """The autograd ``Tensor`` type.
 
-A ``Tensor`` wraps a ``numpy.ndarray`` and, while gradient mode is
-enabled (see :mod:`repro.tensor.autograd`), records enough information to
-run reverse-mode automatic differentiation: the parent tensors and a
+A ``Tensor`` wraps an array owned by the active
+:class:`~repro.tensor.backend.ArrayBackend` (a ``numpy.ndarray`` on the
+default backend) and, while gradient mode is enabled (see
+:mod:`repro.tensor.autograd`), records enough information to run
+reverse-mode automatic differentiation: the parent tensors and a
 closure that maps the output gradient onto each parent's gradient.
 
 Design notes
 ------------
-* Gradients accumulate into ``tensor.grad`` (a raw ndarray), mirroring
-  the PyTorch convention the paper's implementation relies on
+* Gradients accumulate into ``tensor.grad`` (a raw backend array),
+  mirroring the PyTorch convention the paper's implementation relies on
   (``zero_grad`` between steps, ``+=`` accumulation inside a step).
 * Broadcasting is fully supported: ``_unbroadcast`` reduces an upstream
   gradient back onto a parent's shape by summing over broadcast axes.
 * The graph is a DAG of ``Tensor`` nodes; ``backward`` runs a
   depth-first topological sort and applies each node's backward closure
   exactly once.
+* All array *math* dispatches through :func:`active_backend`; only
+  array **methods** (``.sum``, ``.reshape``, ``@`` …), which every
+  backend's array type shares, are called directly.  On the ``numpy``
+  backend every dispatched call is the identical NumPy call the
+  pre-dispatch code made, so results are bit-identical to the seed
+  direct-numpy path.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.tensor.autograd import is_grad_enabled
+from repro.tensor.backend import active_backend
 
 __all__ = ["Tensor", "as_tensor"]
 
@@ -32,10 +43,10 @@ _DEFAULT_DTYPE = np.float32
 ArrayLike = "Tensor | np.ndarray | float | int | list | tuple"
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+def _unbroadcast(grad, shape: tuple[int, ...]):
     """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``.
 
-    NumPy broadcasting aligns shapes from the right and virtually repeats
+    Broadcasting aligns shapes from the right and virtually repeats
     size-1 (or missing) axes; the adjoint of a repeat is a sum, so the
     gradient of a broadcast operand is the upstream gradient summed back
     to the operand's original shape.
@@ -53,24 +64,29 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _coerce(value) -> np.ndarray:
-    """Convert ``value`` to a float ndarray without copying when possible."""
-    if isinstance(value, np.ndarray):
-        if value.dtype.kind in "fc":
-            return value
-        return value.astype(_DEFAULT_DTYPE)
-    if isinstance(value, (float, int, np.floating, np.integer)):
-        return np.asarray(value, dtype=_DEFAULT_DTYPE)
-    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+def _coerce(value):
+    """Convert ``value`` to a backend array without copying when possible.
+
+    Float/complex/integer arrays keep their dtype (integer tensors feed
+    index ops such as :func:`repro.tensor.functional.embedding`); bool
+    and everything else coerces to the default float dtype.  On the
+    numpy backend an already-suitable ndarray passes through untouched.
+    """
+    bk = active_backend()
+    if isinstance(value, (np.ndarray, bk.array_type)):
+        if value.dtype.kind in "fcui":
+            return bk.asarray(value, dtype=value.dtype)
+        return bk.asarray(value, dtype=_DEFAULT_DTYPE)
+    return bk.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 class Tensor:
-    """A NumPy-backed tensor with reverse-mode automatic differentiation.
+    """A backend-array tensor with reverse-mode automatic differentiation.
 
     Parameters
     ----------
     data:
-        Anything convertible to a float ndarray.
+        Anything convertible to a float array on the active backend.
     requires_grad:
         When True (and grad mode is on), operations involving this
         tensor extend the autograd graph and ``backward`` will populate
@@ -89,10 +105,10 @@ class Tensor:
     __array_priority__ = 100.0  # ensure ndarray + Tensor dispatches to Tensor
 
     def __init__(self, data, requires_grad: bool = False) -> None:
-        self.data: np.ndarray = _coerce(data)
-        self.grad: np.ndarray | None = None
+        self.data = _coerce(data)
+        self.grad = None
         self.requires_grad: bool = bool(requires_grad)
-        self._backward: Callable[[np.ndarray], None] | None = None
+        self._backward: Callable | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._op: str = ""
 
@@ -101,9 +117,9 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(
-        data: np.ndarray,
+        data,
         parents: Sequence["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable,
         op: str,
     ) -> "Tensor":
         """Create an op output, wiring the graph if grad mode requires it."""
@@ -139,8 +155,9 @@ class Tensor:
         return self.transpose()
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying ndarray (no copy)."""
-        return self.data
+        """Return the underlying data as a host ndarray (no copy on the
+        numpy backend; a device→host transfer elsewhere)."""
+        return active_backend().to_numpy(self.data)
 
     def item(self) -> float:
         """Return the value of a single-element tensor as a Python float."""
@@ -171,7 +188,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Backward pass
     # ------------------------------------------------------------------
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad=None) -> None:
         """Run reverse-mode autodiff from this tensor.
 
         Parameters
@@ -180,6 +197,7 @@ class Tensor:
             Upstream gradient; defaults to ones (only valid for scalar
             outputs, matching the usual loss.backward() idiom).
         """
+        bk = active_backend()
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         if grad is None:
@@ -188,8 +206,8 @@ class Tensor:
                     "backward() without an explicit gradient is only supported for "
                     f"scalar outputs; this tensor has shape {self.shape}"
                 )
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            grad = bk.ones_like(self.data)
+        grad = bk.asarray(grad, dtype=self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -212,11 +230,11 @@ class Tensor:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad) -> None:
         """Add ``grad`` into ``self.grad`` (lazily allocated)."""
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad), self.data.shape)
+        grad = _unbroadcast(active_backend().asarray(grad), self.data.shape)
         if self.grad is None:
             self.grad = grad.astype(self.data.dtype, copy=True)
         else:
@@ -229,7 +247,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data + other.data
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g)
             other._accumulate(g)
 
@@ -241,7 +259,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data * other.data
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * other.data)
             other._accumulate(g * self.data)
 
@@ -253,7 +271,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data - other.data
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g)
             other._accumulate(-g)
 
@@ -266,7 +284,7 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data / other.data
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g / other.data)
             other._accumulate(-g * self.data / (other.data * other.data))
 
@@ -278,7 +296,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         out_data = -self.data
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(-g)
 
         return Tensor._make(out_data, (self,), backward, "neg")
@@ -288,7 +306,7 @@ class Tensor:
             raise TypeError("Tensor ** only supports Python scalar exponents")
         out_data = self.data**exponent
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * exponent * self.data ** (exponent - 1))
 
         return Tensor._make(out_data, (self,), backward, f"pow{exponent}")
@@ -316,81 +334,87 @@ class Tensor:
     # Transcendental / unary ops
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = active_backend().exp(self.data)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * out_data)
 
         return Tensor._make(out_data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        out_data = active_backend().log(self.data)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g / self.data)
 
         return Tensor._make(out_data, (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
+        out_data = active_backend().sqrt(self.data)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * 0.5 / out_data)
 
         return Tensor._make(out_data, (self,), backward, "sqrt")
 
     def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
+        bk = active_backend()
+        out_data = bk.abs(self.data)
 
-        def backward(g: np.ndarray) -> None:
-            self._accumulate(g * np.sign(self.data))
+        def backward(g) -> None:
+            self._accumulate(g * bk.sign(self.data))
 
         return Tensor._make(out_data, (self,), backward, "abs")
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = active_backend().tanh(self.data)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * (1.0 - out_data * out_data))
 
         return Tensor._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
+        bk = active_backend()
         # Numerically stable logistic: exp only ever sees non-positive values.
-        out_data = np.where(
+        out_data = bk.where(
             self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, 0, None))),
-            np.exp(np.clip(self.data, None, 0)) / (1.0 + np.exp(np.clip(self.data, None, 0))),
+            1.0 / (1.0 + bk.exp(-bk.clip(self.data, 0, None))),
+            bk.exp(bk.clip(self.data, None, 0))
+            / (1.0 + bk.exp(bk.clip(self.data, None, 0))),
         ).astype(self.data.dtype)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * out_data * (1.0 - out_data))
 
         return Tensor._make(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-        out_data = np.where(mask, self.data, 0.0).astype(self.data.dtype)
+        out_data = active_backend().where(mask, self.data, 0.0).astype(self.data.dtype)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * mask)
 
         return Tensor._make(out_data, (self,), backward, "relu")
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        bk = active_backend()
         mask = self.data > 0
-        out_data = np.where(mask, self.data, negative_slope * self.data).astype(self.data.dtype)
+        out_data = bk.where(mask, self.data, negative_slope * self.data).astype(
+            self.data.dtype
+        )
 
-        def backward(g: np.ndarray) -> None:
-            self._accumulate(g * np.where(mask, 1.0, negative_slope))
+        def backward(g) -> None:
+            self._accumulate(g * bk.where(mask, 1.0, negative_slope))
 
         return Tensor._make(out_data, (self,), backward, "leaky_relu")
 
     def clip(self, low: float, high: float) -> "Tensor":
-        out_data = np.clip(self.data, low, high)
+        out_data = active_backend().clip(self.data, low, high)
         mask = (self.data >= low) & (self.data <= high)
 
-        def backward(g: np.ndarray) -> None:
+        def backward(g) -> None:
             self._accumulate(g * mask)
 
         return Tensor._make(out_data, (self,), backward, "clip")
@@ -401,13 +425,14 @@ class Tensor:
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
-        def backward(g: np.ndarray) -> None:
-            grad = np.asarray(g)
+        def backward(g) -> None:
+            bk = active_backend()
+            grad = bk.asarray(g)
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 for ax in sorted(a % self.data.ndim for a in axes):
-                    grad = np.expand_dims(grad, ax)
-            self._accumulate(np.broadcast_to(grad, self.data.shape))
+                    grad = bk.expand_dims(grad, ax)
+            self._accumulate(bk.broadcast_to(grad, self.data.shape))
 
         return Tensor._make(out_data, (self,), backward, "sum")
 
@@ -416,7 +441,7 @@ class Tensor:
             count = self.data.size
         else:
             axes = (axis,) if isinstance(axis, int) else tuple(axis)
-            count = int(np.prod([self.data.shape[a] for a in axes]))
+            count = math.prod(self.data.shape[a] for a in axes)
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def var(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
@@ -427,14 +452,15 @@ class Tensor:
     def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
 
-        def backward(g: np.ndarray) -> None:
-            grad = np.asarray(g)
+        def backward(g) -> None:
+            bk = active_backend()
+            grad = bk.asarray(g)
             if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
+                grad = bk.expand_dims(grad, axis)
                 maxes = self.data.max(axis=axis, keepdims=True)
             else:
                 maxes = out_data if keepdims or axis is None else None
-                if maxes is None or np.ndim(maxes) != self.data.ndim:
+                if maxes is None or getattr(maxes, "ndim", 0) != self.data.ndim:
                     maxes = self.data.max(axis=axis, keepdims=True)
             mask = self.data == maxes
             # Split the gradient evenly across ties (subgradient choice).
@@ -455,8 +481,8 @@ class Tensor:
         out_data = self.data.reshape(shape)
         original = self.data.shape
 
-        def backward(g: np.ndarray) -> None:
-            self._accumulate(np.asarray(g).reshape(original))
+        def backward(g) -> None:
+            self._accumulate(active_backend().asarray(g).reshape(original))
 
         return Tensor._make(out_data, (self,), backward, "reshape")
 
@@ -470,19 +496,20 @@ class Tensor:
             axes = tuple(axes[0])
         perm = axes if axes else tuple(reversed(range(self.data.ndim)))
         out_data = self.data.transpose(perm)
-        inverse = tuple(np.argsort(perm))
+        inverse = tuple(sorted(range(len(perm)), key=perm.__getitem__))
 
-        def backward(g: np.ndarray) -> None:
-            self._accumulate(np.asarray(g).transpose(inverse))
+        def backward(g) -> None:
+            self._accumulate(active_backend().asarray(g).transpose(inverse))
 
         return Tensor._make(out_data, (self,), backward, "transpose")
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
 
-        def backward(g: np.ndarray) -> None:
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, index, g)
+        def backward(g) -> None:
+            bk = active_backend()
+            grad = bk.zeros_like(self.data)
+            bk.add_at(grad, index, g)
             self._accumulate(grad)
 
         return Tensor._make(out_data, (self,), backward, "getitem")
@@ -492,11 +519,11 @@ class Tensor:
         if padding == 0:
             return self
         pad_width = [(0, 0)] * (self.data.ndim - 2) + [(padding, padding), (padding, padding)]
-        out_data = np.pad(self.data, pad_width)
+        out_data = active_backend().pad(self.data, pad_width)
         sl = (Ellipsis, slice(padding, -padding), slice(padding, -padding))
 
-        def backward(g: np.ndarray) -> None:
-            self._accumulate(np.asarray(g)[sl])
+        def backward(g) -> None:
+            self._accumulate(active_backend().asarray(g)[sl])
 
         return Tensor._make(out_data, (self,), backward, "pad2d")
 
@@ -507,23 +534,24 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data @ other.data
 
-        def backward(g: np.ndarray) -> None:
-            g = np.asarray(g)
+        def backward(g) -> None:
+            bk = active_backend()
+            g = bk.asarray(g)
             a, b = self.data, other.data
             if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
                 self._accumulate(g * b)
                 other._accumulate(g * a)
                 return
             if a.ndim == 1:  # (k,) @ (..., k, n)
-                self._accumulate((np.expand_dims(g, -2) @ np.swapaxes(b, -1, -2)).reshape(a.shape))
-                other._accumulate(np.expand_dims(a, -1) @ np.expand_dims(g, -2))
+                self._accumulate((bk.expand_dims(g, -2) @ bk.swapaxes(b, -1, -2)).reshape(a.shape))
+                other._accumulate(bk.expand_dims(a, -1) @ bk.expand_dims(g, -2))
                 return
             if b.ndim == 1:  # (..., m, k) @ (k,)
-                self._accumulate(np.expand_dims(g, -1) @ np.expand_dims(b, -2))
-                other._accumulate(_unbroadcast(np.swapaxes(a, -1, -2) @ np.expand_dims(g, -1), b.shape + (1,)).reshape(b.shape))
+                self._accumulate(bk.expand_dims(g, -1) @ bk.expand_dims(b, -2))
+                other._accumulate(_unbroadcast(bk.swapaxes(a, -1, -2) @ bk.expand_dims(g, -1), b.shape + (1,)).reshape(b.shape))
                 return
-            grad_a = g @ np.swapaxes(b, -1, -2)
-            grad_b = np.swapaxes(a, -1, -2) @ g
+            grad_a = g @ bk.swapaxes(b, -1, -2)
+            grad_b = bk.swapaxes(a, -1, -2) @ g
             self._accumulate(_unbroadcast(grad_a, a.shape))
             other._accumulate(_unbroadcast(grad_b, b.shape))
 
@@ -547,12 +575,12 @@ def as_tensor(value) -> Tensor:
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    out_data = active_backend().concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    offsets = list(itertools.accumulate(sizes, initial=0))
 
-    def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
+    def backward(g) -> None:
+        g = active_backend().asarray(g)
         for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
             sl = [slice(None)] * g.ndim
             sl[axis] = slice(start, stop)
@@ -564,25 +592,28 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable stack along a new ``axis``."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
+    out_data = active_backend().stack([t.data for t in tensors], axis=axis)
 
-    def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
+    def backward(g) -> None:
+        bk = active_backend()
+        g = bk.asarray(g)
         for i, t in enumerate(tensors):
-            t._accumulate(np.take(g, i, axis=axis))
+            t._accumulate(bk.take(g, i, axis=axis))
 
     return Tensor._make(out_data, tuple(tensors), backward, "stack")
 
 
-def where(condition: np.ndarray, a, b) -> Tensor:
+def where(condition, a, b) -> Tensor:
     """Differentiable selection: ``condition`` is a plain boolean array."""
+    bk = active_backend()
     a, b = as_tensor(a), as_tensor(b)
-    cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
+    cond = bk.asarray(condition, dtype=bool)
+    out_data = bk.where(cond, a.data, b.data)
 
-    def backward(g: np.ndarray) -> None:
-        g = np.asarray(g)
-        a._accumulate(np.where(cond, g, 0.0))
-        b._accumulate(np.where(cond, 0.0, g))
+    def backward(g) -> None:
+        bk = active_backend()
+        g = bk.asarray(g)
+        a._accumulate(bk.where(cond, g, 0.0))
+        b._accumulate(bk.where(cond, 0.0, g))
 
     return Tensor._make(out_data, (a, b), backward, "where")

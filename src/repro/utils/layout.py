@@ -20,6 +20,8 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.tensor.backend import to_host
+
 __all__ = ["FieldSpec", "StateLayout"]
 
 
@@ -74,10 +76,15 @@ class StateLayout:
     # -- construction -----------------------------------------------------
     @staticmethod
     def _signature(state: Mapping[str, np.ndarray]) -> tuple:
-        return tuple(
-            (k, np.asarray(state[k]).shape, np.asarray(state[k]).dtype.str)
-            for k in sorted(state)
-        )
+        # Reads only shape/dtype metadata, so device-backend arrays
+        # never transfer just to derive a layout.
+        sig = []
+        for k in sorted(state):
+            arr = state[k]
+            if not hasattr(arr, "shape"):
+                arr = np.asarray(arr)
+            sig.append((k, tuple(arr.shape), np.dtype(arr.dtype).str))
+        return tuple(sig)
 
     @classmethod
     def from_state(cls, state: Mapping[str, np.ndarray]) -> "StateLayout":
@@ -114,11 +121,18 @@ class StateLayout:
 
     # -- flat <-> dict -----------------------------------------------------
     def flatten_into(self, state: Mapping[str, np.ndarray], out: np.ndarray) -> np.ndarray:
-        """Pack ``state`` into the preallocated flat row ``out``."""
+        """Pack ``state`` into the preallocated flat row ``out``.
+
+        This is the device→host upload boundary: entries may live on a
+        non-numpy array backend, and land in the (host shared-memory /
+        shard) row through :func:`~repro.tensor.backend.to_host` — an
+        identity for host arrays, so the numpy path is byte-for-byte
+        the pre-dispatch behaviour.
+        """
         if out.shape != (self.total_size,):
             raise ValueError(f"row of shape {out.shape} != ({self.total_size},)")
         for f in self.fields:
-            out[f.offset : f.stop] = np.asarray(state[f.key]).reshape(-1)
+            out[f.offset : f.stop] = np.asarray(to_host(state[f.key])).reshape(-1)
         return out
 
     def flatten(self, state: Mapping[str, np.ndarray], dtype=np.float64) -> np.ndarray:

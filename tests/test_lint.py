@@ -1,0 +1,71 @@
+"""The numpy-import lint keeps nn/optim on the dispatch layer."""
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_numpy_imports  # noqa: E402
+
+
+def test_repo_is_clean():
+    assert check_numpy_imports.check(REPO_ROOT / "src") == []
+
+
+def test_allowlist_entries_exist():
+    for rel in check_numpy_imports.ALLOWLIST:
+        assert (REPO_ROOT / "src" / "repro" / rel).is_file(), rel
+
+
+def _write_package(root: Path, body: str) -> Path:
+    package = root / "repro" / "nn"
+    package.mkdir(parents=True)
+    (root / "repro" / "optim").mkdir()
+    (package / "offender.py").write_text(textwrap.dedent(body))
+    return root
+
+
+def test_runtime_import_flagged(tmp_path):
+    src = _write_package(
+        tmp_path,
+        """
+        import numpy as np
+
+        X = np.zeros(3)
+        """,
+    )
+    violations = check_numpy_imports.check(src)
+    assert len(violations) == 1
+    assert violations[0].endswith("offender.py:2")
+
+
+def test_type_checking_import_allowed(tmp_path):
+    src = _write_package(
+        tmp_path,
+        """
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            import numpy as np
+
+        def f(x: "np.ndarray") -> "np.ndarray":
+            return x
+        """,
+    )
+    assert check_numpy_imports.check(src) == []
+
+
+def test_nested_and_from_imports_flagged(tmp_path):
+    src = _write_package(
+        tmp_path,
+        """
+        def lazy():
+            from numpy import zeros
+
+            return zeros(3)
+        """,
+    )
+    violations = check_numpy_imports.check(src)
+    assert len(violations) == 1

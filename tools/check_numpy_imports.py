@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Lint: no direct runtime ``numpy`` imports in ``repro.nn`` / ``repro.optim``.
+
+The array-backend dispatch layer (:mod:`repro.tensor.backend`) only
+keeps training portable across array libraries if layer and optimizer
+math goes through the active backend rather than reaching for ``np.``
+directly.  This checker fails on any runtime ``import numpy`` /
+``from numpy import ...`` in those packages.
+
+Allowed:
+
+* imports inside ``if TYPE_CHECKING:`` blocks — type hints only, never
+  executed;
+* the documented host-boundary allowlist below.
+
+Run from the repo root::
+
+    python tools/check_numpy_imports.py
+
+Exit code 0 when clean, 1 with a per-violation listing otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Files allowed to import numpy at runtime, with the reason on record.
+ALLOWLIST = {
+    "nn/module.py": "host state-dict boundary (state_dict/load_state_dict land host arrays)",
+    "nn/init.py": "host RNG boundary (all init draws on the host generator for determinism)",
+}
+
+CHECKED_PACKAGES = ("nn", "optim")
+
+
+def _is_type_checking_if(node: ast.If) -> bool:
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _runtime_numpy_imports(tree: ast.Module) -> list[int]:
+    """Line numbers of numpy imports reachable at runtime."""
+
+    def visit(body) -> list[int]:
+        lines: list[int] = []
+        for node in body:
+            if isinstance(node, ast.Import):
+                lines.extend(
+                    a.lineno for a in node.names if a.name.split(".")[0] == "numpy"
+                )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "numpy":
+                    lines.append(node.lineno)
+            elif isinstance(node, ast.If):
+                if not _is_type_checking_if(node):
+                    lines.extend(visit(node.body))
+                lines.extend(visit(node.orelse))
+            elif hasattr(node, "body"):
+                lines.extend(visit(node.body))
+                for attr in ("orelse", "finalbody", "handlers"):
+                    for sub in getattr(node, attr, ()):
+                        lines.extend(visit(getattr(sub, "body", [sub])))
+        return lines
+
+    return visit(tree.body)
+
+
+def check(src_root: Path) -> list[str]:
+    """Violation strings (``path:line``) for the checked packages."""
+    violations: list[str] = []
+    for package in CHECKED_PACKAGES:
+        package_dir = src_root / "repro" / package
+        for path in sorted(package_dir.rglob("*.py")):
+            rel = path.relative_to(src_root / "repro").as_posix()
+            if rel in ALLOWLIST:
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for lineno in _runtime_numpy_imports(tree):
+                violations.append(f"{path}:{lineno}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src"
+    violations = check(root)
+    if violations:
+        print("runtime numpy imports outside the dispatch layer:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        print(
+            "route array math through repro.tensor.backend.active_backend() "
+            "(see tools/check_numpy_imports.py ALLOWLIST for the documented "
+            "host-boundary exceptions)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
