@@ -28,11 +28,14 @@ The asserted bar is the *aggregate-phase* cost: ``reduce`` must be
 ≥5× cheaper than the dict loop at K=50 (the blocking server step the
 phase refactor replaced).
 
-Two further sections: **similarity** (per-round recompute vs the
-incremental Gram engine), and **sharded** (the full vectorized round
+Three further sections: **similarity** (per-round recompute vs the
+incremental Gram engine), **sharded** (the full vectorized round
 on row-sharded storage vs dense — asserts bit-identical global models
-and gates the same-host overhead ratio of shard-local access), plus
-the out-of-core memmap smoke asserting no whole-pool float64 temp.
+and gates the same-host overhead ratio of shard-local access), and
+**distributed** (the same round over 2 localhost shard-host processes
+vs sharded — asserts bit-identity and gates the socket-RPC overhead
+ratio), plus the out-of-core memmap smoke asserting no whole-pool
+float64 temp.
 
 Run directly (not collected by the tier-1 pytest command)::
 
@@ -375,6 +378,87 @@ def run_sharded(model, ks, repeats, max_ratio_at_max_k, emit, shards=4):
     return rows, failures
 
 
+def run_distributed(model, ks, repeats, max_ratio_at_max_k, emit, hosts=2):
+    """Distributed backend: the sharded round vs the same round over
+    shard-host processes.
+
+    Times the full vectorized server round on in-process ``sharded``
+    storage and on the ``distributed`` backend (``hosts`` localhost
+    worker processes behind the socket-RPC transport), asserts the
+    resulting global model is **bit-identical** — the distributed
+    backend's core contract — and gates the localhost RPC overhead
+    ratio ``distributed / sharded`` (lower is better).  The ratio
+    captures pure transport cost: framing, one socket round trip per
+    row-protocol op, and the masked-dots fan-out replacing in-process
+    shard loops.  It shrinks as K·P grows (fixed per-op latency
+    amortises over bigger payloads), so the gate sits at the largest K.
+    """
+    from repro.distributed.cluster import get_cluster
+
+    state = model.state_dict()
+    param_keys = {name for name, _ in model.named_parameters()}
+    rng = np.random.default_rng(5)
+    layout = StateLayout.from_state(state)
+    cluster = get_cluster(hosts)  # spawn once; warm fleet for every K
+    emit(
+        f"{'K':>4} {'hosts':>6} {'sharded (s)':>12} {'distributed (s)':>16} "
+        f"{'ratio':>7}"
+    )
+
+    failures = []
+    rows = []
+    for k in ks:
+        uploads = make_uploads(state, k, rng)
+
+        def sharded_round():
+            buf = PoolBuffer.from_states(
+                uploads, layout=layout, dtype=np.float32,
+                backend="sharded", backend_options={"shards": hosts},
+            )
+            co = buf.select_collaborators(
+                "lowest", measure="cosine", param_keys=param_keys
+            )
+            return buf.cross_aggregate(co, 0.99).mean_state()
+
+        def distributed_round():
+            buf = PoolBuffer.from_states(
+                uploads, layout=layout, dtype=np.float32,
+                backend="distributed", backend_options={"cluster": cluster},
+            )
+            co = buf.select_collaborators(
+                "lowest", measure="cosine", param_keys=param_keys
+            )
+            return buf.cross_aggregate(co, 0.99).mean_state()
+
+        sharded_round()  # warm both paths (BLAS spin-up, host channels)
+        distributed_round()
+        t_sharded = time_call(sharded_round, repeats)
+        t_distributed = time_call(distributed_round, repeats)
+        ratio = t_distributed / t_sharded
+        emit(
+            f"{k:>4} {hosts:>6} {t_sharded:>12.4f} {t_distributed:>16.4f} "
+            f"{ratio:>6.2f}x"
+        )
+        rows.append(
+            {"k": k, "hosts": hosts, "sharded_s": t_sharded,
+             "distributed_s": t_distributed, "ratio": ratio}
+        )
+
+        # The acceptance bar: distributed must reproduce sharded (and
+        # therefore dense) bit-for-bit.
+        ref = sharded_round()
+        got = distributed_round()
+        for key in ref:
+            np.testing.assert_array_equal(got[key], ref[key])
+
+        if k == max(ks) and ratio > max_ratio_at_max_k:
+            failures.append(
+                f"distributed K={k}: RPC overhead ratio {ratio:.2f}x above "
+                f"the {max_ratio_at_max_k}x bar"
+            )
+    return rows, failures
+
+
 def run_out_of_core(emit):
     """Memmap + cosine selection: prove no ``(K, P)`` float64 temp.
 
@@ -469,12 +553,14 @@ def main(argv=None):
         base_ks, base_bar = (5, 10), (10, 1.2)
         sim_ks, sim_bar = (5, 10), 3.0
         shard_ks, shard_bar = (5, 10), 3.0
+        dist_ks, dist_bar = (5, 10), 10.0
     else:
         input_shape = (3, 32, 32)
         engine_ks, engine_bar = (5, 10, 20, 50), 5.0
         base_ks, base_bar = (10, 50, 200), (50, 5.0)
         sim_ks, sim_bar = (10, 50), 5.0
         shard_ks, shard_bar = (10, 50), 2.5
+        dist_ks, dist_bar = (10, 50), 10.0
 
     model = build_model("cnn", seed=0, input_shape=input_shape, num_classes=10)
     emit(
@@ -504,6 +590,12 @@ def main(argv=None):
     )
     failures += shard_failures
 
+    emit("\n== Distributed backend: sharded round vs 2 shard-host processes ==")
+    dist_rows, dist_failures = run_distributed(
+        model, dist_ks, args.repeats, dist_bar, emit
+    )
+    failures += dist_failures
+
     emit("\n== Out-of-core round: memmap pool, 1 MiB block budget ==")
     ooc_row, ooc_failures = run_out_of_core(emit)
     failures += ooc_failures
@@ -519,6 +611,7 @@ def main(argv=None):
                 "baseline_aggregation": base_rows,
                 "similarity": sim_rows,
                 "sharded": shard_rows,
+                "distributed": dist_rows,
                 "out_of_core": ooc_row,
                 "failures": failures,
             }

@@ -19,18 +19,22 @@ off a default instance, so the two can never drift): batch size 50,
 20 clients, Section IV-A local-training settings.  Beyond the config
 fields, the server's phased round loop is exposed through:
 
-``--backend dense|memmap|sharded`` / ``--shards N`` / ``--shard-placement``
+``--backend dense|memmap|sharded|distributed`` (alias ``--storage``)
     Pool-storage backend for the server's model buffers
     (:mod:`repro.core.storage`); ``memmap`` keeps pools on disk for
     populations beyond RAM, ``sharded`` splits the pool into N row
     shards (``--shards``, each shard dense or memmap per
     ``--shard-placement``) so no operation ever needs the whole
-    matrix as one allocation — all backends are bit-identical.
-``--execution serial|thread|process`` / ``--workers N``
+    matrix as one allocation, and ``distributed`` places the row
+    shards on ``--hosts`` socket-RPC worker processes
+    (:mod:`repro.distributed`) — all backends are bit-identical.
+``--execution serial|thread|process|distributed`` / ``--workers N``
     Client-execution backend for the collect phase
     (:mod:`repro.fl.execution`); ``process`` trains the round's clients
-    on a persistent worker pool with shared-memory upload packing.
-    Histories are bit-identical across backends.
+    on a persistent worker pool with shared-memory upload packing,
+    ``distributed`` co-locates each leg with the shard host owning its
+    upload row (requires ``--backend distributed``).  Histories are
+    bit-identical across backends.
 ``--streaming`` / ``--no-streaming``
     Overlap behaviour of the collect phase (default: streaming).  The
     server consumes uploads *as legs complete*, packing each one — and
@@ -148,11 +152,14 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
+        "--storage",
         type=_backend,
         default=_DEFAULTS.backend,
         help=(
             'pool-storage backend: "dense" (in-memory), "memmap" '
-            '(file-backed) or "sharded" (row shards; see --shards)'
+            '(file-backed), "sharded" (row shards; see --shards) or '
+            '"distributed" (row shards on socket-RPC host processes; '
+            "see --hosts)"
         ),
     )
     parser.add_argument(
@@ -169,16 +176,29 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         type=_backend,
         default=_DEFAULTS.shard_placement,
         help=(
-            'storage medium of each row shard of the sharded backend: '
-            '"dense" (default) or "memmap" (shards on disk — pools '
-            "beyond RAM)"
+            'storage medium of each row shard of the sharded (or '
+            'distributed) backend: "dense" (default) or "memmap" '
+            "(shards on disk — pools beyond RAM)"
+        ),
+    )
+    parser.add_argument(
+        "--hosts",
+        type=_positive_int,
+        default=_DEFAULTS.hosts,
+        help=(
+            "shard-host process count for the distributed pool backend "
+            "(default: REPRO_POOL_HOSTS or 2)"
         ),
     )
     parser.add_argument(
         "--execution",
         type=_execution,
         default=_DEFAULTS.execution,
-        help='client-execution backend: "serial", "thread" or "process"',
+        help=(
+            'client-execution backend: "serial", "thread", "process" or '
+            '"distributed" (legs co-located with their upload shards; '
+            "requires --backend distributed)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -282,6 +302,7 @@ def _config_kwargs(args) -> dict:
         backend=args.backend,
         shards=args.shards,
         shard_placement=args.shard_placement,
+        hosts=args.hosts,
         execution=args.execution,
         workers=args.workers,
         array_backend=args.array_backend,

@@ -154,11 +154,19 @@ class GramTracker:
         if not 0 <= index < k:
             raise IndexError(f"row {index} out of range for pool of {k}")
         vi = self.pool.masked_row_f64(index, self.param_keys)
-        dots = np.empty(k)
-        bounds = self.pool.storage.shard_boundaries()
-        for s in range(len(bounds) - 1):
-            start, stop = bounds[s], bounds[s + 1]
-            dots[start:stop] = self._shard_dots(vi, index, start, stop)
+        # Storages that can run the shard-local reduction *where the
+        # rows live* (the RPC-distributed backend) take the whole
+        # update: each remote shard runs the exact `_shard_dots` kernel
+        # on its own rows, so the assembled row is bitwise identical
+        # and only O(P) + O(K) scalars move instead of K rows.
+        mask, masked, _ = self.pool._mask_info(self.param_keys)
+        dots = self.pool.storage.masked_dots(vi, mask if masked else None)
+        if dots is None:
+            dots = np.empty(k)
+            bounds = self.pool.storage.shard_boundaries()
+            for s in range(len(bounds) - 1):
+                start, stop = bounds[s], bounds[s + 1]
+                dots[start:stop] = self._shard_dots(vi, index, start, stop)
         self.gram[index, :] = dots
         self.gram[:, index] = dots
         self.updates += 1

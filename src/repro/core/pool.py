@@ -297,19 +297,32 @@ class PoolBuffer:
         return self.storage.row(index)
 
     def set_row(self, index: int, values: np.ndarray) -> None:
-        """Overwrite row ``index`` with ``values`` (lands on its shard)."""
-        self.storage.row(index)[:] = values
+        """Overwrite row ``index`` with ``values`` (lands on its shard).
+
+        Full-row writes go through the storage staging pair
+        (:meth:`~repro.core.storage.PoolStorage.open_row` /
+        ``commit_row``): a no-op wrapper around the live row on local
+        backends, and a coordinator-side scratch row shipped in one
+        message on ``distributed`` storage.
+        """
+        staged = self.storage.open_row(index)
+        staged[:] = values
+        self.storage.commit_row(index, staged)
 
     def set_state(self, index: int, state: Mapping[str, np.ndarray]) -> None:
         """Pack ``state`` into row ``index`` (O(P) single pass).
 
-        Writes through the storage row protocol, so on sharded pools
-        each upload lands directly in its owning shard.
+        Writes through the storage staging protocol, so on sharded
+        pools each upload lands directly in its owning shard, and on
+        distributed pools the packed row crosses the wire exactly once
+        (not once per field).
         """
         if set(state) != set(self.layout.keys):
             raise KeyError("state keys do not match pool layout")
         _check_integer_roundtrip(self.layout, state, self.dtype)
-        self.layout.flatten_into(state, self.storage.row(index))
+        staged = self.storage.open_row(index)
+        self.layout.flatten_into(state, staged)
+        self.storage.commit_row(index, staged)
 
     def as_state(self, index: int, copy: bool = False) -> dict[str, np.ndarray]:
         """State dict of model ``index``.
@@ -644,13 +657,18 @@ class PoolBuffer:
         p = self.num_scalars
         if precise:
             # Sequential accumulation in pool order mirrors the dict
-            # reference's summation order (bit-for-bit reproducible).
-            # Rows are cast to float64 one at a time, so the reduction
-            # streams the matrix instead of materialising a float64
-            # copy of the whole pool.
+            # reference's summation order (bit-for-bit reproducible):
+            # rows still enter the accumulator one at a time, in order,
+            # but are *fetched* in budget-sized blocks — pure batching
+            # of reads, so remote/sharded backends pay one row_block
+            # per span instead of one RPC per row, while the arithmetic
+            # (and hence the result) is unchanged bit-for-bit.
+            block_rows = max(1, _block_budget() // max(1, p * 8))
             acc = np.zeros(p)
-            for i in range(k):
-                acc += w[i] * self.storage.row(i).astype(np.float64, copy=False)
+            for b0, b1 in iter_row_spans(k, block_rows):
+                block = self.storage.row_block(b0, b1)
+                for i in range(b0, b1):
+                    acc += w[i] * block[i - b0].astype(np.float64, copy=False)
             row = acc.astype(dtype)
         else:
             w_low = w.astype(dtype, copy=False)

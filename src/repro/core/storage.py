@@ -28,6 +28,15 @@ physical medium:
     multi-node pool layout the ROADMAP's millions-of-clients north
     star needs, and the protocol seam a distributed/GPU backend slots
     in behind.
+``distributed``
+    :class:`repro.distributed.storage.DistributedStorage` (lazily
+    registered), the multi-node realisation of that seam: each
+    contiguous row shard lives in a ``ShardHost`` worker process and
+    the coordinator proxies the row protocol over socket RPC —
+    shard-local reductions run on the hosts, only reduced results and
+    bounded row blocks cross the wire.  Host count comes from the
+    ``hosts`` option (``FLConfig.hosts`` / ``--hosts``; default
+    ``REPRO_POOL_HOSTS`` or 2).
 
 Row protocol
 ------------
@@ -207,6 +216,39 @@ class PoolStorage:
         dot updates by them.
         """
         return (0, self.shape[0])
+
+    def open_row(self, index: int) -> np.ndarray:
+        """Writable staging buffer for a full overwrite of row ``index``.
+
+        Paired with :meth:`commit_row`: the pool engine stages a row's
+        new contents here, then commits the finished row in one call.
+        Local backends hand out the live row view (commit is then a
+        no-op), so the pair costs nothing single-node; remote backends
+        return scratch and ship the committed row in **one** message
+        instead of per-field writes.
+        """
+        return self.row(index)
+
+    def commit_row(self, index: int, staged: np.ndarray) -> None:
+        """Publish a row staged via :meth:`open_row` (no-op when the
+        staging buffer is the live row view)."""
+        row = self.row(index)
+        if staged is not row:  # pragma: no cover - defensive for 3rd parties
+            row[:] = staged
+
+    def masked_dots(
+        self, vector: np.ndarray, mask: "np.ndarray | None"
+    ) -> "np.ndarray | None":
+        """Optional shard-local reduction hook for Gram row updates.
+
+        ``vector`` is one masked contiguous float64 row; a backend that
+        can compute ``dot(vector, masked_row_j)`` for every row ``j``
+        *where the rows live* returns the ``(K,)`` float64 result
+        (bitwise equal to the local per-row contiguous ``np.dot`` loop
+        — see :meth:`repro.core.gram.GramTracker.update_row`).  The
+        default returns ``None``: the tracker then runs its local loop.
+        """
+        return None
 
     def flush(self) -> None:
         """Force dirty state to the backing medium (no-op by default)."""
@@ -511,3 +553,10 @@ class ShardedStorage(PoolStorage):
             f"ShardedStorage(shape=({k}, {p}), dtype={self.dtype}, "
             f"shards={self.num_shards}, placement={self._placement!r})"
         )
+
+
+# The socket-RPC multi-node backend registers itself on import of
+# repro.distributed.storage; the lazy entry makes ``distributed``
+# resolvable (CLI validation, FLConfig.backend) without importing the
+# subsystem until it is actually selected.
+POOL_BACKENDS.lazy("distributed", "repro.distributed.storage")

@@ -1,0 +1,268 @@
+"""Coordinator-side management of a fleet of shard hosts.
+
+A :class:`HostCluster` spawns ``hosts`` localhost
+:mod:`~repro.distributed.host` worker processes, learns their
+ephemeral ports through pipes, and multiplexes two
+:class:`~repro.distributed.rpc.RPCChannel` sockets per host — ``data``
+for storage ops and ``exec`` for training legs, so Gram fan-outs are
+never queued behind a slow leg.  Broadcast ops (allocation, trainer
+shipping, ``masked_dots`` fan-out) run concurrently across hosts on a
+small thread pool; per-host storage calls go straight through the
+owning host's data channel.
+
+Clusters are pooled per host count by :func:`get_cluster` — one fleet
+serves every buffer of a run (pool, uploads, cross-aggregated pools,
+SCAFFOLD variate packs) — and torn down at interpreter exit.  A pooled
+cluster whose processes died (the fault-injection tests kill hosts
+deliberately) is replaced on the next request, so one poisoned fleet
+never leaks into later runs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.distributed.host import shard_host_main
+from repro.distributed.rpc import DistributedError, RPCChannel
+
+__all__ = ["HostCluster", "get_cluster", "shutdown_clusters", "DEFAULT_HOSTS"]
+
+# Default fleet size when neither the ``hosts`` storage option nor the
+# ``REPRO_POOL_HOSTS`` environment override names one.
+DEFAULT_HOSTS = 2
+
+_SPAWN_TIMEOUT_S = 30.0
+
+
+class _HostHandle:
+    """One shard-host process plus its lazily connected channels."""
+
+    def __init__(self, index: int, total: int) -> None:
+        self.index = index
+        self.label = f"shard host {index}/{total}"
+        parent, child = multiprocessing.Pipe()
+        self.process = multiprocessing.Process(
+            target=shard_host_main, args=(index, child), daemon=True,
+            name=f"repro-shard-host-{index}",
+        )
+        self.process.start()
+        child.close()
+        if not parent.poll(_SPAWN_TIMEOUT_S):
+            raise DistributedError(f"{self.label} did not report a port")
+        self.port = int(parent.recv())
+        parent.close()
+        self._channels: dict[str, RPCChannel] = {}
+        self._channel_lock = threading.Lock()
+
+    def channel(self, purpose: str = "data") -> RPCChannel:
+        with self._channel_lock:
+            chan = self._channels.get(purpose)
+            if chan is None:
+                chan = RPCChannel(("127.0.0.1", self.port), self.label)
+                self._channels[purpose] = chan
+            return chan
+
+    def close(self) -> None:
+        for chan in self._channels.values():
+            chan.close()
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+class HostCluster:
+    """A fleet of shard hosts, shared by every buffer of a run."""
+
+    def __init__(self, hosts: int) -> None:
+        hosts = int(hosts)
+        if hosts < 1:
+            raise ValueError(f"hosts must be >= 1, got {hosts}")
+        self.handles = [_HostHandle(i, hosts) for i in range(hosts)]
+        self._buffer_seq = itertools.count()
+        self._pool = ThreadPoolExecutor(
+            max_workers=hosts, thread_name_prefix="repro-cluster"
+        )
+        self._registered_masks: set[str] = set()
+        self._mask_lock = threading.Lock()
+        self._trainer_token: object = None
+        self._trainer_version = 0
+        self._trainer_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def num_hosts(self) -> int:
+        return len(self.handles)
+
+    def alive(self) -> bool:
+        return not self._closed and all(h.process.is_alive() for h in self.handles)
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.handles:
+            if handle.process.is_alive():
+                try:
+                    handle.channel("data").call("shutdown")
+                except DistributedError:
+                    pass
+        for handle in self.handles:
+            handle.close()
+        self._pool.shutdown(wait=False)
+
+    # -- fan-out helpers ---------------------------------------------------
+    def call(self, host: int, op: str, meta=None, arrays=None, blob=None,
+             purpose: str = "data"):
+        """One RPC on one host's channel of the given purpose."""
+        return self.handles[host].channel(purpose).call(op, meta, arrays, blob)
+
+    def broadcast(self, op: str, metas: "Sequence[Mapping] | Mapping",
+                  arrays=None, blob=None, purpose: str = "data") -> list:
+        """Run ``op`` on every host concurrently; results in host order.
+
+        ``metas`` is either one mapping (same meta everywhere) or one
+        mapping per host.  A failure on any host propagates after all
+        calls have settled.
+        """
+        if isinstance(metas, Mapping) or metas is None:
+            metas = [metas] * self.num_hosts
+        futures = [
+            self._pool.submit(self.call, i, op, metas[i], arrays, blob, purpose)
+            for i in range(self.num_hosts)
+        ]
+        return [f.result() for f in futures]
+
+    def next_buffer_id(self) -> str:
+        return f"buf{next(self._buffer_seq)}"
+
+    # -- storage-facing ops ------------------------------------------------
+    def allocate(self, boundaries: Sequence[int], p: int, dtype,
+                 placement: str) -> str:
+        buffer = self.next_buffer_id()
+        dtype = np.dtype(dtype)
+        self.broadcast(
+            "alloc",
+            [
+                {
+                    "buffer": buffer,
+                    "rows": int(boundaries[i + 1] - boundaries[i]),
+                    "p": int(p),
+                    "dtype": dtype.str,
+                    "placement": placement,
+                }
+                for i in range(self.num_hosts)
+            ],
+        )
+        return buffer
+
+    def free(self, buffer: str) -> None:
+        self.broadcast("free", {"buffer": buffer})
+
+    def clone_buffer(self, src: str) -> str:
+        dst = self.next_buffer_id()
+        self.broadcast("clone_buffer", {"src": src, "dst": dst})
+        return dst
+
+    def ensure_mask(self, mask: np.ndarray) -> str:
+        """Register ``mask`` on every host once; returns its content id."""
+        import hashlib
+
+        mask = np.ascontiguousarray(mask, dtype=bool)
+        mask_id = hashlib.sha1(mask.tobytes()).hexdigest()[:16]
+        with self._mask_lock:
+            if mask_id not in self._registered_masks:
+                self.broadcast(
+                    "register_mask", {"mask_id": mask_id}, {"mask": mask}
+                )
+                self._registered_masks.add(mask_id)
+        return mask_id
+
+    def masked_dots(self, buffer: str, vi: np.ndarray,
+                    mask_id: str | None) -> np.ndarray:
+        """Fan one Gram row update out to every host; concat in host order."""
+        meta = {"buffer": buffer}
+        if mask_id is not None:
+            meta["mask_id"] = mask_id
+        replies = self.broadcast("masked_dots", meta, {"vi": vi})
+        return np.concatenate(
+            [np.array(reply_arrays["dots"], copy=True)
+             for _meta, reply_arrays, _blob in replies]
+        )
+
+    # -- execution-facing ops ----------------------------------------------
+    def ensure_trainer(self, spec, datasets: Mapping) -> None:
+        """Ship the trainer spec + full shard table to every host once.
+
+        Keyed by spec identity: the executor builds one spec per run, so
+        re-sends only happen when a new executor reuses this fleet.
+        Hosts keep their build when the version matches, making this a
+        cheap no-op round trip after the first call.
+        """
+        with self._trainer_lock:
+            token = id(spec)
+            if self._trainer_token == token:
+                return
+            self._trainer_version += 1
+            blob = pickle.dumps((spec, dict(datasets)))
+            self.broadcast(
+                "init_trainer", {"version": self._trainer_version},
+                blob=blob, purpose="exec",
+            )
+            self._trainer_token = token
+
+    def train_leg(self, host: int, meta: Mapping, state: np.ndarray,
+                  hooks_blob: bytes):
+        """Run one training leg on ``host``'s exec channel (blocking)."""
+        reply, _arrays, _blob = self.call(
+            host, "train_leg", meta, {"state": state}, hooks_blob, purpose="exec"
+        )
+        return reply
+
+
+# -- cluster pool ------------------------------------------------------------
+_CLUSTERS: dict[int, HostCluster] = {}
+_CLUSTERS_LOCK = threading.Lock()
+
+
+def get_cluster(hosts: int | None = None) -> HostCluster:
+    """The pooled cluster of ``hosts`` shard hosts (spawned on demand).
+
+    ``hosts=None`` resolves ``REPRO_POOL_HOSTS`` then
+    :data:`DEFAULT_HOSTS`.  A pooled cluster whose processes have died
+    is torn down and respawned, so deliberate host kills (fault tests)
+    never poison later runs.
+    """
+    if hosts is None:
+        hosts = int(os.environ.get("REPRO_POOL_HOSTS") or DEFAULT_HOSTS)
+    hosts = int(hosts)
+    with _CLUSTERS_LOCK:
+        cluster = _CLUSTERS.get(hosts)
+        if cluster is not None and not cluster.alive():
+            cluster.shutdown()
+            cluster = None
+        if cluster is None:
+            cluster = HostCluster(hosts)
+            _CLUSTERS[hosts] = cluster
+        return cluster
+
+
+def shutdown_clusters() -> None:
+    """Tear down every pooled cluster (idempotent; runs atexit)."""
+    with _CLUSTERS_LOCK:
+        clusters = list(_CLUSTERS.values())
+        _CLUSTERS.clear()
+    for cluster in clusters:
+        cluster.shutdown()
+
+
+atexit.register(shutdown_clusters)

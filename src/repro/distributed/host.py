@@ -1,0 +1,253 @@
+"""The ``ShardHost`` worker process.
+
+One host owns one contiguous row shard of every distributed pool
+buffer: allocation, the row protocol (local offsets — the coordinator
+keeps the global span map), shard-local reductions, and co-located
+training legs.  The coordinator talks to it over plain sockets via
+:mod:`repro.distributed.rpc`; a host never talks to other hosts.
+
+Two properties carry the engine's cross-backend guarantees over the
+wire:
+
+* **Bit-transparency** — rows cross the socket as raw buffer-dtype
+  bytes (no re-encoding), and ``masked_dots`` computes each pairwise
+  dot exactly like :meth:`repro.core.gram.GramTracker.update_row`
+  does locally: one contiguous float64 1-D ``np.dot`` per row over
+  the same masked values.  Shard-local results are therefore bitwise
+  identical to the single-node reference.
+* **Co-located uploads** — ``train_leg`` unflattens the dispatched
+  state, trains with the client's shipped RNG state, and packs the
+  trained state **directly into the host's local shard row**.  The
+  ``P`` trained floats never ride a socket back to the coordinator;
+  only scalars (loss, counts, the advanced RNG state) do.
+
+The accept loop serves each connection on its own daemon thread.
+Array reads/writes from concurrent connections are as racy as the
+in-process ``thread``/``process`` backends' concurrent row writes —
+benign for the same reason (rows of one round's legs are distinct,
+and Gram rows read while a later-landing leg trains are recomputed by
+that leg's own update) — while structural ops (buffer allocation,
+mask/trainer registration) serialise on one mutex.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.distributed.rpc import serve_connection
+from repro.distributed.framing import send_message  # noqa: F401 (re-export for tests)
+
+__all__ = ["shard_host_main"]
+
+
+class _HostState:
+    """Everything one shard host owns, keyed by coordinator-issued ids."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.lock = threading.Lock()
+        self.buffers: dict[str, Any] = {}  # buffer id -> PoolStorage
+        self.masks: dict[str, np.ndarray] = {}
+        self.trainer = None
+        self.trainer_version: int | None = None
+        self.datasets: dict = {}
+        self.layout = None
+        self.stop = threading.Event()
+
+    # -- storage ops -------------------------------------------------------
+    def _storage(self, buffer: str):
+        try:
+            return self.buffers[buffer]
+        except KeyError:
+            raise KeyError(f"shard host {self.index} has no buffer {buffer!r}")
+
+    def op_alloc(self, meta, arrays, blob):
+        from repro.core.storage import resolve_backend
+
+        with self.lock:
+            self.buffers[meta["buffer"]] = resolve_backend(
+                meta.get("placement", "dense")
+            ).allocate((int(meta["rows"]), int(meta["p"])), dtype=np.dtype(meta["dtype"]))
+        return {}, {}, b""
+
+    def op_free(self, meta, arrays, blob):
+        with self.lock:
+            self.buffers.pop(meta["buffer"], None)
+        return {}, {}, b""
+
+    def op_clone_buffer(self, meta, arrays, blob):
+        with self.lock:
+            src = self._storage(meta["src"])
+            self.buffers[meta["dst"]] = src.clone()
+        return {}, {}, b""
+
+    def op_fill_rows(self, meta, arrays, blob):
+        self._storage(meta["buffer"]).fill_rows(arrays["values"])
+        return {}, {}, b""
+
+    def op_row_block(self, meta, arrays, blob):
+        block = self._storage(meta["buffer"]).row_block(
+            int(meta["lo"]), int(meta["hi"])
+        )
+        return {}, {"block": block}, b""
+
+    def op_write_rows(self, meta, arrays, blob):
+        self._storage(meta["buffer"]).write_rows(int(meta["lo"]), arrays["values"])
+        return {}, {}, b""
+
+    def op_gather_rows(self, meta, arrays, blob):
+        indices = arrays["indices"].astype(np.int64, copy=False)
+        return {}, {"block": self._storage(meta["buffer"]).gather_rows(indices)}, b""
+
+    def op_register_mask(self, meta, arrays, blob):
+        with self.lock:
+            # Copy: the received view aliases the request's frame buffer.
+            self.masks[meta["mask_id"]] = arrays["mask"].astype(bool, copy=True)
+        return {}, {}, b""
+
+    def op_masked_dots(self, meta, arrays, blob):
+        """Shard-local Gram contributions: dots of ``vi`` against every
+        local row — the distributable unit of ``GramTracker.update_row``,
+        computed with the exact local kernel (contiguous float64 1-D
+        ``np.dot`` per row) so the assembled row is bitwise identical."""
+        storage = self._storage(meta["buffer"])
+        vi = np.ascontiguousarray(arrays["vi"], dtype=np.float64)
+        mask_id = meta.get("mask_id")
+        mask = self.masks[mask_id] if mask_id is not None else None
+        rows = storage.shape[0]
+        dots = np.empty(rows)
+        for local in range(rows):
+            row = storage.row(local)
+            if mask is not None:
+                row = row[mask]
+            vj = np.ascontiguousarray(row, dtype=np.float64)
+            dots[local] = np.dot(vi, vj)
+        return {}, {"dots": dots}, b""
+
+    # -- co-located execution ----------------------------------------------
+    def op_init_trainer(self, meta, arrays, blob):
+        from repro.utils.layout import StateLayout
+
+        version = int(meta["version"])
+        with self.lock:
+            if self.trainer_version == version:
+                return {}, {}, b""
+            spec, datasets = pickle.loads(blob)
+            self.trainer = spec.build()
+            self.datasets = datasets
+            self.layout = StateLayout.from_state(self.trainer.model.state_dict())
+            self.trainer_version = version
+        return {}, {}, b""
+
+    def op_train_leg(self, meta, arrays, blob):
+        """One client's local-training leg, co-located with its shard.
+
+        Mirrors the process backend's ``_process_leg``: unflatten the
+        dispatched buffer-dtype row, train on the host-resident shard
+        data with the client's shipped RNG state, then pack the trained
+        state straight into the *local* row of the upload buffer — the
+        trained ``P`` floats never return to the coordinator.
+        """
+        from repro.core.pool import _check_integer_roundtrip
+        from repro.fl.execution import _apply_hypers, _check_float_roundtrip
+        from repro.fl.hooks import resolve_hook
+
+        with self.lock:
+            trainer = self.trainer
+            layout = self.layout
+        if trainer is None:
+            raise RuntimeError(
+                f"shard host {self.index} has no trainer; init_trainer first"
+            )
+        storage = self._storage(meta["buffer"])
+        _apply_hypers(trainer, meta["hypers"])
+        state = layout.unflatten(arrays["state"], copy=True)
+        rng = np.random.default_rng()
+        rng.bit_generator.state = _rng_state_from_wire(meta["rng_state"])
+        loss_hook, grad_hook = pickle.loads(blob) if blob else (None, None)
+        result = trainer.train(
+            state,
+            self.datasets[meta["client_id"]],
+            rng,
+            loss_hook=resolve_hook(loss_hook, state),
+            grad_hook=resolve_hook(grad_hook, state),
+            lr_override=meta.get("lr_override"),
+        )
+        # Same two transport guards as the shared-memory path: the
+        # trained state must survive the buffer dtype exactly, or this
+        # row would silently differ from the serial reference.
+        _check_integer_roundtrip(layout, result.state, storage.dtype)
+        _check_float_roundtrip(layout, result.state, storage.dtype)
+        layout.flatten_into(result.state, storage.row(int(meta["local_row"])))
+        return (
+            {
+                "num_samples": int(result.num_samples),
+                "num_steps": int(result.num_steps),
+                "mean_loss": float(result.mean_loss),
+                "rng_state": rng.bit_generator.state,
+            },
+            {},
+            b"",
+        )
+
+    def op_ping(self, meta, arrays, blob):
+        return {"index": self.index}, {}, b""
+
+    def op_shutdown(self, meta, arrays, blob):
+        self.stop.set()
+        return {}, {}, b""
+
+    def dispatch(self, op: str, meta, arrays, blob):
+        handler = getattr(self, f"op_{op}", None)
+        if handler is None:
+            raise KeyError(f"shard host {self.index}: unknown op {op!r}")
+        return handler(meta, arrays, blob)
+
+
+def _rng_state_from_wire(state):
+    """Undo JSON's stringification of nothing — PCG64 state dicts are
+    plain nested dicts of (big) ints and strings, which JSON round-trips
+    exactly; this hook exists so a future bit-generator needing repair
+    has one place to do it."""
+    return state
+
+
+def shard_host_main(index: int, port_conn) -> None:
+    """Entry point of one shard-host process.
+
+    Binds an ephemeral localhost port, reports it through ``port_conn``
+    (a :class:`multiprocessing.Pipe` end), then serves connections until
+    a ``shutdown`` op arrives.  Connection threads are daemons, so the
+    process exits as soon as the accept loop does.
+    """
+    state = _HostState(index)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(16)
+    port_conn.send(listener.getsockname()[1])
+    port_conn.close()
+    # Wake the accept loop promptly after a shutdown op: a short accept
+    # timeout bounds the post-shutdown lifetime without busy-waiting.
+    listener.settimeout(0.2)
+    try:
+        while not state.stop.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=serve_connection,
+                args=(conn, state.dispatch),
+                daemon=True,
+            ).start()
+    finally:
+        listener.close()

@@ -1,0 +1,161 @@
+"""Synchronous RPC channels over the framing layer.
+
+A :class:`RPCChannel` is one coordinator-side socket to one shard
+host, serving strictly request/response calls under a per-channel
+lock.  The cluster keeps *two* channels per host — ``data`` for
+storage ops and ``exec`` for training legs — so shard-local reductions
+(Gram ``masked_dots``) are never queued behind a long-running training
+leg on the same socket.
+
+Failure contract (the robustness satellite): any transport-level error
+— connection refused, reset, or EOF because the host process died —
+triggers exactly **one** reconnect-and-resend retry; if that also
+fails, a :class:`DistributedError` naming the shard host (never a raw
+``ConnectionResetError``) is raised.  The retry is safe because every
+op is idempotent: storage ops are pure reads/overwrites, and a
+``train_leg`` re-runs from the RNG state shipped in the request, so a
+replay produces bit-identical results.  Errors raised *by* the remote
+op itself (an exception inside the host) come back in the response
+header and re-raise as :class:`DistributedError` carrying the remote
+traceback — those are not retried.
+
+Each channel also keeps transport instrumentation: per-``(op,
+buffer)`` call counts and array-scalar counts sent/received.  The
+equivalence tests use these counters to assert the acceptance
+property that trained upload rows never transit the coordinator.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Mapping
+
+import numpy as np
+
+from repro.distributed.framing import ConnectionClosed, recv_message, send_message
+
+__all__ = ["DistributedError", "RPCChannel", "serve_connection"]
+
+_CONNECT_TIMEOUT_S = 10.0
+
+
+class DistributedError(RuntimeError):
+    """A shard host failed (died, unreachable, or raised remotely)."""
+
+
+class RPCChannel:
+    """One lazy-connecting request/response socket to a shard host."""
+
+    def __init__(self, address: tuple[str, int], label: str) -> None:
+        self.address = tuple(address)
+        self.label = label
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+        # (op, buffer-id or None) -> call count; scalar tallies count
+        # array elements that crossed this channel in each direction.
+        self.op_counts: dict[tuple[str, object], int] = {}
+        self.scalars_sent = 0
+        self.scalars_received = 0
+
+    # -- connection management --------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(self.address, timeout=_CONNECT_TIMEOUT_S)
+        # Blocking from here on: replies to long ops (training legs) may
+        # legitimately take minutes; a dead host still surfaces as EOF.
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close on dead socket
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    # -- calls -------------------------------------------------------------
+    def call(
+        self,
+        op: str,
+        meta: Mapping | None = None,
+        arrays: "Mapping[str, np.ndarray] | None" = None,
+        blob: bytes | None = None,
+    ) -> tuple[dict, dict[str, np.ndarray], bytes]:
+        """One request/response round trip; returns the reply triple."""
+        header = {"op": op, **(meta or {})}
+        with self._lock:
+            last_error: OSError | None = None
+            for _attempt in range(2):
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    send_message(self._sock, header, arrays, blob)
+                    reply, reply_arrays, reply_blob = recv_message(self._sock)
+                    break
+                except (ConnectionClosed, OSError) as exc:
+                    self._drop()
+                    last_error = exc
+            else:
+                raise DistributedError(
+                    f"{self.label} is unreachable for op {op!r} after one "
+                    f"reconnect attempt ({type(last_error).__name__}: "
+                    f"{last_error})"
+                ) from last_error
+            key = (op, header.get("buffer"))
+            self.op_counts[key] = self.op_counts.get(key, 0) + 1
+            self.scalars_sent += sum(int(a.size) for a in (arrays or {}).values())
+            self.scalars_received += sum(int(a.size) for a in reply_arrays.values())
+        if not reply.get("ok", False):
+            error = reply.get("error", {})
+            raise DistributedError(
+                f"{self.label} failed op {op!r}: "
+                f"{error.get('type', 'Exception')}: {error.get('message', '')}\n"
+                f"{error.get('traceback', '')}"
+            )
+        return reply, reply_arrays, reply_blob
+
+
+def serve_connection(sock: socket.socket, dispatch) -> None:
+    """Host-side request loop for one accepted connection.
+
+    ``dispatch(op, meta, arrays, blob)`` returns ``(meta, arrays,
+    blob)``; exceptions it raises are reported to the peer in the
+    response header (with traceback text) without killing the
+    connection.  Returns when the peer disconnects.
+    """
+    import traceback
+
+    while True:
+        try:
+            header, arrays, blob = recv_message(sock)
+        except (ConnectionClosed, OSError):
+            return
+        op = header.pop("op", "")
+        try:
+            meta, reply_arrays, reply_blob = dispatch(op, header, arrays, blob)
+        except BaseException as exc:  # noqa: BLE001 - reported to the peer
+            try:
+                send_message(
+                    sock,
+                    {
+                        "ok": False,
+                        "error": {
+                            "type": type(exc).__name__,
+                            "message": str(exc),
+                            "traceback": traceback.format_exc(),
+                        },
+                    },
+                )
+            except OSError:
+                return
+            continue
+        try:
+            send_message(sock, {"ok": True, **(meta or {})}, reply_arrays, reply_blob)
+        except OSError:
+            return

@@ -1,0 +1,284 @@
+"""Coordinator-side proxy storage over a fleet of shard hosts.
+
+:class:`DistributedStorage` is the ``distributed`` entry of the pool
+backend registry: a :class:`~repro.core.storage.PoolStorage` whose
+``(K, P)`` matrix lives row-sharded across the
+:class:`~repro.distributed.cluster.HostCluster`'s worker processes.
+The coordinator holds only the span map (the same
+``_even_boundaries`` layout as :class:`~repro.core.storage
+.ShardedStorage`) and proxies the row protocol over RPC:
+
+* ``row_block`` / ``gather_rows`` fetch bounded blocks, grouped per
+  owning host and reassembled in row order;
+* ``write_rows`` / ``fill_rows`` split writes at host boundaries;
+* ``open_row``/``commit_row`` stage full-row overwrites coordinator-
+  side and ship each committed row in one message (the pool engine's
+  ``set_state`` packs into the staging row, so an upload costs one
+  RPC, not one per field);
+* ``masked_dots`` fans a Gram row update out to every host — the
+  shard-local reduction runs where the rows live and only the ``(K,)``
+  reduced dots cross the wire.
+
+Rows cross the socket as raw buffer-dtype bytes and every reduction
+uses the exact single-node kernels, so a distributed pool is bitwise
+identical to ``sharded``/``dense`` under the equivalence matrix.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.storage import (
+    PoolStorage,
+    _even_boundaries,
+    register_backend,
+)
+from repro.distributed.cluster import HostCluster, get_cluster
+
+__all__ = ["DistributedStorage"]
+
+
+def _free_buffer(cluster: HostCluster, buffer: str) -> None:
+    try:
+        if cluster.alive():
+            cluster.free(buffer)
+    except Exception:  # pragma: no cover - interpreter/cluster teardown
+        pass
+
+
+@register_backend("distributed")
+class DistributedStorage(PoolStorage):
+    """The ``(K, P)`` matrix sharded across socket-RPC worker processes.
+
+    Options (via ``FLConfig.hosts`` / ``--hosts`` or direct allocate):
+
+    ``hosts``
+        Shard-host count (default ``REPRO_POOL_HOSTS`` or 2).  Hosts
+        are pooled per count and shared by every buffer of a run.
+    ``placement``
+        Storage backend each host keeps its shard on (``"dense"``
+        default, ``"memmap"`` for hosts beyond RAM).
+    ``cluster``
+        An explicit :class:`HostCluster` (tests inject one); mutually
+        consistent with ``hosts`` when both are given.
+
+    ``row`` returns a *read-only fetched copy* (unlike single-node
+    backends there is no live view to hand out); all writes go through
+    ``open_row``/``commit_row``/``write_rows``, which the pool engine
+    uses exclusively.
+    """
+
+    def __init__(
+        self,
+        cluster: HostCluster,
+        buffer: str,
+        shape: tuple[int, int],
+        dtype,
+        boundaries: Sequence[int],
+        placement: str,
+    ) -> None:
+        self._cluster = cluster
+        self._buffer = buffer
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._dtype = np.dtype(dtype)
+        self._boundaries = tuple(int(b) for b in boundaries)
+        self._placement = placement
+        self._finalizer = weakref.finalize(self, _free_buffer, cluster, buffer)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def allocate(
+        cls, shape, dtype=np.float32, *, hosts: int | None = None,
+        placement: str = "dense", cluster: HostCluster | None = None,
+        **options,
+    ) -> "DistributedStorage":
+        cls._reject_options(options)
+        if cluster is None:
+            cluster = get_cluster(hosts)
+        elif hosts is not None and cluster.num_hosts != int(hosts):
+            raise ValueError(
+                f"explicit cluster has {cluster.num_hosts} hosts, "
+                f"but hosts={hosts} was requested"
+            )
+        k, p = int(shape[0]), int(shape[1])
+        boundaries = _even_boundaries(k, cluster.num_hosts)
+        # Hosts owning an empty span still allocate a (0, p) shard —
+        # keeps every op's span math uniform.  ``_even_boundaries``
+        # clamps to at most K spans, so pad fenceposts when K < hosts.
+        boundaries = boundaries + (k,) * (cluster.num_hosts + 1 - len(boundaries))
+        buffer = cluster.allocate(boundaries, p, dtype, placement)
+        return cls(cluster, buffer, (k, p), dtype, boundaries, placement)
+
+    @classmethod
+    def from_array(
+        cls, array: np.ndarray, *, hosts: int | None = None,
+        placement: str = "dense", cluster: HostCluster | None = None,
+    ) -> "DistributedStorage":
+        array = np.asarray(array)
+        storage = cls.allocate(
+            array.shape, dtype=array.dtype, hosts=hosts,
+            placement=placement, cluster=cluster,
+        )
+        storage.write_rows(0, array)
+        return storage
+
+    def allocate_like(self, shape, dtype=np.float32) -> "DistributedStorage":
+        return type(self).allocate(
+            shape, dtype=dtype, placement=self._placement, cluster=self._cluster
+        )
+
+    def clone(self) -> "DistributedStorage":
+        # Host-local copies: no row data crosses the wire.
+        dst = self._cluster.clone_buffer(self._buffer)
+        return type(self)(
+            self._cluster, dst, self._shape, self._dtype,
+            self._boundaries, self._placement,
+        )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def cluster(self) -> HostCluster:
+        return self._cluster
+
+    @property
+    def buffer_id(self) -> str:
+        return self._buffer
+
+    @property
+    def num_hosts(self) -> int:
+        return self._cluster.num_hosts
+
+    @property
+    def placement(self) -> str:
+        """Backend each host keeps its shard on (``dense`` / ``memmap``)."""
+        return self._placement
+
+    def shard_boundaries(self) -> tuple[int, ...]:
+        return self._boundaries
+
+    def host_spans(self) -> list[tuple[int, int]]:
+        """``(start, stop)`` global row span owned by each host."""
+        b = self._boundaries
+        return [(b[i], b[i + 1]) for i in range(len(b) - 1)]
+
+    def owner_of(self, index: int) -> tuple[int, int]:
+        """(host index, local row offset) owning global row ``index``."""
+        k = self._shape[0]
+        if not 0 <= index < k:
+            raise IndexError(f"row {index} out of range for pool of {k}")
+        for host, (start, stop) in enumerate(self.host_spans()):
+            if start <= index < stop:
+                return host, index - start
+        raise IndexError(index)  # pragma: no cover - spans tile [0, K)
+
+    # -- row protocol ------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def array(self) -> np.ndarray:
+        """Gathered **read-only copy** (diagnostics/tests only)."""
+        out = np.asarray(self.row_block(0, self._shape[0]))
+        out = out.copy() if not out.flags.owndata else out
+        out.setflags(write=False)
+        return out
+
+    def row(self, index: int) -> np.ndarray:
+        """Read-only fetched copy of one row (there is no live view)."""
+        row = np.asarray(self.row_block(index, index + 1))[0]
+        row.flags.writeable = False
+        return row
+
+    def open_row(self, index: int) -> np.ndarray:
+        # Coordinator-side staging scratch; commit ships it in one RPC.
+        return np.empty(self._shape[1], dtype=self._dtype)
+
+    def commit_row(self, index: int, staged: np.ndarray) -> None:
+        self.write_rows(index, staged[None, :])
+
+    def row_block(self, start: int, stop: int) -> np.ndarray:
+        start, stop = int(start), int(stop)
+        if stop <= start:
+            return np.empty((0, self._shape[1]), dtype=self._dtype)
+        pieces = []
+        for host, (b0, b1) in enumerate(self.host_spans()):
+            lo, hi = max(start, b0), min(stop, b1)
+            if lo < hi:
+                _meta, arrays, _blob = self._cluster.call(
+                    host, "row_block",
+                    {"buffer": self._buffer, "lo": lo - b0, "hi": hi - b0},
+                )
+                pieces.append((lo, arrays["block"]))
+        if len(pieces) == 1 and pieces[0][1].shape[0] == stop - start:
+            return pieces[0][1].astype(self._dtype, copy=False)
+        out = np.empty((stop - start, self._shape[1]), dtype=self._dtype)
+        for lo, block in pieces:
+            out[lo - start : lo - start + block.shape[0]] = block
+        return out
+
+    def write_rows(self, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self._dtype)
+        stop = start + values.shape[0]
+        for host, (b0, b1) in enumerate(self.host_spans()):
+            lo, hi = max(int(start), b0), min(stop, b1)
+            if lo < hi:
+                self._cluster.call(
+                    host, "write_rows",
+                    {"buffer": self._buffer, "lo": lo - b0},
+                    {"values": values[lo - start : hi - start]},
+                )
+
+    def gather_rows(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty((indices.shape[0], self._shape[1]), dtype=self._dtype)
+        # Group requested rows per owning host, keeping output positions.
+        per_host: dict[int, tuple[list[int], list[int]]] = {}
+        for pos, j in enumerate(indices):
+            host, local = self.owner_of(int(j))
+            positions, locals_ = per_host.setdefault(host, ([], []))
+            positions.append(pos)
+            locals_.append(local)
+        for host, (positions, locals_) in per_host.items():
+            _meta, arrays, _blob = self._cluster.call(
+                host, "gather_rows", {"buffer": self._buffer},
+                {"indices": np.asarray(locals_, dtype=np.int64)},
+            )
+            out[positions] = arrays["block"]
+        return out
+
+    def fill_rows(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self._dtype)
+        self._cluster.broadcast(
+            "fill_rows", {"buffer": self._buffer}, {"values": values}
+        )
+
+    def masked_dots(
+        self, vector: np.ndarray, mask: "np.ndarray | None"
+    ) -> np.ndarray:
+        """Gram row update fanned out to the shard hosts.
+
+        Each host computes dots of ``vector`` against *its own rows
+        only* with the exact local kernel; the assembled ``(K,)`` row
+        is bitwise identical to the tracker's local loop, and only
+        O(P) + O(K) scalars cross the wire instead of O(K·P).
+        """
+        mask_id = self._cluster.ensure_mask(mask) if mask is not None else None
+        return self._cluster.masked_dots(
+            self._buffer, np.ascontiguousarray(vector, dtype=np.float64), mask_id
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        k, p = self._shape
+        return (
+            f"DistributedStorage(shape=({k}, {p}), dtype={self._dtype}, "
+            f"hosts={self.num_hosts}, placement={self._placement!r}, "
+            f"buffer={self._buffer!r})"
+        )

@@ -27,11 +27,19 @@ COMM_OVERHEAD_CLASS = {
 
 @dataclass
 class CommunicationLedger:
-    """Per-round upload/download parameter counters."""
+    """Per-round upload/download parameter counters.
+
+    ``measured`` flags that an execution backend is recording *real*
+    per-transfer counts this round (the ``distributed`` backend counts
+    the parameters actually crossing its sockets); the server then
+    skips its analytic per-round charge so the two accounting paths
+    never double-count.  The flag resets at :meth:`end_round`.
+    """
 
     up_params: int = 0
     down_params: int = 0
     history: list = field(default_factory=list)
+    measured: bool = False
 
     def record_down(self, num_params: int) -> None:
         """Server → client transfer of ``num_params`` scalars."""
@@ -41,12 +49,17 @@ class CommunicationLedger:
         """Client → server transfer of ``num_params`` scalars."""
         self.up_params += int(num_params)
 
+    def mark_measured(self) -> None:
+        """Declare this round's counts measured at the transport."""
+        self.measured = True
+
     def end_round(self) -> tuple[int, int]:
         """Close the round; returns ``(up, down)`` and resets counters."""
         snapshot = (self.up_params, self.down_params)
         self.history.append(snapshot)
         self.up_params = 0
         self.down_params = 0
+        self.measured = False
         return snapshot
 
     def total(self) -> int:

@@ -57,9 +57,18 @@ class FLConfig:
         Storage medium of each row shard of the ``sharded`` backend —
         ``"dense"`` (backend default) or ``"memmap"`` (shards on disk:
         the pools-beyond-RAM layout).  Forwarded like ``shards``.
+        The ``distributed`` backend accepts it too (each shard host's
+        local medium).
+    hosts:
+        Shard-host process count for the ``distributed`` backend
+        (``None`` = the backend default: ``REPRO_POOL_HOSTS`` or 2).
+        Forwarded as a storage option like ``shards``, so only set it
+        for the ``distributed`` backend.
     execution:
         Client-execution backend for the ``collect`` phase —
-        ``"serial"`` (default), ``"thread"`` or ``"process"``; see
+        ``"serial"`` (default), ``"thread"``, ``"process"`` or
+        ``"distributed"`` (legs co-located with their upload shards;
+        requires ``backend="distributed"``); see
         :mod:`repro.fl.execution`.  All backends are guaranteed to
         produce bit-identical training histories; parallel backends
         trade startup overhead for multi-core round throughput.
@@ -106,6 +115,7 @@ class FLConfig:
     backend: str = "dense"
     shards: int | None = None
     shard_placement: str | None = None
+    hosts: int | None = None
     execution: str = "serial"
     workers: int | None = None
     array_backend: str | None = None
@@ -134,6 +144,8 @@ class FLConfig:
             not isinstance(self.shard_placement, str) or not self.shard_placement
         ):
             raise ValueError("shard_placement must be None or a backend name")
+        if self.hosts is not None and self.hosts < 1:
+            raise ValueError("hosts must be None or >= 1")
         if not isinstance(self.execution, str) or not self.execution:
             raise ValueError("execution must be a non-empty backend name")
         if self.workers is not None and self.workers < 1:

@@ -35,6 +35,12 @@ same registry style as :mod:`repro.core.storage`'s pool backends:
     floats per client are written exactly once, never pickled through
     the result queue.  Only scalars (sample counts, loss, the client's
     advanced RNG state) ride back through the future.
+``distributed``
+    :class:`~repro.distributed.execution.DistributedExecution` (lazy —
+    lives in :mod:`repro.distributed`, imported on first selection) —
+    each leg runs on the socket-RPC shard host owning its upload row,
+    so the trained state lands in its shard without transiting the
+    coordinator.  Requires the pool on ``distributed`` storage.
 
 Streaming runs
 --------------
@@ -90,6 +96,7 @@ Backends register on :data:`EXECUTION_BACKENDS` via
 
 from __future__ import annotations
 
+import atexit
 import copy
 import functools
 import os
@@ -301,6 +308,14 @@ class ExecutionBackend:
 
     name = "abstract"
 
+    #: Optional :class:`~repro.fl.comm.CommunicationLedger` attached by
+    #: the server (via ``ClientExecutor(ledger=...)``).  Backends that
+    #: *measure* real transfers (the ``distributed`` backend counts the
+    #: parameters actually crossing its sockets) record into it and
+    #: flag it measured, which makes the server skip its analytic
+    #: per-round charge; in-process backends ignore it (nothing moves).
+    ledger = None
+
     def __init__(
         self,
         spec: TrainerSpec | None = None,
@@ -474,6 +489,22 @@ def _release_shared_memory(shm) -> None:
         pass
 
 
+# Every live _SharedBlock, so an interrupted run (KeyboardInterrupt in
+# the middle of a round, an exception unwinding past the executor) still
+# unlinks its /dev/shm segments at interpreter exit instead of leaking
+# them until reboot.  Weak references: normal GC/close stays the primary
+# release path and the sweep never extends a block's lifetime.
+_LIVE_BLOCKS: "weakref.WeakSet[_SharedBlock]" = weakref.WeakSet()
+
+
+def _cleanup_shared_blocks() -> None:
+    for block in list(_LIVE_BLOCKS):
+        block.close()
+
+
+atexit.register(_cleanup_shared_blocks)
+
+
 class _SharedBlock:
     """Owner of one shared-memory-backed ``(K, P)`` ndarray.
 
@@ -492,6 +523,7 @@ class _SharedBlock:
         self.array = np.ndarray(tuple(shape), dtype=dtype, buffer=self.shm.buf)
         self.ref = (self.shm.name, tuple(int(s) for s in shape), dtype.str)
         self._finalizer = weakref.finalize(self, _release_shared_memory, self.shm)
+        _LIVE_BLOCKS.add(self)
 
     def close(self) -> None:
         self.array = None
@@ -916,15 +948,22 @@ class ProcessExecution(ExecutionBackend):
             )
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        for attr in ("_dispatch", "_uploads_shm"):
-            block = getattr(self, attr)
-            if block is not None:
-                block.close()
-                setattr(self, attr, None)
-        self._payloads.close()
+        # Release the shared segments even when the pool shutdown is
+        # interrupted (Ctrl-C while workers drain): pool teardown runs
+        # first, but block/payload unlinking sits in the finally so a
+        # KeyboardInterrupt unwinding through shutdown() cannot leak
+        # /dev/shm segments until reboot.
+        pool, self._pool = self._pool, None
+        try:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        finally:
+            for attr in ("_dispatch", "_uploads_shm"):
+                block = getattr(self, attr)
+                if block is not None:
+                    block.close()
+                    setattr(self, attr, None)
+            self._payloads.close()
 
 
 # -- facade -----------------------------------------------------------------
@@ -949,6 +988,7 @@ class ClientExecutor:
         model_factory: "Callable[[], Module] | None" = None,
         workers: int | None = None,
         array_backend: str | None = None,
+        ledger=None,
     ) -> None:
         spec = (
             TrainerSpec.from_trainer(trainer, model_factory, array_backend=array_backend)
@@ -958,6 +998,8 @@ class ClientExecutor:
         self._backend = resolve_execution(backend)(
             spec=spec, clients=clients, workers=workers
         )
+        if ledger is not None:
+            self._backend.ledger = ledger
         self._finalizer = weakref.finalize(self, self._backend.close)
 
     @property
@@ -998,3 +1040,9 @@ class ClientExecutor:
         """Shut down worker pools and release shared buffers (idempotent;
         the backend transparently re-creates them on the next run)."""
         self._backend.close()
+
+
+# The socket-RPC backend lives in its own package and is imported only
+# when actually selected (see Registry.lazy) — it still shows up in
+# available_executions() and CLI validation.
+EXECUTION_BACKENDS.lazy("distributed", "repro.distributed.execution")

@@ -159,6 +159,9 @@ class FederatedServer:
         placement = getattr(config, "shard_placement", None)
         if placement is not None:
             self.backend_options["placement"] = placement
+        hosts = getattr(config, "hosts", None)
+        if hosts is not None:
+            self.backend_options["hosts"] = hosts
         self.streaming = bool(getattr(config, "streaming", True))
         self.executor = executor or ClientExecutor(
             getattr(config, "execution", "serial"),
@@ -167,6 +170,7 @@ class FederatedServer:
             model_factory=model_factory,
             workers=getattr(config, "workers", None),
             array_backend=getattr(config, "array_backend", None),
+            ledger=self.ledger,
         )
         self._layout = StateLayout.from_state(model.state_dict())
         self._uploads: "PoolBuffer | None" = None
@@ -442,7 +446,15 @@ class FederatedServer:
         return sum(r.mean_loss * r.num_samples for r in results) / total
 
     def charge_round_communication(self, active: list[Client], extra_down: int = 0, extra_up: int = 0) -> None:
-        """Charge the standard 2K-model round cost plus method extras."""
+        """Charge the standard 2K-model round cost plus method extras.
+
+        A no-op when the execution backend marked this round's ledger
+        *measured* (the ``distributed`` backend records the parameters
+        actually crossing its sockets per leg) — the analytic charge
+        would double-count what the transport already recorded.
+        """
+        if self.ledger.measured:
+            return
         k = len(active)
         self.ledger.record_down(k * self.model_size + extra_down)
         self.ledger.record_up(k * self.model_size + extra_up)

@@ -18,10 +18,19 @@ dicts it replaces.
 pre-existing registries disagree (storage raises :class:`ValueError`,
 execution raises :class:`KeyError`) and CLI validators catch the
 specific type; unifying them would be an API break for no gain.
+
+Lazy entries (:meth:`Registry.lazy`) map a name to a module path
+instead of a class: the module is imported on first :meth:`resolve`
+of that name and is expected to perform the real registration as an
+import side effect.  This lets heavyweight optional subsystems (the
+socket-RPC ``distributed`` backends) stay unimported until actually
+selected, while still appearing in :meth:`available` listings and
+being resolvable from CLI validators without import cycles.
 """
 
 from __future__ import annotations
 
+import importlib
 from typing import Iterator
 
 __all__ = ["Registry"]
@@ -43,6 +52,7 @@ class Registry:
         self.kind = kind
         self.error_type = error_type
         self._entries: dict[str, type] = {}
+        self._lazy: dict[str, str] = {}
 
     # -- registration ------------------------------------------------------
     def register(self, name: str):
@@ -57,10 +67,32 @@ class Registry:
             if key in self._entries:
                 raise KeyError(f"{self.kind} {name!r} is already registered")
             self._entries[key] = cls
+            self._lazy.pop(key, None)
             cls.name = key
             return cls
 
         return decorator
+
+    def lazy(self, name: str, module: str) -> None:
+        """Register ``name`` as provided by ``module`` on first resolve.
+
+        The module is imported when ``name`` is first resolved and must
+        register the real class (via :meth:`register`) at import time.
+        A name that is already concretely registered is left alone.
+        """
+        key = name.lower()
+        if key not in self._entries:
+            self._lazy[key] = module
+
+    def _load_lazy(self, key: str) -> None:
+        module = self._lazy.get(key)
+        if module is None:
+            return
+        importlib.import_module(module)
+        if key not in self._entries:  # pragma: no cover - misconfigured lazy
+            raise self.error_type(
+                f"module {module!r} did not register {self.kind} {key!r}"
+            )
 
     # -- lookup ------------------------------------------------------------
     def resolve(self, name: str) -> type:
@@ -71,18 +103,21 @@ class Registry:
         """
         key = str(name).lower()
         if key not in self._entries:
+            self._load_lazy(key)
+        if key not in self._entries:
+            names = sorted(set(self._entries) | set(self._lazy))
             raise self.error_type(
-                f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+                f"unknown {self.kind} {name!r}; available: {names}"
             )
         return self._entries[key]
 
     def available(self) -> list[str]:
-        """Sorted registered names."""
-        return sorted(self._entries)
+        """Sorted registered names (lazy entries included)."""
+        return sorted(set(self._entries) | set(self._lazy))
 
     # -- mapping protocol --------------------------------------------------
     def __contains__(self, name: object) -> bool:
-        return name in self._entries
+        return name in self._entries or name in self._lazy
 
     def __getitem__(self, name: str) -> type:
         return self._entries[name]

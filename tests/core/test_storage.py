@@ -44,7 +44,7 @@ NON_DENSE = {
 
 class TestBackendRegistry:
     def test_builtin_backends_present(self):
-        assert available_backends() == ["dense", "memmap", "sharded"]
+        assert available_backends() == ["dense", "distributed", "memmap", "sharded"]
 
     def test_resolve_is_case_insensitive(self):
         assert resolve_backend("DENSE") is DenseStorage

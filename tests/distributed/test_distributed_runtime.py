@@ -1,0 +1,174 @@
+"""Runtime behaviour of the shard-actor fleet: failure surfacing,
+measured communication accounting, and the co-location acceptance
+property (trained upload rows never transit the coordinator).
+"""
+
+import socket
+
+import pytest
+
+from repro.distributed import DistributedError
+from repro.distributed.cluster import get_cluster, shutdown_clusters
+from repro.fl.callbacks import ServerCallback
+from repro.fl.comm import analytic_round_cost
+from repro.fl.config import FLConfig
+from repro.fl.simulation import FLSimulation
+
+HOSTS = 2
+
+
+def _config(method="fedcross", execution="distributed", rounds=2, streaming=True):
+    return FLConfig(
+        method=method,
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=0.5,
+        num_clients=4,
+        participation=1.0,
+        rounds=rounds,
+        local_epochs=1,
+        batch_size=16,
+        eval_every=1,
+        seed=13,
+        backend="distributed",
+        hosts=HOSTS,
+        execution=execution,
+        streaming=streaming,
+        dataset_params={"samples_per_client": 20, "num_test": 40},
+    )
+
+
+class TestMeasuredLedger:
+    """Satellite 1: the distributed execution backend *measures* the
+    parameters crossing its dispatch/collect paths, and the measured
+    per-round totals must equal :func:`analytic_round_cost` exactly —
+    FedCross moves K models each way, SCAFFOLD doubles both directions
+    with its control variates."""
+
+    @pytest.mark.parametrize("method", ["fedcross", "scaffold"])
+    def test_measured_matches_analytic(self, method):
+        sim = FLSimulation(_config(method=method))
+        result = sim.run()
+        k = sim.config.clients_per_round
+        cost = analytic_round_cost(method, k, sim.server.model_size)
+        assert result.history.records, "no rounds recorded"
+        for record in result.history.records:
+            assert record.comm_up_params == int(cost["up"]), method
+            assert record.comm_down_params == int(cost["down"]), method
+
+    def test_serial_execution_keeps_analytic_charge(self):
+        """Distributed *storage* under the serial execution backend
+        still uses the server's analytic charge (nothing marks the
+        ledger measured) — and lands on the same numbers."""
+        sim = FLSimulation(_config(execution="serial"))
+        result = sim.run()
+        k = sim.config.clients_per_round
+        cost = analytic_round_cost("fedcross", k, sim.server.model_size)
+        for record in result.history.records:
+            assert record.comm_up_params == int(cost["up"])
+            assert record.comm_down_params == int(cost["down"])
+
+
+class TestNoCoordinatorTransit:
+    """The acceptance property of co-located execution: each leg's
+    trained state is packed into the shard host that owns its upload
+    row — the ``P`` trained floats never ride a socket back through
+    the coordinator."""
+
+    def test_upload_rows_written_host_side_only(self):
+        cluster = get_cluster(HOSTS)
+
+        def _counts(purpose):
+            merged = {}
+            for handle in cluster.handles:
+                for key, n in handle.channel(purpose).op_counts.items():
+                    merged[key] = merged.get(key, 0) + n
+            return merged
+
+        def _received(purpose):
+            return sum(h.channel(purpose).scalars_received for h in cluster.handles)
+
+        data_before = _counts("data")
+        exec_before = _counts("exec")
+        exec_received_before = _received("exec")
+
+        config = _config()
+        sim = FLSimulation(config)
+        sim.run()
+        uploads = sim.server.uploads.storage.buffer_id
+        k, rounds = sim.config.clients_per_round, sim.config.rounds
+
+        def _delta(after, before, key):
+            return after.get(key, 0) - before.get(key, 0)
+
+        data_after = _counts("data")
+        exec_after = _counts("exec")
+        # Every leg trained exactly once, on an exec channel...
+        assert _delta(exec_after, exec_before, ("train_leg", uploads)) == k * rounds
+        # ...no upload row was ever pushed through a coordinator write...
+        assert _delta(data_after, data_before, ("write_rows", uploads)) == 0
+        assert _delta(data_after, data_before, ("fill_rows", uploads)) == 0
+        # ...and nothing array-shaped came back on the exec channels at
+        # all: train_leg replies are scalars plus RNG state only.
+        assert _received("exec") - exec_received_before == 0
+
+
+class TestFaultSurfacing:
+    """Satellite 2: a shard host dying mid-fit must surface as a clean
+    :class:`DistributedError` naming the dead shard host — never a hang
+    or a raw ``ConnectionResetError``."""
+
+    @pytest.mark.parametrize("execution", ["serial", "distributed"])
+    def test_host_killed_between_rounds(self, execution):
+        cluster = get_cluster(HOSTS)
+
+        class KillHostAfterFirstRound(ServerCallback):
+            def __init__(self):
+                self.rounds_seen = 0
+
+            def on_round_end(self, server, record):
+                self.rounds_seen += 1
+                if self.rounds_seen == 1:
+                    handle = cluster.handles[1]
+                    handle.process.kill()
+                    handle.process.join(timeout=5)
+
+        try:
+            sim = FLSimulation(
+                _config(execution=execution, rounds=3),
+                callbacks=[KillHostAfterFirstRound()],
+            )
+            with pytest.raises(DistributedError, match="shard host 1/2"):
+                sim.run()
+        finally:
+            # Leave no half-dead fleet in the pool for later tests.
+            shutdown_clusters()
+
+    def test_remote_exception_carries_type_and_no_retry(self):
+        cluster = get_cluster(HOSTS)
+        with pytest.raises(DistributedError, match="unknown op"):
+            cluster.call(0, "no_such_op")
+        with pytest.raises(DistributedError, match="KeyError"):
+            cluster.call(0, "row_block", {"buffer": "nope", "lo": 0, "hi": 1})
+
+    def test_transport_error_recovers_with_one_reconnect(self):
+        """A broken socket with a live host recovers transparently:
+        the channel reconnects once and replays the idempotent op."""
+        cluster = get_cluster(HOSTS)
+        channel = cluster.handles[0].channel("data")
+        reply, _, _ = channel.call("ping")
+        assert reply["index"] == 0
+        channel._sock.shutdown(socket.SHUT_RDWR)  # sever under the lock's nose
+        reply, _, _ = channel.call("ping")
+        assert reply["index"] == 0
+
+    def test_dead_pooled_cluster_is_replaced(self):
+        first = get_cluster(HOSTS)
+        first.handles[0].process.kill()
+        first.handles[0].process.join(timeout=5)
+        assert not first.alive()
+        second = get_cluster(HOSTS)
+        assert second is not first
+        assert second.alive()
+        reply, _, _ = second.call(0, "ping")
+        assert reply["index"] == 0

@@ -1,0 +1,152 @@
+"""Wire framing: roundtrips, payload-length arithmetic, EOF handling."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed.framing import (
+    ConnectionClosed,
+    encode_message,
+    recv_message,
+    send_message,
+)
+
+
+def _roundtrip(header, arrays=None, blob=None):
+    a, b = socket.socketpair()
+    try:
+        send_message(a, header, arrays, blob)
+        return recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestEncode:
+    def test_payload_length_matches_chunks(self):
+        """The declared payload length must equal the bytes that follow
+        it — for *N-dimensional* arrays too (a raw ndarray memoryview's
+        ``len()`` is ``shape[0]``, not ``nbytes``; regression for the
+        truncated-frame bug)."""
+        arrays = {
+            "m": np.arange(20, dtype=np.float32).reshape(4, 5),
+            "v": np.arange(3, dtype=np.int64),
+            "t": np.zeros((2, 3, 4), dtype=np.float64),
+        }
+        chunks = encode_message({"op": "x"}, arrays, b"tail")
+        (declared,) = struct.unpack(">Q", bytes(chunks[0]))
+        assert sum(len(bytes(c)) for c in chunks[1:]) == declared
+
+    def test_non_contiguous_arrays_are_packed_contiguously(self):
+        base = np.arange(24, dtype=np.float32).reshape(4, 6)
+        view = base[:, ::2]  # stride-2 columns: not C-contiguous
+        header, arrays, _ = _roundtrip({"op": "x"}, {"v": view})
+        np.testing.assert_array_equal(arrays["v"], view)
+
+
+class TestRoundtrip:
+    def test_header_arrays_blob(self):
+        arrays = {
+            "row": np.linspace(-1, 1, 7, dtype=np.float32),
+            "m": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "idx": np.array([2, 0, 5], dtype=np.int64),
+            "mask": np.array([True, False, True]),
+        }
+        header, got, blob = _roundtrip(
+            {"op": "write", "lo": 3, "nested": {"a": [1, 2]}}, arrays, b"\x00pickled"
+        )
+        assert header == {"op": "write", "lo": 3, "nested": {"a": [1, 2]}}
+        assert blob == b"\x00pickled"
+        assert set(got) == set(arrays)
+        for name, value in arrays.items():
+            assert got[name].dtype == value.dtype
+            np.testing.assert_array_equal(got[name], value)
+
+    def test_decoded_arrays_are_writable_views(self):
+        """A shard host adopts received rows without another copy."""
+        _, got, _ = _roundtrip({}, {"v": np.ones(4, dtype=np.float32)})
+        got["v"][0] = 7.0  # must not raise
+        assert got["v"][0] == 7.0
+
+    def test_empty_message(self):
+        header, arrays, blob = _roundtrip({})
+        assert header == {} and arrays == {} and blob == b""
+
+    def test_numpy_scalars_in_header(self):
+        header, _, _ = _roundtrip({"k": np.int64(4), "loss": np.float32(0.5)})
+        assert header["k"] == 4
+        assert header["loss"] == pytest.approx(0.5)
+
+    def test_bitwise_float_roundtrip(self):
+        value = np.array([np.pi, -0.0, np.finfo(np.float32).tiny], dtype=np.float32)
+        _, got, _ = _roundtrip({}, {"v": value})
+        assert got["v"].tobytes() == value.tobytes()
+
+    def test_frames_are_delimited(self):
+        a, b = socket.socketpair()
+        try:
+            for i in range(3):
+                send_message(a, {"i": i}, {"v": np.full(5, i, dtype=np.float32)})
+            for i in range(3):
+                header, arrays, _ = recv_message(b)
+                assert header["i"] == i
+                np.testing.assert_array_equal(
+                    arrays["v"], np.full(5, i, dtype=np.float32)
+                )
+        finally:
+            a.close()
+            b.close()
+
+
+class TestFailure:
+    def test_eof_mid_frame_raises_connection_closed(self):
+        a, b = socket.socketpair()
+        chunks = encode_message({"op": "x"}, {"v": np.zeros(100, dtype=np.float64)})
+        frame = b"".join(bytes(c) for c in chunks)
+        a.sendall(frame[: len(frame) // 2])
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_message(b)
+        b.close()
+
+    def test_eof_before_any_byte_raises_connection_closed(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_message(b)
+        b.close()
+
+    def test_absurd_frame_length_rejected_before_allocation(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">Q", 1 << 41))
+            with pytest.raises(OSError, match="transport limit"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+def test_concurrent_send_receive_thread():
+    """A frame larger than the socketpair buffer still transfers when
+    the peer reads concurrently (sendall + recv_into loop)."""
+    a, b = socket.socketpair()
+    big = np.random.default_rng(0).random((512, 512))  # 2 MiB
+    result = {}
+
+    def reader():
+        result["frame"] = recv_message(b)
+
+    t = threading.Thread(target=reader)
+    t.start()
+    send_message(a, {"op": "big"}, {"m": big})
+    t.join(timeout=10)
+    assert not t.is_alive()
+    header, arrays, _ = result["frame"]
+    assert header == {"op": "big"}
+    np.testing.assert_array_equal(arrays["m"], big)
+    a.close()
+    b.close()

@@ -21,7 +21,9 @@ from repro.fl.simulation import FLSimulation
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"serial", "thread", "process"} <= set(available_executions())
+        assert {"serial", "thread", "process", "distributed"} <= set(
+            available_executions()
+        )
 
     def test_resolve_is_case_insensitive(self):
         assert resolve_execution("SERIAL").name == "serial"
@@ -428,3 +430,63 @@ class TestParallelMechanics:
         _, buf2 = server.train_cohort(members, plans)
         assert buf1 is buf2
         assert len(buf1) == 2
+
+
+class TestSharedMemoryCleanup:
+    """Interrupt-safety of the process backend's /dev/shm segments
+    (ISSUE 7 satellite): a KeyboardInterrupt unwinding through pool
+    shutdown, or an interpreter exiting mid-round, must still unlink
+    every live segment instead of leaking it until reboot."""
+
+    @staticmethod
+    def _segment_gone(name: str) -> bool:
+        from multiprocessing import shared_memory
+
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return True
+        seg.close()
+        return False
+
+    def test_close_unlinks_segments_when_shutdown_is_interrupted(self):
+        from repro.fl.execution import ProcessExecution
+
+        backend = ProcessExecution()
+        backend._ensure_shm(2, 3, np.float32)
+        names = [backend._dispatch.shm.name, backend._uploads_shm.shm.name]
+
+        class InterruptedPool:
+            def shutdown(self, wait=True):
+                raise KeyboardInterrupt
+
+        backend._pool = InterruptedPool()
+        with pytest.raises(KeyboardInterrupt):
+            backend.close()
+        assert backend._pool is None
+        assert backend._dispatch is None and backend._uploads_shm is None
+        for name in names:
+            assert self._segment_gone(name), name
+        backend.close()  # idempotent after the interrupted attempt
+
+    def test_atexit_sweep_unlinks_live_blocks(self):
+        from repro.fl.execution import (
+            _LIVE_BLOCKS,
+            _SharedBlock,
+            _cleanup_shared_blocks,
+        )
+
+        block = _SharedBlock((2, 3), np.float32)
+        assert block in _LIVE_BLOCKS
+        name = block.shm.name
+        _cleanup_shared_blocks()
+        assert self._segment_gone(name)
+        _cleanup_shared_blocks()  # sweep is idempotent
+
+    def test_normal_close_remains_primary_release_path(self):
+        from repro.fl.execution import _SharedBlock
+
+        block = _SharedBlock((1, 4), np.float64)
+        name = block.shm.name
+        block.close()
+        assert self._segment_gone(name)

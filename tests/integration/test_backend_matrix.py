@@ -8,6 +8,12 @@ FedCross fit must be **bit-identical** across the full grid
     {dense, memmap, sharded} × {serial, thread, process}
                              × {streaming, gathered}
 
+plus the ``distributed`` leg (ISSUE 7): the same fit over two localhost
+shard-host processes, with either coordinator-side ``serial`` execution
+or the co-located ``distributed`` execution backend (legs train on the
+host owning their upload row, and the communication ledger switches to
+measured counters) must land in the same cell of the matrix
+
 — same histories (accuracy/loss/train-loss/communication), same final
 global state, same final pool matrix — against one reference leg
 (dense / serial / gathered).  A smaller method-coverage class keeps the
@@ -36,6 +42,10 @@ SCHEDULES = (True, False)  # streaming, gathered
 # blocks, not just the trivial even split.
 SHARDS = 3
 
+# 2 localhost shard hosts over K=4 → spans (2, 2); kept at the pooled
+# default so every distributed test reuses one warm host cluster.
+HOSTS = 2
+
 
 def _config(method: str, backend: str, execution: str, streaming: bool) -> FLConfig:
     return FLConfig(
@@ -52,6 +62,7 @@ def _config(method: str, backend: str, execution: str, streaming: bool) -> FLCon
         seed=13,
         backend=backend,
         shards=SHARDS if backend == "sharded" else None,
+        hosts=HOSTS if backend == "distributed" else None,
         execution=execution,
         workers=2,
         streaming=streaming,
@@ -154,13 +165,55 @@ class TestArrayBackendLeg:
         )
 
 
+class TestDistributedLeg:
+    """The multi-node cell of the matrix (ISSUE 7): pool rows live in
+    two localhost shard-host processes behind the socket-RPC transport.
+    With ``execution="serial"`` every row crosses the wire through the
+    coordinator; with ``execution="distributed"`` each leg trains on
+    the host owning its upload row and only scalars come back.  Both
+    must be bit-identical to the single-process reference — including
+    the communication columns, which the distributed execution backend
+    *measures* instead of charging analytically."""
+
+    @pytest.mark.parametrize("execution", ["serial", "distributed"])
+    @pytest.mark.parametrize(
+        "streaming", SCHEDULES, ids=["streaming", "gathered"]
+    )
+    def test_fit_bit_identical_to_reference(
+        self, fedcross_reference, execution, streaming
+    ):
+        got = _run(_config("fedcross", "distributed", execution, streaming))
+        _assert_identical(
+            fedcross_reference,
+            got,
+            f"fedcross/distributed/{execution}/"
+            f"{'streaming' if streaming else 'gathered'}",
+        )
+
+    def test_pool_actually_spans_two_hosts(self):
+        sim = FLSimulation(_config("fedcross", "distributed", "serial", True))
+        sim.run()
+        storage = sim.server.pool.storage
+        assert storage.name == "distributed"
+        assert storage.num_hosts == HOSTS
+        assert storage.shard_boundaries() == (0, 2, 4)
+
+    def test_scaffold_with_colocated_execution(self):
+        """SCAFFOLD reads every upload state back on the coordinator
+        (control-variate updates), driving the lazy remote-row fetch
+        path — and its measured comm must match the analytic charge."""
+        ref = _run(_config("scaffold", "dense", "serial", streaming=True))
+        got = _run(_config("scaffold", "distributed", "distributed", streaming=True))
+        _assert_identical(ref, got, "scaffold/distributed/distributed")
+
+
 class TestMethodCoverageAcrossStorage:
     """FedAvg-family reduction path and SCAFFOLD's side-channel packing
     must stay bit-transparent on every storage backend too (the
     successor of the old dense-vs-memmap end-to-end checks)."""
 
     @pytest.mark.parametrize("method", ["fedavg", "scaffold"])
-    @pytest.mark.parametrize("backend", ["memmap", "sharded"])
+    @pytest.mark.parametrize("backend", ["memmap", "sharded", "distributed"])
     def test_history_and_state_bit_identical_to_dense(self, method, backend):
         ref = _run(_config(method, "dense", "serial", streaming=True))
         got = _run(_config(method, backend, "serial", streaming=True))
