@@ -49,6 +49,14 @@ fields, the server's phased round loop is exposed through:
     execution backend activate it too.  The ``numpy`` backend is
     bit-identical to direct-numpy execution; ``cupy`` registers only
     when importable.
+``--faults`` / ``--quorum`` / ``--failure-policy`` / ``--leg-retries``
+/ ``--leg-timeout`` / ``--leg-backoff``
+    The resilience layer (:mod:`repro.faults`): a seeded client-fault
+    scenario (availability churn, dropouts, stragglers — identical on
+    every backend), the fresh-upload quorum a round must reach, what
+    happens to failed legs (``fail`` aborts, ``carry`` keeps the stale
+    middleware row, ``redispatch`` reissues once), and the bounded
+    retry/timeout/backoff knobs for infrastructure failures.
 ``--progress``
     Attach a :class:`~repro.fl.callbacks.ThroughputLogger` printing
     per-round wall-clock and a throughput summary to stderr.
@@ -227,6 +235,56 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
             "--no-streaming restores it)"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        default=_DEFAULTS.faults,
+        help=(
+            "client-fault scenario: a JSON object of FaultScenario knobs "
+            '(e.g. \'{"availability": 0.9, "dropout": 0.1}\') or a path '
+            "to a scenario file; decisions are seeded and identical on "
+            "every backend (default: no faults)"
+        ),
+    )
+    parser.add_argument(
+        "--quorum",
+        type=float,
+        default=_DEFAULTS.quorum,
+        help=(
+            "fraction of the cohort that must deliver fresh uploads for a "
+            "round to count (default 1.0 — every leg)"
+        ),
+    )
+    parser.add_argument(
+        "--failure-policy",
+        default=_DEFAULTS.failure_policy,
+        choices=("fail", "carry", "redispatch"),
+        help=(
+            "what happens to a failed leg: abort the round (fail, the "
+            "default), keep its stale middleware row (carry), or reissue "
+            "it once before carrying (redispatch)"
+        ),
+    )
+    parser.add_argument(
+        "--leg-retries",
+        type=int,
+        default=_DEFAULTS.leg_retries,
+        help="bounded retries for leg errors/timeouts (default 0)",
+    )
+    parser.add_argument(
+        "--leg-timeout",
+        type=float,
+        default=_DEFAULTS.leg_timeout,
+        help=(
+            "wall-clock seconds to wait for in-flight legs on parallel "
+            "backends before declaring the rest timed out (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--leg-backoff",
+        type=float,
+        default=_DEFAULTS.leg_backoff,
+        help="base backoff seconds; retry i sleeps leg_backoff * 2**(i-1)",
+    )
     parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
     parser.add_argument("--alpha", type=float, default=0.9, help="FedCross fusion weight")
     parser.add_argument(
@@ -307,6 +365,12 @@ def _config_kwargs(args) -> dict:
         workers=args.workers,
         array_backend=args.array_backend,
         streaming=args.streaming,
+        faults=args.faults,
+        quorum=args.quorum,
+        failure_policy=args.failure_policy,
+        leg_timeout=args.leg_timeout,
+        leg_retries=args.leg_retries,
+        leg_backoff=args.leg_backoff,
         seed=args.seed,
     )
 

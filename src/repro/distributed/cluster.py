@@ -26,6 +26,7 @@ import multiprocessing
 import os
 import pickle
 import threading
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Sequence
 
@@ -62,9 +63,12 @@ class _HostHandle:
         parent.close()
         self._channels: dict[str, RPCChannel] = {}
         self._channel_lock = threading.Lock()
+        self._closed = False
 
     def channel(self, purpose: str = "data") -> RPCChannel:
         with self._channel_lock:
+            if self._closed:
+                raise DistributedError(f"{self.label} handle is closed")
             chan = self._channels.get(purpose)
             if chan is None:
                 chan = RPCChannel(("127.0.0.1", self.port), self.label)
@@ -72,7 +76,15 @@ class _HostHandle:
             return chan
 
     def close(self) -> None:
-        for chan in self._channels.values():
+        # Idempotent: explicit teardown followed by the atexit sweep (or
+        # a failover replacing this handle) must not raise or leak
+        # sockets — channels are closed exactly once and dropped.
+        with self._channel_lock:
+            if self._closed:
+                return
+            self._closed = True
+            channels, self._channels = list(self._channels.values()), {}
+        for chan in channels:
             chan.close()
         if self.process.is_alive():
             self.process.terminate()
@@ -97,6 +109,24 @@ class HostCluster:
         self._trainer_version = 0
         self._trainer_lock = threading.Lock()
         self._closed = False
+        # Failover state: enough coordinator-side bookkeeping to rebuild
+        # a respawned host — live allocations, registered mask arrays,
+        # the last trainer payload, and the replicated storages to ask
+        # for row restoration (weak refs: a collected buffer must not be
+        # kept alive, or replayed, by the recovery path).
+        self._allocs: dict[str, dict] = {}
+        self._mask_arrays: dict[str, np.ndarray] = {}
+        self._trainer_payload: "tuple | None" = None
+        self._restorers: dict[str, object] = {}
+        self._recover_lock = threading.RLock()
+        # Buffers whose storage was garbage collected.  Finalizers may
+        # fire on *any* thread — including one of this pool's own
+        # workers, mid-RPC, while channel locks are held — so they must
+        # never do socket I/O themselves (a free broadcast submitted to
+        # our own bounded pool from inside a worker deadlocks it).
+        # They append here instead; the next structural op drains.
+        self._pending_frees: list[str] = []
+        self._free_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -148,6 +178,7 @@ class HostCluster:
     # -- storage-facing ops ------------------------------------------------
     def allocate(self, boundaries: Sequence[int], p: int, dtype,
                  placement: str) -> str:
+        self._drain_frees()
         buffer = self.next_buffer_id()
         dtype = np.dtype(dtype)
         self.broadcast(
@@ -163,14 +194,51 @@ class HostCluster:
                 for i in range(self.num_hosts)
             ],
         )
+        with self._recover_lock:
+            self._allocs[buffer] = {
+                "boundaries": tuple(int(b) for b in boundaries),
+                "p": int(p),
+                "dtype": dtype.str,
+                "placement": placement,
+            }
         return buffer
 
     def free(self, buffer: str) -> None:
+        with self._recover_lock:
+            self._allocs.pop(buffer, None)
+            self._restorers.pop(buffer, None)
         self.broadcast("free", {"buffer": buffer})
 
+    def defer_free(self, buffer: str) -> None:
+        """Queue ``buffer`` for release without any I/O or broad locks.
+
+        The storage finalizers' entry point: safe to call from any
+        thread at any moment (only a momentary private lock is taken).
+        The queued frees run on the next :meth:`allocate`,
+        :meth:`clone_buffer` or :meth:`shutdown`.
+        """
+        with self._free_lock:
+            self._pending_frees.append(buffer)
+
+    def _drain_frees(self) -> None:
+        with self._free_lock:
+            pending, self._pending_frees = self._pending_frees, []
+        for buffer in pending:
+            try:
+                self.free(buffer)
+            except DistributedError:
+                # Best effort: a dead host's shard died with it anyway,
+                # and a recovery replay skips popped allocations.
+                pass
+
     def clone_buffer(self, src: str) -> str:
+        self._drain_frees()
         dst = self.next_buffer_id()
         self.broadcast("clone_buffer", {"src": src, "dst": dst})
+        with self._recover_lock:
+            spec = self._allocs.get(src)
+            if spec is not None:
+                self._allocs[dst] = dict(spec)
         return dst
 
     def ensure_mask(self, mask: np.ndarray) -> str:
@@ -185,6 +253,8 @@ class HostCluster:
                     "register_mask", {"mask_id": mask_id}, {"mask": mask}
                 )
                 self._registered_masks.add(mask_id)
+                with self._recover_lock:
+                    self._mask_arrays[mask_id] = mask
         return mask_id
 
     def masked_dots(self, buffer: str, vi: np.ndarray,
@@ -213,12 +283,15 @@ class HostCluster:
             if self._trainer_token == token:
                 return
             self._trainer_version += 1
-            blob = pickle.dumps((spec, dict(datasets)))
+            payload = (spec, dict(datasets))
+            blob = pickle.dumps(payload)
             self.broadcast(
                 "init_trainer", {"version": self._trainer_version},
                 blob=blob, purpose="exec",
             )
             self._trainer_token = token
+            with self._recover_lock:
+                self._trainer_payload = payload
 
     def train_leg(self, host: int, meta: Mapping, state: np.ndarray,
                   hooks_blob: bytes):
@@ -227,6 +300,100 @@ class HostCluster:
             host, "train_leg", meta, {"state": state}, hooks_blob, purpose="exec"
         )
         return reply
+
+    # -- failover ----------------------------------------------------------
+    def register_restorer(self, buffer: str, storage) -> None:
+        """Ask ``storage`` to replay ``buffer``'s rows after a respawn.
+
+        Held weakly: a replicated storage that has been garbage
+        collected (its finalizer frees the buffer) must not be revived
+        — or replayed — by a later recovery.
+        """
+        with self._recover_lock:
+            self._restorers[buffer] = weakref.ref(storage)
+
+    def recover_host(self, index: int) -> bool:
+        """Respawn shard host ``index`` if dead and rebuild its state.
+
+        Replays, in order: every live buffer allocation (this host's
+        row span), every registered mask, the current trainer build,
+        and finally each replicated storage's mirror rows via its
+        ``restore_host``.  Returns True when a respawn happened, False
+        when the host was already alive.  Raises
+        :class:`DistributedError` when the replacement itself cannot be
+        spawned — at that point the fleet is genuinely gone.
+        """
+        with self._recover_lock:
+            if self._closed:
+                raise DistributedError("cluster is shut down; cannot recover")
+            if not self._host_down(index):
+                return False
+            old = self.handles[index]
+            old.close()
+            handle = _HostHandle(index, self.num_hosts)
+            self.handles[index] = handle
+            for buffer, spec in self._allocs.items():
+                b = spec["boundaries"]
+                self.call(
+                    index, "alloc",
+                    {
+                        "buffer": buffer,
+                        "rows": int(b[index + 1] - b[index]),
+                        "p": spec["p"],
+                        "dtype": spec["dtype"],
+                        "placement": spec["placement"],
+                    },
+                )
+            for mask_id, mask in self._mask_arrays.items():
+                self.call(index, "register_mask", {"mask_id": mask_id},
+                          {"mask": mask})
+            if self._trainer_payload is not None:
+                self.call(
+                    index, "init_trainer",
+                    {"version": self._trainer_version},
+                    blob=pickle.dumps(self._trainer_payload), purpose="exec",
+                )
+            dead_refs = []
+            for buffer, ref in self._restorers.items():
+                storage = ref()
+                if storage is None:
+                    dead_refs.append(buffer)
+                    continue
+                storage.restore_host(index)
+            for buffer in dead_refs:
+                self._restorers.pop(buffer, None)
+            return True
+
+    def _host_down(self, index: int) -> bool:
+        """True when host ``index`` is dead — or a kill is mid-flight.
+
+        ``is_alive`` alone races with SIGKILL: the kernel closes the
+        victim's sockets (so RPCs are already failing) a beat before
+        the parent can reap the process.  An "alive" host is therefore
+        probed with a ping; one that cannot answer is given a moment to
+        finish dying, then forced down, so a recovery triggered by its
+        connection errors never concludes "nothing to recover".
+        """
+        handle = self.handles[index]
+        if not handle.process.is_alive():
+            return True
+        try:
+            handle.channel("data").call("ping")
+            return False
+        except DistributedError:
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            return True
+
+    def recover(self) -> list[int]:
+        """Respawn every dead host; returns the recovered indices."""
+        with self._recover_lock:
+            return [
+                i for i in range(self.num_hosts)
+                if self._host_down(i) and self.recover_host(i)
+            ]
 
 
 # -- cluster pool ------------------------------------------------------------

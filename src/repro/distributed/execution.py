@@ -45,12 +45,14 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro.distributed.rpc import DistributedError
+from repro.faults.policy import LegFailure
 from repro.fl.execution import (
     ExecutionBackend,
     _check_float_roundtrip,
     _check_parallel_cohort,
     _require_spec_hook,
     _stream_as_completed,
+    _stream_captured,
     _trainer_hypers,
     register_execution,
 )
@@ -226,26 +228,60 @@ class DistributedExecution(ExecutionBackend):
             results[i] = result
         return results
 
+    def _landed(self, i, reply, active, rows, uploads, up_extras) -> LocalResult:
+        """Book one completed leg: RNG, measured upload, replica note."""
+        active[i].rng.bit_generator.state = reply["rng_state"]
+        if self.ledger is not None:
+            # Measured upload: the trained model landed in its shard
+            # (K·P scalars of client→storage movement, the paper's
+            # unit) plus declared hook payloads echoed upward.
+            self.ledger.record_up(uploads.layout.total_size + up_extras[i])
+        note = getattr(uploads.storage, "note_remote_write", None)
+        if note is not None:
+            # Replicated storage: the row now holds a trained state the
+            # coordinator mirror does not — mark it dirty so a host
+            # death before aggregation reports it as lost.
+            note(int(rows[i]))
+        return LocalResult(
+            state=LazyUploadState(uploads, int(rows[i])),
+            num_samples=int(reply["num_samples"]),
+            num_steps=int(reply["num_steps"]),
+            mean_loss=float(reply["mean_loss"]),
+        )
+
     def run_streaming(
         self, trainer, active, plans, rows, uploads
     ) -> Iterator[tuple[int, LocalResult]]:
         futures, up_extras = self._submit(trainer, active, plans, rows, uploads)
-        layout = uploads.layout
-        ledger = self.ledger
         indexed = {f: i for i, f in enumerate(futures)}
         for i, reply in _stream_as_completed(futures, indexed):
-            active[i].rng.bit_generator.state = reply["rng_state"]
-            if ledger is not None:
-                # Measured upload: the trained model landed in its shard
-                # (K·P scalars of client→storage movement, the paper's
-                # unit) plus declared hook payloads echoed upward.
-                ledger.record_up(layout.total_size + up_extras[i])
-            yield i, LocalResult(
-                state=LazyUploadState(uploads, int(rows[i])),
-                num_samples=int(reply["num_samples"]),
-                num_steps=int(reply["num_steps"]),
-                mean_loss=float(reply["mean_loss"]),
-            )
+            yield i, self._landed(i, reply, active, rows, uploads, up_extras)
+
+    def run_streaming_captured(
+        self, trainer, active, plans, rows, uploads, timeout=None
+    ):
+        n = min(len(active), len(plans))
+        try:
+            futures, up_extras = self._submit(trainer, active, plans, rows, uploads)
+        except DistributedError as exc:
+            # Fleet-level dispatch failure (dead host mid-broadcast):
+            # surface every leg as a structured failure so the engine
+            # can recover the fleet and resubmit, instead of aborting.
+            for i in range(n):
+                yield i, LegFailure(
+                    index=i,
+                    client_id=active[i].client_id,
+                    row=int(rows[i]),
+                    kind="error",
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+            return
+        indexed = {f: i for i, f in enumerate(futures)}
+        for i, leg in _stream_captured(futures, indexed, active, rows, timeout):
+            if isinstance(leg, LegFailure):
+                yield i, leg
+                continue
+            yield i, self._landed(i, leg, active, rows, uploads, up_extras)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -198,6 +198,23 @@ class _HostState:
     def op_ping(self, meta, arrays, blob):
         return {"index": self.index}, {}, b""
 
+    def op_stats(self, meta, arrays, blob):
+        """Recovery introspection: what this host currently holds.
+
+        The failover tests compare a respawned host's inventory against
+        the coordinator's retained state to assert a full replay."""
+        with self.lock:
+            return (
+                {
+                    "index": self.index,
+                    "buffers": sorted(self.buffers),
+                    "masks": sorted(self.masks),
+                    "trainer_version": self.trainer_version,
+                },
+                {},
+                b"",
+            )
+
     def op_shutdown(self, meta, arrays, blob):
         self.stop.set()
         return {}, {}, b""

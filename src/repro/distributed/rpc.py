@@ -57,6 +57,10 @@ class RPCChannel:
         self.op_counts: dict[tuple[str, object], int] = {}
         self.scalars_sent = 0
         self.scalars_received = 0
+        # Transport-level failures that triggered a reconnect attempt
+        # (whether or not the resend then succeeded) — the reconnect
+        # tests read the delta to assert exactly-one-retry semantics.
+        self.transport_retries = 0
 
     # -- connection management --------------------------------------------
     def _connect(self) -> socket.socket:
@@ -100,6 +104,7 @@ class RPCChannel:
                     break
                 except (ConnectionClosed, OSError) as exc:
                     self._drop()
+                    self.transport_retries += 1
                     last_error = exc
             else:
                 raise DistributedError(

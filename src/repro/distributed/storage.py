@@ -37,14 +37,18 @@ from repro.core.storage import (
     register_backend,
 )
 from repro.distributed.cluster import HostCluster, get_cluster
+from repro.distributed.rpc import DistributedError
 
 __all__ = ["DistributedStorage"]
 
 
 def _free_buffer(cluster: HostCluster, buffer: str) -> None:
+    # Finalizers run on whatever thread the GC pause happens to be on —
+    # possibly a cluster pool worker holding a channel lock mid-RPC —
+    # so this must never do socket I/O: the free is queued and drained
+    # by the cluster's next structural op instead.
     try:
-        if cluster.alive():
-            cluster.free(buffer)
+        cluster.defer_free(buffer)
     except Exception:  # pragma: no cover - interpreter/cluster teardown
         pass
 
@@ -64,6 +68,12 @@ class DistributedStorage(PoolStorage):
     ``cluster``
         An explicit :class:`HostCluster` (tests inject one); mutually
         consistent with ``hosts`` when both are given.
+    ``replicate``
+        Keep a coordinator-side writable replica of the buffer (the
+        resilience layer sets this for non-``fail`` failure policies):
+        a killed shard host is respawned and its row span replayed from
+        the mirror instead of raising, and rows whose latest write was
+        host-side are tracked as *lost* until retrained or rewritten.
 
     ``row`` returns a *read-only fetched copy* (unlike single-node
     backends there is no live view to hand out); all writes go through
@@ -79,6 +89,7 @@ class DistributedStorage(PoolStorage):
         dtype,
         boundaries: Sequence[int],
         placement: str,
+        replicate: bool = False,
     ) -> None:
         self._cluster = cluster
         self._buffer = buffer
@@ -86,6 +97,19 @@ class DistributedStorage(PoolStorage):
         self._dtype = np.dtype(dtype)
         self._boundaries = tuple(int(b) for b in boundaries)
         self._placement = placement
+        self._replicate = bool(replicate)
+        if self._replicate:
+            # Coordinator-side writable replica: every coordinator write
+            # is mirrored here, so a killed host can be respawned and
+            # its span replayed.  ``dirty`` marks rows whose latest
+            # write happened *host-side* (a distributed training leg) —
+            # the mirror predates those, so losing their host marks
+            # them ``lost`` until rewritten.
+            k, p = self._shape
+            self._mirror = np.zeros((k, p), dtype=self._dtype)
+            self._dirty = np.zeros(k, dtype=bool)
+            self._lost = np.zeros(k, dtype=bool)
+            cluster.register_restorer(buffer, self)
         self._finalizer = weakref.finalize(self, _free_buffer, cluster, buffer)
 
     # -- construction ------------------------------------------------------
@@ -93,7 +117,7 @@ class DistributedStorage(PoolStorage):
     def allocate(
         cls, shape, dtype=np.float32, *, hosts: int | None = None,
         placement: str = "dense", cluster: HostCluster | None = None,
-        **options,
+        replicate: bool = False, **options,
     ) -> "DistributedStorage":
         cls._reject_options(options)
         if cluster is None:
@@ -110,33 +134,43 @@ class DistributedStorage(PoolStorage):
         # clamps to at most K spans, so pad fenceposts when K < hosts.
         boundaries = boundaries + (k,) * (cluster.num_hosts + 1 - len(boundaries))
         buffer = cluster.allocate(boundaries, p, dtype, placement)
-        return cls(cluster, buffer, (k, p), dtype, boundaries, placement)
+        return cls(
+            cluster, buffer, (k, p), dtype, boundaries, placement,
+            replicate=replicate,
+        )
 
     @classmethod
     def from_array(
         cls, array: np.ndarray, *, hosts: int | None = None,
         placement: str = "dense", cluster: HostCluster | None = None,
+        replicate: bool = False,
     ) -> "DistributedStorage":
         array = np.asarray(array)
         storage = cls.allocate(
             array.shape, dtype=array.dtype, hosts=hosts,
-            placement=placement, cluster=cluster,
+            placement=placement, cluster=cluster, replicate=replicate,
         )
         storage.write_rows(0, array)
         return storage
 
     def allocate_like(self, shape, dtype=np.float32) -> "DistributedStorage":
         return type(self).allocate(
-            shape, dtype=dtype, placement=self._placement, cluster=self._cluster
+            shape, dtype=dtype, placement=self._placement,
+            cluster=self._cluster, replicate=self._replicate,
         )
 
     def clone(self) -> "DistributedStorage":
         # Host-local copies: no row data crosses the wire.
         dst = self._cluster.clone_buffer(self._buffer)
-        return type(self)(
+        out = type(self)(
             self._cluster, dst, self._shape, self._dtype,
-            self._boundaries, self._placement,
+            self._boundaries, self._placement, replicate=self._replicate,
         )
+        if self._replicate:
+            out._mirror[:] = self._mirror
+            out._dirty[:] = self._dirty
+            out._lost[:] = self._lost
+        return out
 
     # -- introspection -----------------------------------------------------
     @property
@@ -174,6 +208,86 @@ class DistributedStorage(PoolStorage):
                 return host, index - start
         raise IndexError(index)  # pragma: no cover - spans tile [0, K)
 
+    # -- failover ----------------------------------------------------------
+    @property
+    def replicated(self) -> bool:
+        """Whether a coordinator-side writable replica backs this buffer."""
+        return self._replicate
+
+    def _recovering_call(self, host, op, meta=None, arrays=None, blob=None,
+                         purpose: str = "data"):
+        """One host RPC, with one fleet recovery + retry when replicated."""
+        try:
+            return self._cluster.call(host, op, meta, arrays, blob, purpose)
+        except DistributedError:
+            if not self._replicate or not self._cluster.recover():
+                raise
+            return self._cluster.call(host, op, meta, arrays, blob, purpose)
+
+    def _recovering_broadcast(self, op, metas, arrays=None, blob=None):
+        try:
+            return self._cluster.broadcast(op, metas, arrays, blob)
+        except DistributedError:
+            if not self._replicate or not self._cluster.recover():
+                raise
+            return self._cluster.broadcast(op, metas, arrays, blob)
+
+    def note_remote_write(self, row: int) -> None:
+        """Record that ``row`` was just written host-side (a training
+        leg landed): the mirror no longer holds its latest content."""
+        if self._replicate:
+            self._dirty[int(row)] = True
+            self._lost[int(row)] = False
+
+    def restore_host(self, index: int) -> None:
+        """Replay this host's row span from the mirror after a respawn.
+
+        Called by the cluster's ``recover_host`` (under its recovery
+        lock — plain ``call``, no recursive recovery).  Rows whose
+        latest write was host-side (``dirty``) are restored to their
+        *pre-leg* mirror content and flagged ``lost`` until rewritten:
+        reads must not silently serve stale trained states.
+        """
+        if not self._replicate:
+            return
+        b = self._boundaries
+        lo, hi = b[index], b[index + 1]
+        if hi > lo:
+            self._cluster.call(
+                index, "write_rows",
+                {"buffer": self._buffer, "lo": 0},
+                {"values": self._mirror[lo:hi]},
+            )
+        span = slice(lo, hi)
+        self._lost[span] |= self._dirty[span]
+        self._dirty[span] = False
+
+    def ensure_fleet(self) -> list[int]:
+        """Respawn any dead hosts; returns recovered host indices.
+
+        A no-op (empty list) without replication — there is nothing to
+        replay onto a fresh host, so dying un-replicated fleets keep
+        raising :class:`DistributedError` as before.
+        """
+        if not self._replicate:
+            return []
+        return self._cluster.recover()
+
+    def lost_rows(self) -> list[int]:
+        """Rows whose latest (host-side) write died with its host."""
+        if not self._replicate:
+            return []
+        return [int(i) for i in np.flatnonzero(self._lost)]
+
+    def _check_lost(self, start: int, stop: int) -> None:
+        if self._replicate and self._lost[start:stop].any():
+            rows = [int(i) for i in np.flatnonzero(self._lost[start:stop]) + start]
+            raise DistributedError(
+                f"rows {rows} were lost with their shard host (their last "
+                "write was host-side and is not in the coordinator mirror); "
+                "rewrite or retrain them before reading"
+            )
+
     # -- row protocol ------------------------------------------------------
     @property
     def shape(self) -> tuple[int, int]:
@@ -208,11 +322,12 @@ class DistributedStorage(PoolStorage):
         start, stop = int(start), int(stop)
         if stop <= start:
             return np.empty((0, self._shape[1]), dtype=self._dtype)
+        self._check_lost(start, stop)
         pieces = []
         for host, (b0, b1) in enumerate(self.host_spans()):
             lo, hi = max(start, b0), min(stop, b1)
             if lo < hi:
-                _meta, arrays, _blob = self._cluster.call(
+                _meta, arrays, _blob = self._recovering_call(
                     host, "row_block",
                     {"buffer": self._buffer, "lo": lo - b0, "hi": hi - b0},
                 )
@@ -230,16 +345,23 @@ class DistributedStorage(PoolStorage):
         for host, (b0, b1) in enumerate(self.host_spans()):
             lo, hi = max(int(start), b0), min(stop, b1)
             if lo < hi:
-                self._cluster.call(
+                self._recovering_call(
                     host, "write_rows",
                     {"buffer": self._buffer, "lo": lo - b0},
                     {"values": values[lo - start : hi - start]},
                 )
+        if self._replicate:
+            self._mirror[start:stop] = values
+            self._dirty[start:stop] = False
+            self._lost[start:stop] = False
 
     def gather_rows(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
         out = np.empty((indices.shape[0], self._shape[1]), dtype=self._dtype)
         # Group requested rows per owning host, keeping output positions.
+        if self._replicate:
+            for j in indices:
+                self._check_lost(int(j), int(j) + 1)
         per_host: dict[int, tuple[list[int], list[int]]] = {}
         for pos, j in enumerate(indices):
             host, local = self.owner_of(int(j))
@@ -247,7 +369,7 @@ class DistributedStorage(PoolStorage):
             positions.append(pos)
             locals_.append(local)
         for host, (positions, locals_) in per_host.items():
-            _meta, arrays, _blob = self._cluster.call(
+            _meta, arrays, _blob = self._recovering_call(
                 host, "gather_rows", {"buffer": self._buffer},
                 {"indices": np.asarray(locals_, dtype=np.int64)},
             )
@@ -256,9 +378,13 @@ class DistributedStorage(PoolStorage):
 
     def fill_rows(self, values: np.ndarray) -> None:
         values = np.asarray(values, dtype=self._dtype)
-        self._cluster.broadcast(
+        self._recovering_broadcast(
             "fill_rows", {"buffer": self._buffer}, {"values": values}
         )
+        if self._replicate:
+            self._mirror[:] = values
+            self._dirty[:] = False
+            self._lost[:] = False
 
     def masked_dots(
         self, vector: np.ndarray, mask: "np.ndarray | None"
@@ -270,10 +396,19 @@ class DistributedStorage(PoolStorage):
         is bitwise identical to the tracker's local loop, and only
         O(P) + O(K) scalars cross the wire instead of O(K·P).
         """
-        mask_id = self._cluster.ensure_mask(mask) if mask is not None else None
-        return self._cluster.masked_dots(
-            self._buffer, np.ascontiguousarray(vector, dtype=np.float64), mask_id
-        )
+        # Deliberately no lost-row guard here: under the engine's
+        # write-then-on_upload protocol every Gram entry of a pair is
+        # recomputed after that pair's final row writes, so a transient
+        # stale read mid-collect cannot survive into the result.
+        vector = np.ascontiguousarray(vector, dtype=np.float64)
+        try:
+            mask_id = self._cluster.ensure_mask(mask) if mask is not None else None
+            return self._cluster.masked_dots(self._buffer, vector, mask_id)
+        except DistributedError:
+            if not self._replicate or not self._cluster.recover():
+                raise
+            mask_id = self._cluster.ensure_mask(mask) if mask is not None else None
+            return self._cluster.masked_dots(self._buffer, vector, mask_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         k, p = self._shape

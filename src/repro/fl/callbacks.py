@@ -54,6 +54,15 @@ class ServerCallback:
     def on_round_end(self, server: "FederatedServer", record: "RoundRecord") -> None:
         """Called after each round's record is appended to the history."""
 
+    def on_leg_failure(self, server: "FederatedServer", failure) -> None:
+        """Called once per leg the resilience engine finally gave up on.
+
+        ``failure`` is a :class:`repro.faults.policy.LegFailure`; the
+        hook fires after the collect phase carried (or re-issued and
+        then carried) the leg, before aggregation.  Only engaged fault
+        policies ever invoke it.
+        """
+
     def on_fit_end(self, server: "FederatedServer", history: "TrainingHistory") -> None:
         """Called once when ``fit`` finishes (normally or early-stopped)."""
 

@@ -40,6 +40,7 @@ class CommunicationLedger:
     down_params: int = 0
     history: list = field(default_factory=list)
     measured: bool = False
+    failed_legs: int = 0
 
     def record_down(self, num_params: int) -> None:
         """Server → client transfer of ``num_params`` scalars."""
@@ -53,6 +54,16 @@ class CommunicationLedger:
         """Declare this round's counts measured at the transport."""
         self.measured = True
 
+    def note_leg_failure(self) -> None:
+        """Count one leg failure observed this round (any kind).
+
+        A diagnostic counter for the resilience engine — failures cost
+        communication (a dispatched model that never uploads), and the
+        counter lets benches report wasted downlink alongside the
+        up/down totals.  Resets at :meth:`end_round`.
+        """
+        self.failed_legs += 1
+
     def end_round(self) -> tuple[int, int]:
         """Close the round; returns ``(up, down)`` and resets counters."""
         snapshot = (self.up_params, self.down_params)
@@ -60,6 +71,7 @@ class CommunicationLedger:
         self.up_params = 0
         self.down_params = 0
         self.measured = False
+        self.failed_legs = 0
         return snapshot
 
     def total(self) -> int:

@@ -10,7 +10,7 @@ CPU-scaled defaults shrink the population/rounds, not the algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Mapping
 
 __all__ = ["FLConfig"]
 
@@ -92,6 +92,40 @@ class FLConfig:
         schedule.  Both modes are bit-identical in histories, uploads
         and RNG state — streaming only moves server-side work earlier
         in wall clock.
+    faults:
+        Client-fault scenario for the resilience layer
+        (:mod:`repro.faults`): a mapping of
+        :class:`~repro.faults.model.FaultScenario` knobs
+        (``availability``, ``dropout``, ``slow_prob``, ``slow_factor``,
+        ``straggler_timeout``), inline JSON, or a path to a committed
+        scenario file.  ``None`` (default) disables the fault model.
+        Faults are decided server-side under ``seed`` before legs are
+        dispatched, so every execution backend sees the identical
+        pattern.
+    quorum:
+        Fraction of the cohort that must deliver *fresh* uploads for a
+        round to count (default 1.0 — every leg).  A round falling
+        below it raises :class:`~repro.faults.policy.QuorumError`.
+    failure_policy:
+        What happens to a failed leg: ``"fail"`` (default — abort the
+        round, today's bit-identical reference), ``"carry"`` (keep the
+        stale middleware row so CrossAggr/GramTracker stay consistent)
+        or ``"redispatch"`` (one extra reissue to a healthy
+        worker/host, then carry).
+    leg_timeout:
+        Wall-clock seconds a parallel backend waits for in-flight legs
+        before declaring the rest timed out (``None`` disables; the
+        serial backend ignores it).  Late work is drained and
+        discarded — never written after control returns.  For a
+        *deterministic* straggler policy use the scenario's
+        ``straggler_timeout`` instead.
+    leg_retries:
+        Bounded retries for infrastructure leg failures (errors /
+        timeouts), with exponential backoff from ``leg_backoff``.
+        Simulated faults (dropout, churn) are never retried.
+    leg_backoff:
+        Base backoff delay in seconds; retry ``i`` sleeps
+        ``leg_backoff * 2**(i-1)``.
     method_params:
         Method-specific options, e.g. ``{"mu": 0.01}`` for FedProx or
         ``{"alpha": 0.99, "selection": "lowest"}`` for FedCross.
@@ -120,6 +154,12 @@ class FLConfig:
     workers: int | None = None
     array_backend: str | None = None
     streaming: bool = True
+    faults: Any = None
+    quorum: float = 1.0
+    failure_policy: str = "fail"
+    leg_timeout: float | None = None
+    leg_retries: int = 0
+    leg_backoff: float = 0.05
     seed: int = 0
     dataset_params: dict[str, Any] = field(default_factory=dict)
     model_params: dict[str, Any] = field(default_factory=dict)
@@ -154,6 +194,24 @@ class FLConfig:
             not isinstance(self.array_backend, str) or not self.array_backend
         ):
             raise ValueError("array_backend must be None or a backend name")
+        if self.faults is not None and not isinstance(self.faults, (str, Mapping)):
+            raise ValueError(
+                "faults must be None, a scenario mapping, inline JSON or a "
+                "scenario file path"
+            )
+        if not 0.0 < self.quorum <= 1.0:
+            raise ValueError(f"quorum must be in (0, 1], got {self.quorum}")
+        if self.failure_policy not in ("fail", "carry", "redispatch"):
+            raise ValueError(
+                "failure_policy must be 'fail', 'carry' or 'redispatch', "
+                f"got {self.failure_policy!r}"
+            )
+        if self.leg_timeout is not None and self.leg_timeout <= 0:
+            raise ValueError("leg_timeout must be None or positive seconds")
+        if self.leg_retries < 0:
+            raise ValueError("leg_retries must be >= 0")
+        if self.leg_backoff < 0:
+            raise ValueError("leg_backoff must be >= 0 seconds")
 
     @property
     def clients_per_round(self) -> int:

@@ -100,8 +100,10 @@ import atexit
 import copy
 import functools
 import os
+import time
 import weakref
 from concurrent.futures import (
+    FIRST_COMPLETED,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
@@ -112,6 +114,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.faults.policy import LegFailure
 from repro.fl.hooks import HookSpec, resolve_hook
 from repro.fl.trainer import LocalResult, LocalTrainer
 from repro.utils.layout import StateLayout
@@ -352,9 +355,120 @@ class ExecutionBackend:
         results = self.run(trainer, active, plans, rows, uploads)
         yield from enumerate(results)
 
+    def run_streaming_captured(
+        self,
+        trainer: LocalTrainer,
+        active: "list[Client]",
+        plans: "list[DispatchPlan]",
+        rows: Sequence[int],
+        uploads: "PoolBuffer",
+        timeout: float | None = None,
+    ) -> "Iterator[tuple[int, LocalResult | LegFailure]]":
+        """Fault-capturing stream: yield a result *or* a ``LegFailure``.
+
+        The resilience engine's seam (:mod:`repro.faults.engine`): a leg
+        error is reported as a structured
+        :class:`~repro.faults.policy.LegFailure` instead of raising, so
+        the remaining legs keep running and the policy layer decides
+        what to do — cancel-on-error becomes cancel-on-policy.
+        ``timeout`` is the wall-clock deadline for the whole submission
+        (parallel backends only); at the deadline unstarted legs are
+        cancelled and in-flight ones **drained and discarded** — timed-
+        out work is never written after control returns, so a retry or
+        carry can safely overwrite the row.
+
+        Fallback for third-party ``run``-only backends: consume the
+        plain stream and convert a raised error into failures for every
+        leg not yet seen (the backend already cancelled/drained its
+        own in-flight work on the way out).
+        """
+        n = min(len(active), len(plans))
+        seen: set[int] = set()
+        try:
+            for i, result in self.run_streaming(trainer, active, plans, rows, uploads):
+                seen.add(i)
+                yield i, result
+        except (KeyboardInterrupt, SystemExit, GeneratorExit):
+            raise
+        except BaseException as exc:  # noqa: BLE001 - converted to failures
+            for i in range(n):
+                if i not in seen:
+                    yield i, LegFailure(
+                        index=i,
+                        client_id=active[i].client_id,
+                        row=int(rows[i]),
+                        kind="error",
+                        message=f"{type(exc).__name__}: {exc}",
+                    )
+
     def close(self) -> None:
         """Release pools/buffers; the backend lazily re-creates them on
         the next :meth:`run`, so close is always safe."""
+
+
+def _leg_failure(active, rows, i: int, kind: str, exc=None, drained=False) -> LegFailure:
+    """Structured failure for leg ``i`` of the current submission."""
+    if exc is None:
+        message = "leg did not finish before the wall-clock deadline"
+    else:
+        message = f"{type(exc).__name__}: {exc}"
+    return LegFailure(
+        index=int(i),
+        client_id=active[i].client_id,
+        row=int(rows[i]),
+        kind=kind,
+        message=message,
+        drained=drained,
+    )
+
+
+def _stream_captured(
+    futures: Sequence, indexed: dict, active, rows, timeout: float | None
+) -> Iterator:
+    """As-completed stream that converts errors/deadline into failures.
+
+    The captured twin of :func:`_stream_as_completed`.  Timeout
+    semantics are drain-then-fail: at the deadline, unstarted futures
+    are cancelled, in-flight ones are *awaited to completion* and their
+    results discarded, and only then are the timeout failures yielded —
+    so no worker ever writes into the reused upload buffer (or mutates
+    a client RNG) after the caller has moved on, and a carry/redispatch
+    overwrite of the row cannot race a zombie leg.
+    """
+    pending = set(futures)
+    deadline = None if timeout is None else time.monotonic() + float(timeout)
+    try:
+        while pending:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            done, _ = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                pending.discard(future)
+                i = indexed[future]
+                try:
+                    result = future.result()
+                except (KeyboardInterrupt, SystemExit, GeneratorExit):
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - captured
+                    yield i, _leg_failure(active, rows, i, "error", exc)
+                else:
+                    yield i, result
+            if not done and deadline is not None and time.monotonic() >= deadline:
+                late, pending = list(pending), set()
+                for future in late:
+                    future.cancel()
+                wait(late)  # drain: in-flight legs finish, results discarded
+                for future in late:
+                    yield indexed[future], _leg_failure(
+                        active, rows, indexed[future], "timeout", drained=True
+                    )
+                return
+    finally:
+        if pending:
+            for future in pending:
+                future.cancel()
+            wait(list(pending))
 
 
 def _stream_as_completed(futures: Sequence, indexed: dict) -> Iterator:
@@ -396,6 +510,30 @@ class SerialExecution(ExecutionBackend):
                 grad_hook=resolve_hook(plan.grad_hook, plan.state),
                 lr_override=plan.lr_override,
             )
+            uploads.set_state(rows[i], result.state)
+            yield i, result
+
+    def run_streaming_captured(
+        self, trainer, active, plans, rows, uploads, timeout=None
+    ):
+        # Serial legs run one at a time on the caller's thread, so a
+        # wall-clock ``timeout`` is meaningless here (nothing is ever
+        # in flight to abandon) and is deliberately ignored — the
+        # deterministic straggler policy lives in the fault scenario.
+        for i, (client, plan) in enumerate(zip(active, plans)):
+            try:
+                result = client.train(
+                    trainer,
+                    plan.state,
+                    loss_hook=resolve_hook(plan.loss_hook, plan.state),
+                    grad_hook=resolve_hook(plan.grad_hook, plan.state),
+                    lr_override=plan.lr_override,
+                )
+            except (KeyboardInterrupt, SystemExit, GeneratorExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - captured
+                yield i, _leg_failure(active, rows, i, "error", exc)
+                continue
             uploads.set_state(rows[i], result.state)
             yield i, result
 
@@ -468,6 +606,13 @@ class ThreadExecution(ExecutionBackend):
     def run_streaming(self, trainer, active, plans, rows, uploads):
         futures = self._submit(trainer, active, plans, rows, uploads)
         yield from _stream_as_completed(futures, {f: i for i, f in enumerate(futures)})
+
+    def run_streaming_captured(
+        self, trainer, active, plans, rows, uploads, timeout=None
+    ):
+        futures = self._submit(trainer, active, plans, rows, uploads)
+        indexed = {f: i for i, f in enumerate(futures)}
+        yield from _stream_captured(futures, indexed, active, rows, timeout)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -947,6 +1092,26 @@ class ProcessExecution(ExecutionBackend):
                 mean_loss=mean_loss,
             )
 
+    def run_streaming_captured(
+        self, trainer, active, plans, rows, uploads, timeout=None
+    ):
+        futures = self._submit(trainer, active, plans, rows, uploads)
+        indexed = {f: i for i, f in enumerate(futures)}
+        for i, leg in _stream_captured(futures, indexed, active, rows, timeout):
+            if isinstance(leg, LegFailure):
+                yield i, leg
+                continue
+            num_samples, num_steps, mean_loss, rng_state = leg
+            active[i].rng.bit_generator.state = rng_state
+            row = int(rows[i])
+            uploads.set_row(row, self._uploads_shm.array[row])
+            yield i, LocalResult(
+                state=uploads.as_state(row, copy=True),
+                num_samples=num_samples,
+                num_steps=num_steps,
+                mean_loss=mean_loss,
+            )
+
     def close(self) -> None:
         # Release the shared segments even when the pool shutdown is
         # interrupted (Ctrl-C while workers drain): pool teardown runs
@@ -1035,6 +1200,23 @@ class ClientExecutor:
         consumes.  Fully consuming the stream is equivalent to
         :meth:`run` (same uploads, results and RNG advancement)."""
         return self._backend.run_streaming(trainer, active, plans, rows, uploads)
+
+    def run_streaming_captured(
+        self,
+        trainer: LocalTrainer,
+        active: "list[Client]",
+        plans: "list[DispatchPlan]",
+        rows: Sequence[int],
+        uploads: "PoolBuffer",
+        timeout: float | None = None,
+    ) -> "Iterator[tuple[int, LocalResult | LegFailure]]":
+        """Fault-capturing twin of :meth:`run_streaming`: a leg that
+        raises (or misses the wall-clock ``timeout``) is yielded as a
+        structured :class:`~repro.faults.policy.LegFailure` instead of
+        aborting the stream — the seam the resilience engine drives."""
+        return self._backend.run_streaming_captured(
+            trainer, active, plans, rows, uploads, timeout=timeout
+        )
 
     def close(self) -> None:
         """Shut down worker pools and release shared buffers (idempotent;

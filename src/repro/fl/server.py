@@ -150,6 +150,26 @@ class FederatedServer:
         self.round_idx = 0
         self.stop_training = False
         self.backend = getattr(config, "backend", "dense")
+        # Resilience: the seeded fault model (None without a scenario)
+        # and the round policy the engine enforces.  Built before the
+        # storage options so an engaged non-`fail` policy can ask the
+        # distributed backend for replicated (failover-capable) buffers.
+        faults = getattr(config, "faults", None)
+        if faults is not None:
+            from repro.faults.model import ClientPopulation  # lazy
+
+            self.fault_model = ClientPopulation(
+                faults,
+                seed=getattr(config, "seed", 0),
+                num_clients=len(self.clients),
+            )
+        else:
+            self.fault_model = None
+        from repro.faults.policy import RoundPolicy  # lazy, stdlib-only
+
+        self.fault_policy = RoundPolicy.from_config(config)
+        self.last_leg_failures: list = []
+        self._round_leg_comm: "tuple[int, int] | None" = None
         # Storage options forwarded to the pool backend's allocate();
         # only option-accepting backends (sharded) see a non-empty dict.
         self.backend_options: dict = {}
@@ -162,6 +182,14 @@ class FederatedServer:
         hosts = getattr(config, "hosts", None)
         if hosts is not None:
             self.backend_options["hosts"] = hosts
+        if (
+            self.backend == "distributed"
+            and self.fault_policy.engaged
+            and self.fault_policy.failure_policy != "fail"
+        ):
+            # Coordinator-side row mirror: a killed shard host can be
+            # respawned and its rows restored instead of raising.
+            self.backend_options["replicate"] = True
         self.streaming = bool(getattr(config, "streaming", True))
         self.executor = executor or ClientExecutor(
             getattr(config, "execution", "serial"),
@@ -183,8 +211,18 @@ class FederatedServer:
 
     # -- phase hooks ------------------------------------------------------
     def select_cohort(self) -> list[Client]:
-        """Pick this round's active clients (uniform K-sample; paper: 10%)."""
+        """Pick this round's active clients (uniform K-sample; paper: 10%).
+
+        With a fault scenario the draw is availability-aware (the
+        population prefers reachable clients, padding with unavailable
+        ones only when fewer than K are up); an all-available round —
+        and any run without a scenario — is the exact reference draw.
+        """
         k = self.config.clients_per_round
+        if self.fault_model is not None:
+            return self.fault_model.select_cohort(
+                self.clients, k, self.round_idx, self.rng
+            )
         idx = self.rng.choice(len(self.clients), size=k, replace=False)
         return [self.clients[i] for i in idx]
 
@@ -215,6 +253,19 @@ class FederatedServer:
         """
         uploads = self._round_uploads(len(active))
         rows = [plan.context.get("row", i) for i, plan in enumerate(plans)]
+        if self.fault_policy.engaged:
+            # The resilience engine owns the round: simulated faults are
+            # pre-dropped, infra failures retried / recovered, and the
+            # survivors checked against the quorum.  Never engaged by a
+            # default config, so the branch below stays the untouched
+            # bit-identical reference.
+            from repro.faults.engine import resilient_collect  # lazy
+
+            self.last_leg_failures = []
+            self._round_leg_comm = None
+            results = resilient_collect(self, active, plans, rows, uploads)
+            self._upload_rows = rows[: len(results)]
+            return results
         if self.streaming:
             n = min(len(active), len(plans))
             results: list[LocalResult | None] = [None] * n
@@ -401,6 +452,11 @@ class FederatedServer:
             # still override sample_clients() keep their sampling.
             active = self.sample_clients()
             extras = self.run_round(active) or {}
+            if self.last_leg_failures:
+                extras.setdefault(
+                    "leg_failures",
+                    [f.summary() for f in self.last_leg_failures],
+                )
             up, down = self.ledger.end_round()
             record = RoundRecord(
                 round_idx=self.round_idx,
@@ -454,6 +510,15 @@ class FederatedServer:
         would double-count what the transport already recorded.
         """
         if self.ledger.measured:
+            return
+        if self._round_leg_comm is not None:
+            # The resilience engine counted actual leg traffic: one down
+            # per (re)submission, one up per landing — simulated faults
+            # and carried legs move nothing.  Matches what the measured
+            # distributed transport records for the same fault pattern.
+            downs, ups = self._round_leg_comm
+            self.ledger.record_down(downs * self.model_size + extra_down)
+            self.ledger.record_up(ups * self.model_size + extra_up)
             return
         k = len(active)
         self.ledger.record_down(k * self.model_size + extra_down)

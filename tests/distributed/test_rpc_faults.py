@@ -1,0 +1,161 @@
+"""Transport faults and failover at the RPC/cluster layer.
+
+Three contracts under test, bottom-up:
+
+* :class:`RPCChannel` reconnects and resends exactly once on a
+  transport error — whether the request never left or the reply died
+  halfway — and surfaces :class:`DistributedError` when the retry
+  fails too.  Ops must therefore be idempotent, which the row
+  protocol's absolute-offset writes are.
+* Teardown is idempotent at every level: a handle, a cluster and the
+  process-wide pool can each be closed twice without raising, and a
+  closed handle refuses to mint new channels.
+* A replicated storage survives a SIGKILLed shard host: the fleet is
+  respawned, the mirror replayed, and rows whose latest write died
+  with the host are *guarded*, not silently served stale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedError
+from repro.distributed.cluster import HostCluster, get_cluster, shutdown_clusters
+from repro.distributed.storage import DistributedStorage
+from repro.faults.inject import flaky_transport
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return get_cluster(2)
+
+
+@pytest.fixture()
+def chan(cluster):
+    return cluster.handles[0].channel("data")
+
+
+class TestReconnect:
+    def test_request_side_failure_reconnects_and_resends(self, chan):
+        retries = chan.transport_retries
+        pings = chan.op_counts.get(("ping", None), 0)
+        with flaky_transport(chan, "request", failures=1) as state:
+            reply, _, _ = chan.call("ping")
+        assert reply["index"] == 0
+        assert state["remaining"] == 0  # the injected failure really fired
+        assert chan.transport_retries - retries == 1
+        assert chan.op_counts.get(("ping", None), 0) - pings == 1
+
+    def test_reply_side_failure_retries_idempotently(self, chan):
+        # The host executed the op before the reply died, so the resend
+        # runs it twice — absolute-offset writes make that harmless.
+        meta = {"buffer": "rpcflaky", "rows": 4, "p": 3, "dtype": "<f8"}
+        chan.call("alloc", meta)
+        try:
+            values = np.arange(12, dtype=np.float64).reshape(4, 3)
+            with flaky_transport(chan, "reply", failures=1) as state:
+                chan.call("write_rows", {"buffer": "rpcflaky", "lo": 0},
+                          {"values": values})
+            assert state["remaining"] == 0
+            _, arrays, _ = chan.call(
+                "row_block", {"buffer": "rpcflaky", "lo": 0, "hi": 4}
+            )
+            np.testing.assert_array_equal(arrays["block"], values)
+        finally:
+            chan.call("free", {"buffer": "rpcflaky"})
+
+    def test_exhausted_budget_raises_distributed_error(self, chan):
+        retries = chan.transport_retries
+        with flaky_transport(chan, "request", failures=2):
+            with pytest.raises(DistributedError, match="one\\s+reconnect attempt"):
+                chan.call("ping")
+        assert chan.transport_retries - retries == 2
+        # The channel is healthy again once the chaos context exits.
+        reply, _, _ = chan.call("ping")
+        assert reply["index"] == 0
+
+
+class TestFailover:
+    def test_replicated_storage_survives_host_kill(self):
+        cluster = HostCluster(2)
+        try:
+            data = np.arange(24, dtype=np.float64).reshape(6, 4)
+            storage = DistributedStorage.from_array(
+                data, cluster=cluster, replicate=True
+            )
+            assert storage.replicated
+            victim = cluster.handles[0]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            # The next read transparently respawns the host and replays
+            # the mirror: the full matrix comes back bit-identical.
+            np.testing.assert_array_equal(storage.row_block(0, 6), data)
+            # The respawned host's inventory matches the coordinator's.
+            reply, _, _ = cluster.call(0, "stats")
+            assert storage.buffer_id in reply["buffers"]
+        finally:
+            cluster.shutdown()
+
+    def test_unreplicated_storage_still_fails_loudly(self):
+        cluster = HostCluster(2)
+        try:
+            data = np.arange(24, dtype=np.float64).reshape(6, 4)
+            storage = DistributedStorage.from_array(data, cluster=cluster)
+            assert storage.ensure_fleet() == []  # nothing to replay from
+            cluster.handles[0].process.kill()
+            cluster.handles[0].process.join(timeout=5.0)
+            with pytest.raises(DistributedError):
+                storage.row_block(0, 6)
+        finally:
+            cluster.shutdown()
+
+    def test_rows_written_host_side_are_lost_not_stale(self):
+        cluster = HostCluster(2)
+        try:
+            data = np.arange(24, dtype=np.float64).reshape(6, 4)
+            storage = DistributedStorage.from_array(
+                data, cluster=cluster, replicate=True
+            )
+            # A training leg landed host-side on row 0: the mirror is
+            # now behind that host.
+            storage.note_remote_write(0)
+            cluster.handles[0].process.kill()
+            cluster.handles[0].process.join(timeout=5.0)
+            assert storage.ensure_fleet() == [0]
+            assert storage.lost_rows() == [0]
+            # Reading the lost row is refused — never a stale state.
+            with pytest.raises(DistributedError, match="lost"):
+                storage.row_block(0, 2)
+            with pytest.raises(DistributedError, match="lost"):
+                storage.gather_rows(np.array([0]))
+            # Rows on the surviving span were never at risk.
+            spans = storage.host_spans()
+            lo = spans[1][0]
+            np.testing.assert_array_equal(storage.row_block(lo, 6), data[lo:])
+            # A fresh coordinator write rehabilitates the row.
+            fresh = np.full((1, 4), 7.5)
+            storage.write_rows(0, fresh)
+            assert storage.lost_rows() == []
+            np.testing.assert_array_equal(storage.row_block(0, 1), fresh)
+        finally:
+            cluster.shutdown()
+
+
+class TestIdempotentTeardown:
+    def test_handle_and_cluster_close_twice(self):
+        cluster = HostCluster(1)
+        handle = cluster.handles[0]
+        assert handle.channel("data") is handle.channel("data")
+        cluster.shutdown()
+        cluster.shutdown()  # second shutdown is a no-op
+        handle.close()  # already closed by shutdown — still a no-op
+        assert not handle.process.is_alive()
+        with pytest.raises(DistributedError, match="closed"):
+            handle.channel("data")
+
+    def test_shutdown_clusters_twice_and_pool_recreates(self):
+        first = get_cluster(1)
+        shutdown_clusters()
+        shutdown_clusters()
+        assert not first.alive()
+        second = get_cluster(1)
+        assert second is not first and second.alive()

@@ -1,0 +1,167 @@
+"""The seeded fault model: scenarios, determinism, cohort sampling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import ClientPopulation, FaultScenario
+from repro.faults.model import LegFault
+
+
+class TestFaultScenario:
+    def test_defaults_are_benign(self):
+        scenario = FaultScenario()
+        assert scenario.benign
+        assert scenario.availability == 1.0
+        assert scenario.dropout == 0.0
+
+    def test_from_spec_mapping(self):
+        s = FaultScenario.from_spec({"availability": 0.9, "dropout": 0.1})
+        assert s.availability == 0.9
+        assert s.dropout == 0.1
+        assert not s.benign
+
+    def test_from_spec_inline_json(self):
+        s = FaultScenario.from_spec('{"slow_prob": 0.5, "slow_factor": 3.0}')
+        assert s.slow_prob == 0.5
+        assert s.slow_factor == 3.0
+
+    def test_from_spec_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({"dropout": 0.25}))
+        assert FaultScenario.from_spec(str(path)).dropout == 0.25
+
+    def test_from_spec_passthrough(self):
+        s = FaultScenario(dropout=0.5)
+        assert FaultScenario.from_spec(s) is s
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-scenario keys"):
+            FaultScenario.from_spec({"droput": 0.1})
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(ValueError, match="neither an existing scenario"):
+            FaultScenario.from_spec("no/such/file.json")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"availability": 1.5},
+            {"dropout": -0.1},
+            {"slow_prob": 2.0},
+            {"slow_factor": 0.5},
+            {"straggler_timeout": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultScenario(**kwargs)
+
+    def test_to_dict_roundtrip(self):
+        s = FaultScenario(availability=0.8, slow_prob=0.2, slow_factor=2.0)
+        assert FaultScenario.from_spec(s.to_dict()) == s
+
+
+class TestDeterminism:
+    def test_availability_mask_is_pure(self):
+        a = ClientPopulation({"availability": 0.7}, seed=3, num_clients=50)
+        b = ClientPopulation({"availability": 0.7}, seed=3, num_clients=50)
+        for r in (0, 1, 17):
+            np.testing.assert_array_equal(
+                a.availability_mask(r), b.availability_mask(r)
+            )
+
+    def test_seed_moves_the_pattern(self):
+        a = ClientPopulation({"availability": 0.7}, seed=3, num_clients=200)
+        b = ClientPopulation({"availability": 0.7}, seed=4, num_clients=200)
+        assert not np.array_equal(a.availability_mask(0), b.availability_mask(0))
+
+    def test_leg_fault_pure_per_client_round(self):
+        a = ClientPopulation(
+            {"dropout": 0.3, "slow_prob": 0.3, "slow_factor": 2.0},
+            seed=9, num_clients=30,
+        )
+        b = ClientPopulation(
+            {"dropout": 0.3, "slow_prob": 0.3, "slow_factor": 2.0},
+            seed=9, num_clients=30,
+        )
+        for r in (0, 5):
+            assert a.leg_faults(r, range(30)) == b.leg_faults(r, range(30))
+
+    def test_full_availability_never_fails_anyone(self):
+        pop = ClientPopulation({"availability": 1.0}, seed=0, num_clients=64)
+        assert pop.availability_mask(0).all()
+        assert all(f.kind is None for f in pop.leg_faults(0, range(64)))
+
+    def test_dropout_one_drops_everyone(self):
+        pop = ClientPopulation({"dropout": 1.0}, seed=0, num_clients=16)
+        assert all(f.kind == "dropout" for f in pop.leg_faults(2, range(16)))
+
+    def test_dropout_knob_does_not_move_straggler_stream(self):
+        # Fixed draw order: the slow draw happens whether or not the
+        # dropout draw already failed the leg.
+        base = {"slow_prob": 0.4, "slow_factor": 3.0}
+        a = ClientPopulation(base, seed=11, num_clients=100)
+        b = ClientPopulation({**base, "dropout": 1.0}, seed=11, num_clients=100)
+        for cid in range(100):
+            assert a.leg_fault(0, cid).speed == b.leg_fault(0, cid).speed
+
+    def test_straggler_cutoff(self):
+        pop = ClientPopulation(
+            {"slow_prob": 1.0, "slow_factor": 4.0, "straggler_timeout": 2.0},
+            seed=0, num_clients=4,
+        )
+        faults = pop.leg_faults(0, range(4))
+        assert all(f.kind == "straggler" and f.speed == 4.0 for f in faults)
+
+    def test_kind_precedence_unavailable_wins(self):
+        pop = ClientPopulation(
+            {"availability": 0.0, "dropout": 1.0}, seed=0, num_clients=4
+        )
+        assert all(f.kind == "unavailable" for f in pop.leg_faults(0, range(4)))
+
+    def test_failure_for_simulated_kinds(self):
+        pop = ClientPopulation({"dropout": 1.0}, seed=0, num_clients=4)
+        failure = pop.failure_for(LegFault(kind="dropout"), 1, 3, 2)
+        assert failure.kind == "dropout"
+        assert failure.simulated and not failure.retryable
+        assert failure.summary() == {
+            "client": 3, "row": 2, "kind": "dropout", "attempts": 0,
+        }
+
+
+class TestSelectCohort:
+    def test_all_available_is_the_reference_draw(self):
+        # Identity: a benign scenario consumes the server RNG exactly
+        # like the reference `rng.choice(n, k, replace=False)`.
+        clients = list(range(20))
+        pop = ClientPopulation({"availability": 1.0}, seed=5, num_clients=20)
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        chosen = pop.select_cohort(clients, 6, 0, rng_a)
+        reference = [clients[i] for i in rng_b.choice(20, size=6, replace=False)]
+        assert chosen == reference
+        # And the generators end in the same state.
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_churn_prefers_available_clients(self):
+        pop = ClientPopulation({"availability": 0.5}, seed=1, num_clients=40)
+        mask = pop.availability_mask(0)
+        assert 0 < mask.sum() < 40  # the seed gives a genuine mix
+        k = min(4, int(mask.sum()))
+        chosen = pop.select_cohort(list(range(40)), k, 0, np.random.default_rng(0))
+        assert all(mask[c] for c in chosen)
+
+    def test_pads_with_unavailable_when_short(self):
+        pop = ClientPopulation({"availability": 0.0}, seed=1, num_clients=8)
+        chosen = pop.select_cohort(list(range(8)), 5, 0, np.random.default_rng(0))
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5  # no duplicates
+        faults = pop.leg_faults(0, chosen)
+        assert all(f.kind == "unavailable" for f in faults)
+
+    def test_roster_size_mismatch_raises(self):
+        pop = ClientPopulation({}, seed=0, num_clients=10)
+        with pytest.raises(ValueError, match="sized for 10"):
+            pop.select_cohort(list(range(8)), 2, 0, np.random.default_rng(0))

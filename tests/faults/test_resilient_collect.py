@@ -1,0 +1,309 @@
+"""The resilient collect engine: identity, policies, retries, drains."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultError, QuorumError
+from repro.faults.inject import UploadDropper
+from repro.fl.callbacks import ServerCallback
+from repro.fl.config import FLConfig
+from repro.fl.execution import _leg_failure, _stream_captured
+from repro.fl.simulation import run_simulation
+
+BASE = dict(
+    method="fedcross",
+    dataset="synth_cifar10",
+    model="logreg",
+    num_clients=8,
+    participation=0.5,
+    local_epochs=1,
+    batch_size=16,
+    rounds=3,
+    seed=7,
+    dataset_params={"samples_per_client": 20, "num_test": 40},
+)
+
+# Seed 7 with this scenario injects failures in every round (validated
+# by the chaos matrix), while quorum 0.25 always survives them.
+DROPOUTS = {"availability": 0.9, "dropout": 0.2}
+
+
+def _run(callbacks=None, **overrides):
+    return run_simulation(FLConfig(**{**BASE, **overrides}), callbacks=callbacks)
+
+
+def _records(result, comm=True):
+    return [
+        (r.accuracy, r.loss, r.train_loss)
+        + ((r.comm_up_params, r.comm_down_params) if comm else ())
+        for r in result.history.records
+    ]
+
+
+def _assert_identical(a, b, comm=True):
+    assert _records(a, comm=comm) == _records(b, comm=comm)
+    assert sorted(a.final_state) == sorted(b.final_state)
+    for key in a.final_state:
+        np.testing.assert_array_equal(a.final_state[key], b.final_state[key])
+
+
+def _failure_count(result):
+    return sum(
+        len(r.extras.get("leg_failures", ())) for r in result.history.records
+    )
+
+
+class TestEngineIdentity:
+    def test_engaged_without_faults_is_bit_identical(self):
+        # Retries alone engage the engine; with nothing failing, the
+        # resilient collect must reproduce the reference bit-for-bit,
+        # including the analytic communication ledger.
+        reference = _run()
+        engaged = _run(leg_retries=2, failure_policy="carry")
+        _assert_identical(reference, engaged)
+        assert _failure_count(engaged) == 0
+
+    def test_benign_scenario_is_bit_identical(self):
+        reference = _run()
+        benign = _run(faults={"availability": 1.0}, failure_policy="carry")
+        _assert_identical(reference, benign)
+
+    def test_carry_thread_matches_serial(self):
+        faulty = dict(faults=DROPOUTS, failure_policy="carry", quorum=0.25)
+        serial = _run(**faulty)
+        thread = _run(execution="thread", workers=2, **faulty)
+        assert _failure_count(serial) > 0
+        _assert_identical(serial, thread)
+
+    def test_redispatch_equals_carry_for_simulated_faults(self):
+        # Simulated faults are not retryable, so redispatch has nothing
+        # extra to do and must land exactly where carry does.
+        carry = _run(faults=DROPOUTS, failure_policy="carry", quorum=0.25)
+        redispatch = _run(
+            faults=DROPOUTS, failure_policy="redispatch", quorum=0.25
+        )
+        _assert_identical(carry, redispatch)
+
+
+class TestPolicies:
+    def test_fail_policy_raises_fault_error(self):
+        with pytest.raises(FaultError, match="dropout"):
+            _run(faults={"dropout": 1.0}, rounds=1)
+
+    def test_quorum_breach_raises(self):
+        with pytest.raises(QuorumError):
+            _run(
+                faults={"dropout": 1.0},
+                failure_policy="carry",
+                quorum=1.0,
+                rounds=1,
+            )
+
+    def test_failures_surface_in_round_extras(self):
+        result = _run(faults=DROPOUTS, failure_policy="carry", quorum=0.25)
+        summaries = [
+            s
+            for r in result.history.records
+            for s in r.extras.get("leg_failures", ())
+        ]
+        assert summaries
+        for summary in summaries:
+            assert set(summary) == {"client", "row", "kind", "attempts"}
+            assert summary["kind"] in {"unavailable", "dropout", "straggler"}
+
+    def test_on_leg_failure_callback_fires_per_failure(self):
+        seen = []
+
+        class Recorder(ServerCallback):
+            def on_leg_failure(self, server, failure):
+                seen.append((failure.kind, failure.client_id))
+
+        result = _run(
+            callbacks=[Recorder()],
+            faults=DROPOUTS,
+            failure_policy="carry",
+            quorum=0.25,
+        )
+        assert len(seen) == _failure_count(result) > 0
+
+
+class _InstallDropper(ServerCallback):
+    """Wrap the live execution backend in an UploadDropper at fit start."""
+
+    def __init__(self, client_ids, times=1):
+        self.client_ids = client_ids
+        self.times = times
+        self.dropper = None
+
+    def on_round_start(self, server, round_idx):
+        if self.dropper is None:
+            self.dropper = UploadDropper(
+                server.executor._backend, self.client_ids, self.times
+            )
+            server.executor._backend = self.dropper
+
+
+class TestRetries:
+    def test_retry_recovers_dropped_uploads_bitwise(self):
+        # Every client's first upload is dropped after training; one
+        # retry per round re-runs those legs from restored RNG
+        # snapshots, so everything except the communication bill is
+        # bitwise identical to the clean run.
+        reference = _run()
+        installer = _InstallDropper(range(BASE["num_clients"]), times=1)
+        retried = _run(
+            callbacks=[installer],
+            failure_policy="carry",
+            leg_retries=1,
+            leg_backoff=0.001,
+        )
+        assert installer.dropper is not None and installer.dropper.dropped > 0
+        _assert_identical(reference, retried, comm=False)
+        # The retransmissions are visible in the ledger: extra downlink
+        # legs, identical uplink (each leg still lands exactly once).
+        ref_recs, new_recs = reference.history.records, retried.history.records
+        assert sum(r.comm_down_params for r in new_recs) > sum(
+            r.comm_down_params for r in ref_recs
+        )
+        assert [r.comm_up_params for r in new_recs] == [
+            r.comm_up_params for r in ref_recs
+        ]
+        # Recovered legs are not failures: nothing surfaced.
+        assert _failure_count(retried) == 0
+
+    def test_exhausted_retries_fall_back_to_carry(self):
+        # One leg keeps losing its upload past the retry budget; the
+        # round must still complete (quorum holds on the other legs) and
+        # the carried leg surfaces with the whole budget spent.
+        class DropFirstLegForever(ServerCallback):
+            victim = None
+            dropped = 0
+
+            def on_round_start(cb, server, round_idx):
+                if getattr(server.executor._backend, "_chaos", False):
+                    return
+                inner = server.executor._backend
+                outer = cb
+
+                class Wrapper:
+                    _chaos = True
+
+                    def __getattr__(self, name):
+                        return getattr(inner, name)
+
+                    def run_streaming_captured(
+                        self, trainer, active, plans, rows, uploads, timeout=None
+                    ):
+                        from repro.faults import LegFailure
+
+                        for i, out in inner.run_streaming_captured(
+                            trainer, active, plans, rows, uploads, timeout=timeout
+                        ):
+                            cid = int(active[i].client_id)
+                            ok = not isinstance(out, LegFailure)
+                            if ok and outer.victim is None:
+                                outer.victim = cid
+                            if ok and cid == outer.victim:
+                                outer.dropped += 1
+                                out = LegFailure(
+                                    index=i, client_id=cid, row=int(rows[i]),
+                                    kind="error", message="injected upload drop",
+                                )
+                            yield i, out
+
+                server.executor._backend = Wrapper()
+
+        dropper = DropFirstLegForever()
+        result = _run(
+            callbacks=[dropper],
+            rounds=1,
+            failure_policy="carry",
+            quorum=0.5,
+            leg_retries=1,
+            leg_backoff=0.001,
+        )
+        failures = [
+            s
+            for r in result.history.records
+            for s in r.extras.get("leg_failures", ())
+        ]
+        # Exactly the victim's leg was carried, after spending the whole
+        # budget: the initial attempt plus the single allowed retry.
+        assert [s["client"] for s in failures] == [dropper.victim]
+        assert failures[0]["attempts"] == 2
+        assert dropper.dropped == 2
+
+
+class TestTimeouts:
+    def test_stream_captured_drains_before_failing(self):
+        # Drain-then-fail: at the deadline the in-flight leg is awaited
+        # to completion (no zombie writes later) and only then reported
+        # as a drained timeout failure.
+        finished = threading.Event()
+
+        def slow():
+            time.sleep(0.5)
+            finished.set()
+            return "late"
+
+        active = [SimpleNamespace(client_id=0)]
+        rows = [0]
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(slow)
+            out = list(
+                _stream_captured([future], {future: 0}, active, rows, 0.05)
+            )
+        assert finished.is_set()  # the drain waited for the worker
+        assert len(out) == 1
+        i, failure = out[0]
+        assert i == 0
+        assert failure.kind == "timeout" and failure.drained
+        assert failure.retryable and not failure.simulated
+
+    def test_unstarted_legs_are_cancelled_at_deadline(self):
+        ran = []
+
+        def slow():
+            time.sleep(0.4)
+            ran.append("first")
+            return "a"
+
+        def never():
+            ran.append("second")  # pragma: no cover - must not run
+            return "b"
+
+        active = [SimpleNamespace(client_id=0), SimpleNamespace(client_id=1)]
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            futures = [pool.submit(slow), pool.submit(never)]
+            out = list(
+                _stream_captured(
+                    futures, {f: i for i, f in enumerate(futures)},
+                    active, [0, 1], 0.05,
+                )
+            )
+        assert ran == ["first"]
+        assert sorted(i for i, _ in out) == [0, 1]
+        assert all(f.kind == "timeout" for _, f in out)
+
+    def test_serial_backend_ignores_leg_timeout(self):
+        # Serial legs run inline; a wall-clock deadline cannot apply and
+        # must not perturb the run.
+        reference = _run(rounds=2)
+        timed = _run(rounds=2, leg_timeout=1e-9, failure_policy="carry")
+        _assert_identical(reference, timed)
+        assert _failure_count(timed) == 0
+
+    def test_leg_failure_messages(self):
+        failure = _leg_failure(
+            [SimpleNamespace(client_id=4)], [2], 0, "error",
+            exc=ValueError("boom"),
+        )
+        assert failure.client_id == 4 and failure.row == 2
+        assert "ValueError: boom" in failure.message
+        timeout = _leg_failure([SimpleNamespace(client_id=4)], [2], 0, "timeout")
+        assert "deadline" in timeout.message

@@ -490,3 +490,44 @@ class TestSharedMemoryCleanup:
         name = block.shm.name
         block.close()
         assert self._segment_gone(name)
+
+
+class TestStreamDrain:
+    """The streaming iterators' cancel-and-drain contract: when a leg
+    errors (or the deadline passes), control must not leave the stream
+    while any in-flight leg could still write into the reused upload
+    buffer."""
+
+    def test_stream_as_completed_drains_in_flight_on_error(self):
+        import threading
+        import time
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.fl.execution import _stream_as_completed
+
+        finished = threading.Event()
+
+        def failing():
+            raise RuntimeError("leg exploded")
+
+        def slow():
+            time.sleep(0.3)
+            finished.set()
+            return "late"
+
+        def never():  # pragma: no cover - must stay queued and cancel
+            raise AssertionError("cancelled leg ran")
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            slow_f = pool.submit(slow)
+            fail_f = pool.submit(failing)
+            never_f = pool.submit(never)  # queued behind the two above
+            futures = [slow_f, fail_f, never_f]
+            indexed = {f: i for i, f in enumerate(futures)}
+            with pytest.raises(RuntimeError, match="leg exploded"):
+                for _ in _stream_as_completed(futures, indexed):
+                    pass
+            # The error only propagated after the in-flight leg ran to
+            # completion (drained) and the unstarted one was cancelled.
+            assert finished.is_set()
+            assert never_f.cancelled()
