@@ -25,6 +25,9 @@ same-host **ratios** each benchmark computes internally:
     ``distributed[].ratio`` (distributed round over localhost shard
     hosts vs the sharded round) — lower is better (a rising ratio
     means the socket-RPC transport is getting more expensive per op);
+    ``robust[].ratio`` (trimmed-mean round with a poisoned row vs the
+    mean round on the same host) — lower is better (a rising ratio
+    means Byzantine robustness is getting more expensive per round);
     ``out_of_core.peak_bytes / full_f64_bytes`` — lower is better (a
     rising ratio means whole-pool temporaries are creeping back).
 ``BENCH_client_execution.json``
@@ -77,6 +80,7 @@ GATES = [
     ("BENCH_pool_engine.json", "similarity", ("k",), "speedup", "higher", False),
     ("BENCH_pool_engine.json", "sharded", ("k", "shards"), "ratio", "lower", False),
     ("BENCH_pool_engine.json", "distributed", ("k", "hosts"), "ratio", "lower", False),
+    ("BENCH_pool_engine.json", "robust", ("k",), "ratio", "lower", False),
     ("BENCH_client_execution.json", "streaming", ("k", "backend"), "ratio", "lower", True),
     ("BENCH_client_execution.json", "backend_dispatch", ("model",), "ratio", "lower", True, 0.05),
 ]

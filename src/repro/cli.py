@@ -56,7 +56,16 @@ fields, the server's phased round loop is exposed through:
     every backend), the fresh-upload quorum a round must reach, what
     happens to failed legs (``fail`` aborts, ``carry`` keeps the stale
     middleware row, ``redispatch`` reissues once), and the bounded
-    retry/timeout/backoff knobs for infrastructure failures.
+    retry/timeout/backoff knobs for infrastructure failures.  Scenario
+    knobs also cover the seeded adversarial client model
+    (``byzantine_frac`` / ``attack`` / ``attack_scale``).
+``--aggregator`` / ``--aggregator-params`` / ``--screen``
+    The Byzantine-robust aggregation layer (:mod:`repro.robust`):
+    which aggregation operator drives CrossAggr blends and
+    GlobalModelGen (``mean`` — bitwise the reference path —
+    ``trimmed_mean``, ``coordinate_median`` or ``norm_clip``, plus
+    operator knobs as JSON), and whether the Gram-based anomaly
+    screen flags or quarantines suspect uploads before aggregation.
 ``--progress``
     Attach a :class:`~repro.fl.callbacks.ThroughputLogger` printing
     per-round wall-clock and a throughput summary to stderr.
@@ -118,6 +127,17 @@ def _array_backend(value: str) -> str:
 
     try:
         resolve_array_backend(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(exc.args[0])
+    return value.lower()
+
+
+def _aggregator(value: str) -> str:
+    """Validate ``--aggregator`` against the live operator registry."""
+    from repro.robust.operators import resolve_operator
+
+    try:
+        resolve_operator(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(exc.args[0])
     return value.lower()
@@ -285,6 +305,34 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         default=_DEFAULTS.leg_backoff,
         help="base backoff seconds; retry i sleeps leg_backoff * 2**(i-1)",
     )
+    parser.add_argument(
+        "--aggregator",
+        type=_aggregator,
+        default=_DEFAULTS.aggregator,
+        help=(
+            'aggregation operator for CrossAggr blends and GlobalModelGen: '
+            '"mean" (default, bitwise the reference path), "trimmed_mean", '
+            '"coordinate_median" or "norm_clip" (repro.robust.operators)'
+        ),
+    )
+    parser.add_argument(
+        "--aggregator-params",
+        default=None,
+        help=(
+            "JSON object of operator knobs, e.g. "
+            '\'{"trim": 0.25}\' or \'{"clip_factor": 3.0}\''
+        ),
+    )
+    parser.add_argument(
+        "--screen",
+        default=_DEFAULTS.screen,
+        choices=("flag", "carry"),
+        help=(
+            "Gram-based anomaly screening of landed uploads: flag "
+            "(record suspects in history extras) or carry (additionally "
+            "quarantine flagged rows; default: off)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
     parser.add_argument("--alpha", type=float, default=0.9, help="FedCross fusion weight")
     parser.add_argument(
@@ -371,6 +419,11 @@ def _config_kwargs(args) -> dict:
         leg_timeout=args.leg_timeout,
         leg_retries=args.leg_retries,
         leg_backoff=args.leg_backoff,
+        aggregator=args.aggregator,
+        aggregator_params=(
+            json.loads(args.aggregator_params) if args.aggregator_params else {}
+        ),
+        screen=args.screen,
         seed=args.seed,
     )
 
@@ -486,14 +539,16 @@ def _cmd_bench(args) -> int:
 def _cmd_list() -> int:
     from repro.core.storage import available_backends
     from repro.fl.execution import available_executions
+    from repro.robust.operators import available_operators
     from repro.tensor.backend import available_array_backends
 
-    print("methods:  ", ", ".join(available_methods()))
-    print("models:   ", ", ".join(available_models()))
-    print("datasets: ", ", ".join(sorted(DATASET_BUILDERS)))
-    print("backends: ", ", ".join(available_backends()))
-    print("execution:", ", ".join(available_executions()))
-    print("arrays:   ", ", ".join(available_array_backends()))
+    print("methods:    ", ", ".join(available_methods()))
+    print("models:     ", ", ".join(available_models()))
+    print("datasets:   ", ", ".join(sorted(DATASET_BUILDERS)))
+    print("backends:   ", ", ".join(available_backends()))
+    print("execution:  ", ", ".join(available_executions()))
+    print("arrays:     ", ", ".join(available_array_backends()))
+    print("aggregators:", ", ".join(available_operators()))
     return 0
 
 

@@ -57,7 +57,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.acceleration import DynamicAlphaSchedule, propeller_index_matrix
-from repro.core.aggregation import global_model_generation, validate_alpha
+from repro.core.aggregation import validate_alpha
 from repro.core.gram import GramTracker
 from repro.core.pool import PoolBuffer
 from repro.core.selection import CoModelSel
@@ -201,6 +201,72 @@ class FedCrossServer(FederatedServer):
             return None
         return gram.gram
 
+    def _screen_uploads(
+        self,
+        uploaded: PoolBuffer,
+        active: list[Client],
+        plans: list[DispatchPlan],
+        tracker: GramTracker | None,
+    ) -> None:
+        """Gram-based anomaly screen over this round's landed uploads.
+
+        Scores every row's distance from the upload mean straight off
+        the ``(K, K)`` Gram — O(K²) algebra on matrix entries that
+        already exist, never a fresh ``(K, P)`` pass when the
+        incremental tracker followed the round.  Flagged rows become
+        :class:`~repro.robust.screen.SuspectRecord`\\ s on
+        ``last_suspects`` (surfaced in the round's history extras) and
+        fire :meth:`~repro.fl.callbacks.ServerCallback.on_suspect_upload`;
+        under ``screen="carry"`` each flagged row is additionally
+        quarantined — its dispatched middleware state restored (the
+        same degradation the fault engine applies to failed legs) and
+        the tracked Gram refreshed in place, so CoModelSel and
+        CrossAggr never see the suspect update.
+        """
+        mode = self.screen
+        k = len(uploaded)
+        if mode is None or k < 3:
+            return
+        from repro.robust.screen import SuspectRecord, screen_scores
+
+        gram = (
+            tracker.gram
+            if tracker is not None
+            else uploaded.gram_matrix(param_keys=self.selector.param_keys)
+        )
+        scores, threshold, flagged = screen_scores(gram)
+        if flagged.size == 0:
+            return
+        # Plan j carries its middleware index as context["row"] and was
+        # trained by active[j] — invert that to name the suspect client.
+        by_row: dict[int, tuple[int, DispatchPlan]] = {}
+        for j, plan in enumerate(plans):
+            if plan is not None and j < len(active):
+                by_row[int(plan.context["row"])] = (active[j].client_id, plan)
+        records = []
+        for row in flagged:
+            row = int(row)
+            client_id, plan = by_row.get(row, (-1, None))
+            records.append(
+                SuspectRecord(
+                    row=row,
+                    client_id=int(client_id),
+                    score=float(scores[row]),
+                    threshold=float(threshold),
+                    action=mode,
+                )
+            )
+            if mode == "carry" and plan is not None:
+                uploaded.set_state(row, plan.state)
+                if tracker is not None:
+                    # In-place Gram refresh: selection below reads the
+                    # quarantined row, not the suspect one.
+                    tracker.update_row(row)
+        self.last_suspects = records
+        for record in records:
+            for cb in self.callbacks:
+                cb.on_suspect_upload(self, record)
+
     def aggregate(
         self,
         active: list[Client],
@@ -214,12 +280,28 @@ class FedCrossServer(FederatedServer):
         recompute) and the new pool's Gram is derived by the closed-form
         post-CrossAggr transform, keeping ``middleware_similarity`` /
         ``pool_dispersion`` data-free too.
+
+        The blend itself routes through the configured aggregation
+        operator (``FLConfig.aggregator``): ``mean`` delegates straight
+        to :meth:`~repro.core.pool.PoolBuffer.cross_aggregate` (bitwise
+        the reference path); robust operators reject uploads outside
+        their trust region first, degrading each rejected slot to its
+        dispatched middleware state (the fault engine's carry).  The closed-form Gram transform is
+        only valid for the linear mean blend, so non-linear operators
+        drop the pool Gram and the diagnostics fall back to fresh
+        recomputes.
         """
         k = len(self._pool)
         uploaded = self.uploads  # packed in model order by collect()
         alpha = self.alpha_at(self.round_idx)
         gram = self._fresh_upload_gram(uploaded)
         tracker = self._upload_gram if gram is not None else None
+        if self.screen is not None:
+            self._screen_uploads(uploaded, active, plans, tracker)
+        # The closed-form post-CrossAggr Gram transform models the
+        # linear blend exactly; robust operators bend flagged rows, so
+        # their output Gram must be recomputed from data when needed.
+        track = tracker is not None and self.aggregator.linear
         if k == 1:
             co_indices = np.zeros(1, dtype=np.int64)
             # Copy: the upload buffer is reused next round and must not
@@ -235,18 +317,22 @@ class FedCrossServer(FederatedServer):
         elif self._use_propellers(self.round_idx):
             props = propeller_index_matrix(self.round_idx, k, self.num_propellers)
             co_indices = props[:, 0]
-            self._pool = uploaded.cross_aggregate(props, alpha)
+            self._pool = self.aggregator.cross_blend(
+                uploaded, props, alpha, fallback=self._pool
+            )
             self._pool_gram = (
                 tracker.cross_aggregated(props, alpha, pool=self._pool)
-                if tracker is not None
+                if track
                 else None
             )
         else:
             co_indices = self.selector.select_all(uploaded, self.round_idx, gram=gram)
-            self._pool = uploaded.cross_aggregate(co_indices, alpha)
+            self._pool = self.aggregator.cross_blend(
+                uploaded, co_indices, alpha, fallback=self._pool
+            )
             self._pool_gram = (
                 tracker.cross_aggregated(co_indices, alpha, pool=self._pool)
-                if tracker is not None
+                if track
                 else None
             )
 
@@ -267,8 +353,16 @@ class FedCrossServer(FederatedServer):
 
     # -- deployment --------------------------------------------------------------
     def global_state(self) -> dict:
-        """Line 17: deployment-only global model (uniform pool average)."""
-        return global_model_generation(self._pool)
+        """Line 17: deployment-only global model (GlobalModelGen).
+
+        Routed through the configured aggregation operator: ``mean``
+        is the paper's uniform pool average (bitwise the
+        :func:`~repro.core.aggregation.global_model_generation`
+        reference); robust operators deploy their robust center
+        instead, so a poisoned middleware row cannot steer the
+        deployed model even when it slipped past screening.
+        """
+        return self.aggregator.combine(self._pool)
 
     def set_global_state(self, state: Mapping[str, np.ndarray]) -> None:
         """Reset the whole pool to ``state`` (checkpoint restore).

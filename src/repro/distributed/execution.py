@@ -136,7 +136,7 @@ class DistributedExecution(ExecutionBackend):
             )
             self._pool_width = max(1, width)
 
-    def _submit(self, trainer, active, plans, rows, uploads):
+    def _submit(self, trainer, active, plans, rows, uploads, attacks=None):
         from repro.core.pool import _check_integer_roundtrip
         from repro.distributed.storage import DistributedStorage
 
@@ -206,6 +206,12 @@ class DistributedExecution(ExecutionBackend):
                 "hypers": hypers,
                 "lr_override": plan.lr_override,
             }
+            if attacks and i in attacks:
+                # Byzantine leg: the owning host poisons its freshly
+                # landed row from the dispatched row it already holds —
+                # the attack happens at the upload boundary without the
+                # trained state ever transiting the coordinator.
+                meta["attack"] = attacks[i].to_wire()
             if ledger is not None:
                 # Measured download: the dispatched model (no dedup —
                 # K clients receiving the same global state still cost
@@ -258,11 +264,13 @@ class DistributedExecution(ExecutionBackend):
             yield i, self._landed(i, reply, active, rows, uploads, up_extras)
 
     def run_streaming_captured(
-        self, trainer, active, plans, rows, uploads, timeout=None
+        self, trainer, active, plans, rows, uploads, timeout=None, attacks=None
     ):
         n = min(len(active), len(plans))
         try:
-            futures, up_extras = self._submit(trainer, active, plans, rows, uploads)
+            futures, up_extras = self._submit(
+                trainer, active, plans, rows, uploads, attacks=attacks
+            )
         except DistributedError as exc:
             # Fleet-level dispatch failure (dead host mid-broadcast):
             # surface every leg as a structured failure so the engine

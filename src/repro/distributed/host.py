@@ -183,7 +183,18 @@ class _HostState:
         # row would silently differ from the serial reference.
         _check_integer_roundtrip(layout, result.state, storage.dtype)
         _check_float_roundtrip(layout, result.state, storage.dtype)
-        layout.flatten_into(result.state, storage.row(int(meta["local_row"])))
+        landed = storage.row(int(meta["local_row"]))
+        layout.flatten_into(result.state, landed)
+        if meta.get("attack"):
+            # Byzantine leg: poison the landed row in place from the
+            # dispatched row that arrived with this request.  Both rows
+            # are buffer-dtype and the transform runs in float64, so
+            # the bytes match the coordinator-side serial application
+            # exactly (idempotent on retry — pure function of inputs).
+            from repro.robust.attacks import AttackSpec, attacked_row
+
+            spec = AttackSpec.from_wire(meta["attack"])
+            landed[:] = attacked_row(spec, layout, arrays["state"], landed)
         return (
             {
                 "num_samples": int(result.num_samples),

@@ -99,6 +99,18 @@ def resilient_collect(server, active, plans, rows, uploads):
                 f"'fail': {_describe(failures)}"
             )
 
+    # -- Byzantine decisions (seeded, per client-round) --------------------
+    # Pure functions of (scenario, seed, round, client): a retried leg
+    # or a redispatched stand-in re-derives the same attack from the
+    # stream instead of inheriting the failed attempt's.  Carried legs
+    # keep the dispatched state and are never attacked.
+    attacks = {}
+    if population is not None:
+        for i in range(n):
+            spec = population.attack_for(server.round_idx, active[i].client_id)
+            if spec is not None:
+                attacks[i] = spec
+
     pending = [i for i in range(n) if i not in failures]
     storage = getattr(uploads, "storage", None)
     can_recover = (
@@ -126,9 +138,10 @@ def resilient_collect(server, active, plans, rows, uploads):
             tries[i] += 1
         downs += len(sub)
         fresh: list[int] = []
+        sub_attacks = {j: attacks[i] for j, i in enumerate(sub) if i in attacks}
         for j, out in server.executor.run_streaming_captured(
             server.trainer, sub_active, sub_plans, sub_rows, uploads,
-            timeout=policy.leg_timeout,
+            timeout=policy.leg_timeout, attacks=sub_attacks or None,
         ):
             i = sub[j]
             if isinstance(out, LegFailure):

@@ -156,10 +156,10 @@ class UploadDropper:
         return getattr(self._backend, name)
 
     def run_streaming_captured(
-        self, trainer, active, plans, rows, uploads, timeout=None
+        self, trainer, active, plans, rows, uploads, timeout=None, attacks=None
     ):
         for i, out in self._backend.run_streaming_captured(
-            trainer, active, plans, rows, uploads, timeout=timeout
+            trainer, active, plans, rows, uploads, timeout=timeout, attacks=attacks
         ):
             cid = int(active[i].client_id)
             if not isinstance(out, LegFailure) and self._budget.get(cid, 0) > 0:

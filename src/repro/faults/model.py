@@ -42,13 +42,18 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.faults.policy import LegFailure
+from repro.robust.attacks import ATTACK_KINDS, DEFAULT_ATTACK_SCALES, AttackSpec
 
 __all__ = ["FaultScenario", "LegFault", "ClientPopulation"]
 
 # Salts keying the fault streams away from every other seeded stream in
-# the codebase (server RNG, client RNGs, data partitioning).
+# the codebase (server RNG, client RNGs, data partitioning).  The
+# Byzantine streams get their own salts so a crash-fault scenario's
+# draws are untouched by adversarial knobs and vice versa.
 _AVAILABILITY_SALT = 0x5EEDFA17
 _LEG_SALT = 0x5EEDFA18
+_BYZANTINE_SALT = 0x5EEDFA19
+_ATTACK_SALT = 0x5EEDFA1A
 
 _SCENARIO_KEYS = (
     "availability",
@@ -56,6 +61,9 @@ _SCENARIO_KEYS = (
     "slow_prob",
     "slow_factor",
     "straggler_timeout",
+    "byzantine_frac",
+    "attack",
+    "attack_scale",
 )
 
 
@@ -81,6 +89,15 @@ class FaultScenario:
         backend-independent analogue of a wall-clock deadline (the
         wall-clock knob is ``FLConfig.leg_timeout``).  ``None``
         disables the cutoff.
+    byzantine_frac:
+        Fraction of the population that is *adversarial*: membership is
+        a single static draw per run (``default_rng([salt, seed])``), so
+        the same clients attack every round regardless of backend,
+        retries or redispatch.
+    attack / attack_scale:
+        Which upload attack Byzantine clients mount (one of
+        :data:`repro.robust.attacks.ATTACK_KINDS`) and its magnitude;
+        ``attack_scale=None`` uses the per-kind default.
     """
 
     availability: float = 1.0
@@ -88,9 +105,12 @@ class FaultScenario:
     slow_prob: float = 0.0
     slow_factor: float = 1.0
     straggler_timeout: float | None = None
+    byzantine_frac: float = 0.0
+    attack: str = "sign_flip"
+    attack_scale: float | None = None
 
     def __post_init__(self) -> None:
-        for name in ("availability", "dropout", "slow_prob"):
+        for name in ("availability", "dropout", "slow_prob", "byzantine_frac"):
             value = getattr(self, name)
             if not 0.0 <= float(value) <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
@@ -100,6 +120,13 @@ class FaultScenario:
             )
         if self.straggler_timeout is not None and self.straggler_timeout <= 0:
             raise ValueError("straggler_timeout must be None or positive")
+        if self.attack not in ATTACK_KINDS:
+            raise ValueError(
+                f"unknown attack kind {self.attack!r}; valid kinds: "
+                f"{list(ATTACK_KINDS)}"
+            )
+        if self.attack_scale is not None and not self.attack_scale > 0:
+            raise ValueError("attack_scale must be None or positive")
 
     @classmethod
     def from_spec(cls, spec: "FaultScenario | Mapping | str") -> "FaultScenario":
@@ -141,11 +168,19 @@ class FaultScenario:
         return {key: getattr(self, key) for key in _SCENARIO_KEYS}
 
     @property
+    def resolved_attack_scale(self) -> float:
+        """``attack_scale`` with the per-kind default filled in."""
+        if self.attack_scale is not None:
+            return float(self.attack_scale)
+        return float(DEFAULT_ATTACK_SCALES[self.attack])
+
+    @property
     def benign(self) -> bool:
-        """True when no knob can ever fail or slow a leg."""
+        """True when no knob can ever fail, slow or poison a leg."""
         return (
             self.availability >= 1.0
             and self.dropout <= 0.0
+            and self.byzantine_frac <= 0.0
             and (
                 self.slow_prob <= 0.0
                 or (
@@ -193,6 +228,7 @@ class ClientPopulation:
         if self.num_clients < 1:
             raise ValueError("num_clients must be >= 1")
         self._avail_cache: tuple[int, np.ndarray] | None = None
+        self._byzantine_cache: np.ndarray | None = None
 
     # -- per-round decisions -----------------------------------------------
     def availability_mask(self, round_idx: int) -> np.ndarray:
@@ -240,6 +276,41 @@ class ClientPopulation:
         self, round_idx: int, client_ids: Sequence[int]
     ) -> list[LegFault]:
         return [self.leg_fault(round_idx, cid) for cid in client_ids]
+
+    # -- adversarial decisions ----------------------------------------------
+    def byzantine_mask(self) -> np.ndarray:
+        """Static boolean mask of adversarial clients (one draw per run).
+
+        Membership is round-independent by design: a Byzantine client
+        attacks every leg it lands, which is both the standard threat
+        model and what makes the attacked/clean accuracy comparison in
+        the robustness gates stable.
+        """
+        if self._byzantine_cache is None:
+            rng = np.random.default_rng([_BYZANTINE_SALT, self.seed])
+            draws = rng.random(self.num_clients)
+            self._byzantine_cache = draws < self.scenario.byzantine_frac
+        return self._byzantine_cache
+
+    def attack_for(self, round_idx: int, client_id: int) -> AttackSpec | None:
+        """This client's attack for its leg of ``round_idx`` (or None).
+
+        A pure function of ``(scenario, seed, round, client)``: a
+        retried leg or a redispatched stand-in re-derives exactly the
+        same decision from the seeded stream rather than inheriting
+        state from the failed attempt.  The per-leg ``seed_key`` feeds
+        attack-internal randomness (``gauss_noise``) so even noise is
+        bit-identical across backends.
+        """
+        if self.scenario.byzantine_frac <= 0.0:
+            return None
+        if not self.byzantine_mask()[int(client_id)]:
+            return None
+        return AttackSpec(
+            kind=self.scenario.attack,
+            scale=self.scenario.resolved_attack_scale,
+            seed_key=(_ATTACK_SALT, self.seed, int(round_idx), int(client_id)),
+        )
 
     def failure_for(
         self, fault: LegFault, index: int, client_id: int, row: int

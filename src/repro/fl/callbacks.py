@@ -63,6 +63,17 @@ class ServerCallback:
         policies ever invoke it.
         """
 
+    def on_suspect_upload(self, server: "FederatedServer", record) -> None:
+        """Called once per upload the anomaly screen flagged.
+
+        ``record`` is a :class:`repro.robust.screen.SuspectRecord`; the
+        hook fires during the aggregate phase, after every upload
+        landed and before collaborator selection — under
+        ``screen="carry"`` the flagged row has already been quarantined
+        (its dispatched middleware state restored) when the hook runs.
+        Only runs with ``FLConfig.screen`` set ever invoke it.
+        """
+
     def on_fit_end(self, server: "FederatedServer", history: "TrainingHistory") -> None:
         """Called once when ``fit`` finishes (normally or early-stopped)."""
 

@@ -97,11 +97,12 @@ class FLConfig:
         (:mod:`repro.faults`): a mapping of
         :class:`~repro.faults.model.FaultScenario` knobs
         (``availability``, ``dropout``, ``slow_prob``, ``slow_factor``,
-        ``straggler_timeout``), inline JSON, or a path to a committed
-        scenario file.  ``None`` (default) disables the fault model.
-        Faults are decided server-side under ``seed`` before legs are
-        dispatched, so every execution backend sees the identical
-        pattern.
+        ``straggler_timeout``, plus the adversarial ``byzantine_frac``,
+        ``attack``, ``attack_scale``), inline JSON, or a path to a
+        committed scenario file.  ``None`` (default) disables the fault
+        model.  Faults are decided server-side under ``seed`` before
+        legs are dispatched, so every execution backend sees the
+        identical pattern.
     quorum:
         Fraction of the cohort that must deliver *fresh* uploads for a
         round to count (default 1.0 — every leg).  A round falling
@@ -126,6 +127,24 @@ class FLConfig:
     leg_backoff:
         Base backoff delay in seconds; retry ``i`` sleeps
         ``leg_backoff * 2**(i-1)``.
+    aggregator:
+        Aggregation operator applied to both CrossAggr collaborator
+        blends and GlobalModelGen / upload averaging — ``"mean"``
+        (default, bitwise the reference path), ``"trimmed_mean"``,
+        ``"coordinate_median"`` or ``"norm_clip"``; see
+        :mod:`repro.robust.operators`.  Resolved lazily against the
+        operator registry.
+    aggregator_params:
+        Operator knobs, e.g. ``{"trim": 0.25}`` for ``trimmed_mean``
+        or ``{"clip_factor": 3.0}`` for any robust operator.  Unknown
+        knobs are rejected loudly.
+    screen:
+        Gram-based anomaly screening of landed uploads
+        (:mod:`repro.robust.screen`): ``None`` (default, off),
+        ``"flag"`` (record suspects in history extras and fire
+        ``on_suspect_upload``) or ``"carry"`` (additionally quarantine
+        flagged rows by restoring their dispatched middleware state
+        before selection/aggregation).
     method_params:
         Method-specific options, e.g. ``{"mu": 0.01}`` for FedProx or
         ``{"alpha": 0.99, "selection": "lowest"}`` for FedCross.
@@ -160,6 +179,9 @@ class FLConfig:
     leg_timeout: float | None = None
     leg_retries: int = 0
     leg_backoff: float = 0.05
+    aggregator: str = "mean"
+    aggregator_params: dict[str, Any] = field(default_factory=dict)
+    screen: str | None = None
     seed: int = 0
     dataset_params: dict[str, Any] = field(default_factory=dict)
     model_params: dict[str, Any] = field(default_factory=dict)
@@ -212,6 +234,14 @@ class FLConfig:
             raise ValueError("leg_retries must be >= 0")
         if self.leg_backoff < 0:
             raise ValueError("leg_backoff must be >= 0 seconds")
+        if not isinstance(self.aggregator, str) or not self.aggregator:
+            raise ValueError("aggregator must be a non-empty operator name")
+        if not isinstance(self.aggregator_params, Mapping):
+            raise ValueError("aggregator_params must be a mapping of knobs")
+        if self.screen not in (None, "flag", "carry"):
+            raise ValueError(
+                f"screen must be None, 'flag' or 'carry', got {self.screen!r}"
+            )
 
     @property
     def clients_per_round(self) -> int:

@@ -125,6 +125,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fl.client import Client
     from repro.fl.server import DispatchPlan
     from repro.nn.module import Module
+    from repro.robust.attacks import AttackSpec
 
 __all__ = [
     "TrainerSpec",
@@ -363,6 +364,7 @@ class ExecutionBackend:
         rows: Sequence[int],
         uploads: "PoolBuffer",
         timeout: float | None = None,
+        attacks: "Mapping[int, AttackSpec] | None" = None,
     ) -> "Iterator[tuple[int, LocalResult | LegFailure]]":
         """Fault-capturing stream: yield a result *or* a ``LegFailure``.
 
@@ -377,6 +379,14 @@ class ExecutionBackend:
         out work is never written after control returns, so a retry or
         carry can safely overwrite the row.
 
+        ``attacks`` maps plan indices to Byzantine
+        :class:`~repro.robust.attacks.AttackSpec`s.  An attacked leg
+        trains honestly, then its *upload* (the buffer row and the
+        yielded result's state) is replaced with the poisoned row right
+        before the leg is yielded — the upload boundary — so the honest
+        trained state is never perturbed and every per-upload consumer
+        (Gram tracking, screening, aggregation) sees the attack.
+
         Fallback for third-party ``run``-only backends: consume the
         plain stream and convert a raised error into failures for every
         leg not yet seen (the backend already cancelled/drained its
@@ -387,6 +397,10 @@ class ExecutionBackend:
         try:
             for i, result in self.run_streaming(trainer, active, plans, rows, uploads):
                 seen.add(i)
+                if attacks and i in attacks:
+                    result = _attacked_result(
+                        attacks[i], plans[i], rows[i], uploads, result
+                    )
                 yield i, result
         except (KeyboardInterrupt, SystemExit, GeneratorExit):
             raise
@@ -404,6 +418,28 @@ class ExecutionBackend:
     def close(self) -> None:
         """Release pools/buffers; the backend lazily re-creates them on
         the next :meth:`run`, so close is always safe."""
+
+
+def _attacked_result(spec, plan, row, uploads, result: LocalResult) -> LocalResult:
+    """Poison leg ``row`` at the upload boundary; rebuilt result.
+
+    The buffer row is rewritten in place (so streaming consumers — the
+    incremental Gram, screening, aggregation — all see the poisoned
+    upload) and the yielded result's state is re-read from the buffer,
+    never from the honest trained state.  Coordinator-side twin of the
+    distributed backend's host-side application: both flatten the
+    dispatched state in the buffer dtype and transform in float64, so
+    the poisoned bytes are bit-identical across backends.
+    """
+    from repro.robust.attacks import apply_upload_attack
+
+    apply_upload_attack(spec, uploads, int(row), plan.state)
+    return LocalResult(
+        state=uploads.as_state(int(row), copy=True),
+        num_samples=result.num_samples,
+        num_steps=result.num_steps,
+        mean_loss=result.mean_loss,
+    )
 
 
 def _leg_failure(active, rows, i: int, kind: str, exc=None, drained=False) -> LegFailure:
@@ -514,7 +550,7 @@ class SerialExecution(ExecutionBackend):
             yield i, result
 
     def run_streaming_captured(
-        self, trainer, active, plans, rows, uploads, timeout=None
+        self, trainer, active, plans, rows, uploads, timeout=None, attacks=None
     ):
         # Serial legs run one at a time on the caller's thread, so a
         # wall-clock ``timeout`` is meaningless here (nothing is ever
@@ -535,6 +571,8 @@ class SerialExecution(ExecutionBackend):
                 yield i, _leg_failure(active, rows, i, "error", exc)
                 continue
             uploads.set_state(rows[i], result.state)
+            if attacks and i in attacks:
+                result = _attacked_result(attacks[i], plan, rows[i], uploads, result)
             yield i, result
 
 
@@ -608,11 +646,16 @@ class ThreadExecution(ExecutionBackend):
         yield from _stream_as_completed(futures, {f: i for i, f in enumerate(futures)})
 
     def run_streaming_captured(
-        self, trainer, active, plans, rows, uploads, timeout=None
+        self, trainer, active, plans, rows, uploads, timeout=None, attacks=None
     ):
         futures = self._submit(trainer, active, plans, rows, uploads)
         indexed = {f: i for i, f in enumerate(futures)}
-        yield from _stream_captured(futures, indexed, active, rows, timeout)
+        for i, leg in _stream_captured(futures, indexed, active, rows, timeout):
+            if attacks and i in attacks and not isinstance(leg, LegFailure):
+                # Applied on the consumer thread after the leg landed:
+                # rows are unique, so the rewrite cannot race a worker.
+                leg = _attacked_result(attacks[i], plans[i], rows[i], uploads, leg)
+            yield i, leg
 
     def close(self) -> None:
         if self._pool is not None:
@@ -1093,7 +1136,7 @@ class ProcessExecution(ExecutionBackend):
             )
 
     def run_streaming_captured(
-        self, trainer, active, plans, rows, uploads, timeout=None
+        self, trainer, active, plans, rows, uploads, timeout=None, attacks=None
     ):
         futures = self._submit(trainer, active, plans, rows, uploads)
         indexed = {f: i for i, f in enumerate(futures)}
@@ -1105,12 +1148,15 @@ class ProcessExecution(ExecutionBackend):
             active[i].rng.bit_generator.state = rng_state
             row = int(rows[i])
             uploads.set_row(row, self._uploads_shm.array[row])
-            yield i, LocalResult(
+            result = LocalResult(
                 state=uploads.as_state(row, copy=True),
                 num_samples=num_samples,
                 num_steps=num_steps,
                 mean_loss=mean_loss,
             )
+            if attacks and i in attacks:
+                result = _attacked_result(attacks[i], plans[i], row, uploads, result)
+            yield i, result
 
     def close(self) -> None:
         # Release the shared segments even when the pool shutdown is
@@ -1209,11 +1255,21 @@ class ClientExecutor:
         rows: Sequence[int],
         uploads: "PoolBuffer",
         timeout: float | None = None,
+        attacks: "Mapping[int, AttackSpec] | None" = None,
     ) -> "Iterator[tuple[int, LocalResult | LegFailure]]":
         """Fault-capturing twin of :meth:`run_streaming`: a leg that
         raises (or misses the wall-clock ``timeout``) is yielded as a
         structured :class:`~repro.faults.policy.LegFailure` instead of
-        aborting the stream — the seam the resilience engine drives."""
+        aborting the stream — the seam the resilience engine drives.
+        ``attacks`` (plan index → Byzantine spec) poisons those legs'
+        uploads at the landing boundary; it is only forwarded when
+        present, so third-party backends predating the keyword keep
+        working in attack-free runs."""
+        if attacks:
+            return self._backend.run_streaming_captured(
+                trainer, active, plans, rows, uploads,
+                timeout=timeout, attacks=attacks,
+            )
         return self._backend.run_streaming_captured(
             trainer, active, plans, rows, uploads, timeout=timeout
         )

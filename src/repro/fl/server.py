@@ -170,6 +170,18 @@ class FederatedServer:
         self.fault_policy = RoundPolicy.from_config(config)
         self.last_leg_failures: list = []
         self._round_leg_comm: "tuple[int, int] | None" = None
+        # Aggregation operator for both aggregation sites (CrossAggr
+        # blends and GlobalModelGen / upload averaging).  The default
+        # "mean" delegates to mean_state/cross_aggregate and is bitwise
+        # the pre-registry reference path.
+        from repro.robust.operators import build_operator  # lazy
+
+        self.aggregator = build_operator(
+            getattr(config, "aggregator", "mean"),
+            getattr(config, "aggregator_params", None),
+        )
+        self.screen = getattr(config, "screen", None)
+        self.last_suspects: list = []
         # Storage options forwarded to the pool backend's allocate();
         # only option-accepting backends (sharded) see a non-empty dict.
         self.backend_options: dict = {}
@@ -407,20 +419,23 @@ class FederatedServer:
         return results, buf
 
     def aggregate_uploads(self, results: Sequence[LocalResult]) -> dict:
-        """Sample-size-weighted reduction of the collected uploads.
+        """Weighted reduction of the collected uploads.
 
-        One BLAS matvec over the upload buffer — the vectorized
-        equivalent of FedAvg's ``weighted_average`` dict loop.  Weights
-        follow the buffer-row placement recorded by ``collect`` (the
+        Routed through the configured aggregation operator; the default
+        ``mean`` is one BLAS matvec over the upload buffer — the
+        vectorized equivalent of FedAvg's ``weighted_average`` dict
+        loop, bitwise the pre-operator path.  Weights follow the
+        buffer-row placement recorded by ``collect`` (the
         ``plan.context["row"]`` feature), so custom row assignments
-        cannot silently misweight the average.
+        cannot silently misweight the average (rank-based robust
+        operators ignore them by design).
         """
         if self._uploads is None or len(self._uploads) != len(results):
             raise RuntimeError("collect() must pack uploads before aggregation")
         weights = [0.0] * len(results)
         for row, result in zip(self._upload_rows, results):
             weights[row] = result.num_samples
-        return self._uploads.mean_state(weights, precise=False)
+        return self.aggregator.combine(self._uploads, weights, precise=False)
 
     # -- shared machinery ------------------------------------------------
     def evaluate(self) -> tuple[float, float]:
@@ -451,11 +466,17 @@ class FederatedServer:
             # Through the legacy alias so pre-phase subclasses that
             # still override sample_clients() keep their sampling.
             active = self.sample_clients()
+            self.last_suspects = []
             extras = self.run_round(active) or {}
             if self.last_leg_failures:
                 extras.setdefault(
                     "leg_failures",
                     [f.summary() for f in self.last_leg_failures],
+                )
+            if self.last_suspects:
+                extras.setdefault(
+                    "suspect_uploads",
+                    [r.summary() for r in self.last_suspects],
                 )
             up, down = self.ledger.end_round()
             record = RoundRecord(

@@ -1,0 +1,57 @@
+"""Byzantine-robust aggregation layer.
+
+PR 8 made the round loop survive *crash* faults; this package makes it
+survive *adversarial* uploads — clients that train honestly but upload
+poison.  Three pieces, wired through the existing seams:
+
+:mod:`repro.robust.operators`
+    The pluggable :class:`AggregationOperator` registry (``mean``,
+    ``trimmed_mean``, ``coordinate_median``, ``norm_clip``).  Operators
+    compute weighted row combines through the shard-aware blocked row
+    protocol of :class:`repro.core.pool.PoolBuffer`, so every backend
+    (dense / memmap / sharded / distributed) produces bitwise-identical
+    aggregates per block budget.  ``mean`` delegates to the existing
+    ``mean_state`` / ``cross_aggregate`` paths and is bitwise identical
+    to the reference server.
+:mod:`repro.robust.attacks`
+    The seeded upload attacks (``sign_flip``, ``gauss_noise``,
+    ``scale``, ``label_flip``): pure functions of the dispatched and
+    trained flat rows, applied at the upload boundary so the honest
+    trained state is never perturbed and every execution backend lands
+    the same poisoned bytes.  Which client attacks, and how, is decided
+    by :class:`repro.faults.model.ClientPopulation` from a dedicated
+    seeded RNG stream.
+:mod:`repro.robust.screen`
+    Gram-based anomaly screening: each landed upload is scored against
+    the pool using the incremental :class:`repro.core.gram.GramTracker`
+    similarity already maintained per upload — O(K²) arithmetic on the
+    cached Gram, no new (K, P) passes.  Flagged rows surface as
+    :class:`SuspectRecord` entries in history extras and the
+    :meth:`repro.fl.callbacks.ServerCallback.on_suspect_upload` hook,
+    and can be quarantined with ``screen="carry"``.
+"""
+
+from repro.robust.attacks import ATTACK_KINDS, AttackSpec, attacked_row
+from repro.robust.operators import (
+    AGGREGATION_OPERATORS,
+    AggregationOperator,
+    available_operators,
+    build_operator,
+    register_operator,
+    resolve_operator,
+)
+from repro.robust.screen import SuspectRecord, screen_scores
+
+__all__ = [
+    "ATTACK_KINDS",
+    "AttackSpec",
+    "attacked_row",
+    "AGGREGATION_OPERATORS",
+    "AggregationOperator",
+    "available_operators",
+    "build_operator",
+    "register_operator",
+    "resolve_operator",
+    "SuspectRecord",
+    "screen_scores",
+]

@@ -1,0 +1,454 @@
+"""Pluggable aggregation operators over ``PoolBuffer`` blocked row ops.
+
+The server's two aggregation sites — the CrossAggr collaborator blend
+and GlobalModelGen / upload averaging — historically hard-coded the
+linear mean (``PoolBuffer.cross_aggregate`` / ``mean_state``).  This
+module extracts that choice into an :class:`AggregationOperator`
+registry mirroring the storage / execution / array-backend plugins:
+
+========================  ====================================================
+``mean``                  the reference — delegates to ``mean_state`` /
+                          ``cross_aggregate`` and is bitwise identical to the
+                          pre-registry server
+``trimmed_mean``          per-coordinate mean of the middle ``1 - 2·trim``
+                          order statistics (rank-based; ignores weights)
+``coordinate_median``     per-coordinate median (rank-based; ignores weights)
+``norm_clip``             weighted mean of per-row deviations from the
+                          coordinate median, each clipped to the trust radius
+========================  ====================================================
+
+Every operator computes through the shard-aware blocked row protocol
+(``row_block`` / ``gather_rows`` / ``write_rows`` walked under the
+``REPRO_POOL_BLOCK_BYTES`` budget), accumulates in float64 and rounds
+once into the buffer dtype, so dense / memmap / sharded / distributed
+storage produce bitwise-identical aggregates per budget.  Integer
+columns (step counters) are never rank-filtered or averaged: combines
+carry them from row 0 (the ``mean_state`` convention) and blends carry
+them from the source row (the ``cross_aggregate`` convention).
+
+Robust cross blends use a *trust region*: the operator's robust center
+``c`` and the per-row deviation norms ``n_i = ‖m_i − c‖`` give a
+radius ``tau = max(med + clip_factor·MAD, 2·med)`` (median /
+median-absolute-deviation of the norms — the same robust-location
+threshold the Gram screen uses, so honest spread cannot be outvoted
+by the outliers it is trying to bound).  Detection reads every float
+column for pools under ``2**17`` scalars and a fixed-stride sample
+above it (the threshold is scale-free, so the ``√(sample/P)`` norm
+shrinkage cancels), keeping the per-round screen an order cheaper
+than the full robust center.  Rows outside the region are
+*rejected* — replaced by a stand-in before the standard
+``alpha``-blend, both as primary rows and as collaborators — so a
+poisoned upload neither survives as a pool row nor leaks through a
+collaborator pick.  The stand-in is the row's own dispatched
+middleware state when the caller supplies the dispatched pool as
+``fallback`` (the fault engine's carry degradation: the slot keeps its
+honest history, one round stale), else the robust center rounded to
+the pool dtype.  Rounds
+where no row leaves the trust region
+delegate wholesale to ``cross_aggregate``, so benign rounds of a
+robust operator remain bitwise identical to the reference blend.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.utils.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pool import PoolBuffer
+
+
+def _pool_ops():
+    """The blocked row protocol, imported lazily.
+
+    ``repro.faults`` pulls :mod:`repro.robust.attacks` (hence this
+    package) while ``repro.fl`` is still mid-import; a module-level
+    ``repro.core`` import here would close that cycle, so the pool
+    machinery is fetched on first use instead.
+    """
+    from repro.core.pool import PoolBuffer, _block_budget, iter_row_spans
+
+    return PoolBuffer, _block_budget, iter_row_spans
+
+__all__ = [
+    "AGGREGATION_OPERATORS",
+    "AggregationOperator",
+    "MeanOperator",
+    "TrimmedMeanOperator",
+    "CoordinateMedianOperator",
+    "NormClipOperator",
+    "register_operator",
+    "resolve_operator",
+    "available_operators",
+    "build_operator",
+]
+
+AGGREGATION_OPERATORS = Registry("aggregation operator", error_type=ValueError)
+
+
+def register_operator(name: str):
+    """Class decorator registering an :class:`AggregationOperator`."""
+    return AGGREGATION_OPERATORS.register(name)
+
+
+def resolve_operator(name: str) -> type:
+    """Operator class for ``name``; ``ValueError`` lists every option."""
+    return AGGREGATION_OPERATORS.resolve(name)
+
+
+def available_operators() -> list[str]:
+    """Sorted registered operator names."""
+    return AGGREGATION_OPERATORS.available()
+
+
+def build_operator(name: str, params: Mapping | None = None) -> "AggregationOperator":
+    """Instantiate operator ``name`` with ``params`` knobs."""
+    return resolve_operator(name)(**dict(params or {}))
+
+
+def _normalized_weights(weights, k: int) -> np.ndarray:
+    if weights is None:
+        return np.full(k, 1.0 / k)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (k,):
+        raise ValueError(f"weights of shape {w.shape} != ({k},)")
+    total = w.sum()
+    if not total > 0:
+        raise ValueError("weights must sum to a positive total")
+    return w / total
+
+
+#: Trust-region detection reads at most this many float coordinates —
+#: a fixed stride over the float columns, so pools under the cap are
+#: screened exactly and larger ones through a deterministic sample
+#: whose med/MAD threshold is scale-free.  A pure function of the
+#: layout, hence bitwise identical across storage backends.
+_DETECTION_SAMPLE = 1 << 17
+
+
+def _detection_columns(layout, p: int) -> np.ndarray:
+    int_mask = layout.integer_mask()
+    cols = np.flatnonzero(~int_mask) if int_mask.any() else np.arange(p)
+    if cols.size <= _DETECTION_SAMPLE:
+        return cols
+    stride = -(-cols.size // _DETECTION_SAMPLE)
+    return cols[::stride]
+
+
+def _sorted_median(svals: np.ndarray) -> np.ndarray:
+    """Column median of a slab already sorted along axis 0.
+
+    Bitwise ``np.median`` of the float64 cast: the middle order
+    statistics are exact casts and the even-K midpoint ``(a + b) / 2``
+    is the same IEEE operation ``np.mean`` applies to the two rows.
+    """
+    k = svals.shape[0]
+    mid = svals[(k - 1) // 2].astype(np.float64)
+    if k % 2:
+        return mid
+    return (mid + svals[k // 2].astype(np.float64)) / 2.0
+
+
+def _deviation_norms(pool: PoolBuffer, center: np.ndarray, float_mask) -> np.ndarray:
+    """Per-row ‖m_i − center‖ over float columns, blocked by budget."""
+    _, _block_budget, iter_row_spans = _pool_ops()
+    storage = pool.storage
+    k, p = storage.shape
+    block_rows = max(1, _block_budget() // max(1, 2 * p * 8))
+    c = center if float_mask is None else center[float_mask]
+    norms = np.empty(k, dtype=np.float64)
+    for b0, b1 in iter_row_spans(k, block_rows):
+        block = storage.row_block(b0, b1).astype(np.float64, copy=False)
+        if float_mask is not None:
+            block = block[:, float_mask]
+        diff = block - c
+        norms[b0:b1] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return norms
+
+
+class AggregationOperator:
+    """One way to combine pool rows; see the registry table above.
+
+    Subclasses declare accepted constructor knobs in ``params`` (class
+    attributes hold the defaults); unknown knobs raise ``ValueError``
+    so a typo'd ``--aggregator-params`` fails loudly.
+    """
+
+    #: True only when the operator is the linear mean, which is what the
+    #: GramTracker closed-form post-blend transform assumes.
+    linear = False
+    params: tuple[str, ...] = ()
+
+    def __init__(self, **kwargs) -> None:
+        unknown = sorted(set(kwargs) - set(self.params))
+        if unknown:
+            raise ValueError(
+                f"unknown {type(self).name!r} aggregator params {unknown}; "
+                f"valid params: {list(self.params)}"
+            )
+        for key, value in kwargs.items():
+            setattr(self, key, value)
+
+    def combine(self, pool: PoolBuffer, weights=None, *, precise: bool = True) -> dict:
+        """Aggregate all pool rows into one state dict."""
+        raise NotImplementedError
+
+    def cross_blend(
+        self, pool: PoolBuffer, co_indices, alpha: float, fallback=None
+    ) -> PoolBuffer:
+        """CrossAggr: blend each row with its collaborator(s).
+
+        ``fallback`` is an optional same-shape :class:`PoolBuffer` of
+        per-row stand-in states (the server passes the dispatched
+        middleware pool); robust operators replace rejected rows from
+        it instead of from their robust center, so a poisoned slot
+        degrades to its own one-round-stale honest state — the same
+        carry degradation the fault engine applies to failed legs.
+        """
+        raise NotImplementedError
+
+
+@register_operator("mean")
+class MeanOperator(AggregationOperator):
+    """The reference weighted mean — bitwise the pre-registry server."""
+
+    linear = True
+
+    def combine(self, pool, weights=None, *, precise=True):
+        return pool.mean_state(weights, precise=precise)
+
+    def cross_blend(self, pool, co_indices, alpha, fallback=None):
+        return pool.cross_aggregate(co_indices, alpha)
+
+
+class _RobustOperator(AggregationOperator):
+    """Shared machinery: column-chunked robust center + trust region.
+
+    ``clip_factor`` is the MAD multiplier of the trust radius
+    ``tau = max(med + clip_factor·MAD, 2·med)`` — larger values admit
+    more spread before a row counts as an outlier.
+    """
+
+    params = ("clip_factor",)
+    clip_factor = 3.0
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if not float(self.clip_factor) > 0:
+            raise ValueError(f"clip_factor must be > 0, got {self.clip_factor}")
+
+    # -- robust center -----------------------------------------------------
+    def _from_sorted(self, svals: np.ndarray) -> np.ndarray:
+        """Column statistic of a ``(K, chunk)`` slab sorted along axis 0.
+
+        The slab keeps the buffer dtype; implementations pick their
+        order-statistic band and cast it to float64 before averaging,
+        which is bitwise what a float64 sort would produce (casts of
+        the same values, reduced in the same order) at half the memory
+        traffic for float32 pools.
+        """
+        raise NotImplementedError
+
+    def _center(self, pool: PoolBuffer) -> np.ndarray:
+        """Float64 ``(P,)`` robust center, column-chunked under budget.
+
+        Needs all K values of a column at once, so it walks column
+        chunks of ``budget / (K·itemsize)`` scalars, filling each
+        ``(K, chunk)`` slab through budget row spans and sorting it
+        in place (native dtype — the hot path of every robust round).
+        Chunking never changes a per-column statistic, so the result
+        is bitwise independent of the budget and of the storage
+        backend.
+        """
+        _, _block_budget, iter_row_spans = _pool_ops()
+        storage = pool.storage
+        k, p = storage.shape
+        itemsize = np.dtype(pool.dtype).itemsize
+        budget = _block_budget()
+        chunk = max(1, budget // max(1, k * itemsize))
+        block_rows = max(1, budget // max(1, p * itemsize))
+        center = np.empty(p, dtype=np.float64)
+        for c0 in range(0, p, chunk):
+            c1 = min(c0 + chunk, p)
+            vals = np.empty((k, c1 - c0), dtype=pool.dtype)
+            for b0, b1 in iter_row_spans(k, block_rows):
+                vals[b0:b1] = storage.row_block(b0, b1)[:, c0:c1]
+            vals.sort(axis=0)
+            center[c0:c1] = self._from_sorted(vals)
+        return center
+
+    def _center_state(self, pool: PoolBuffer, center: np.ndarray) -> dict:
+        row = center.astype(pool.dtype, copy=False)
+        int_mask = pool.layout.integer_mask()
+        if int_mask.any():
+            row = np.array(row, copy=True)
+            row[int_mask] = pool.storage.row(0)[int_mask]
+        return pool.layout.unflatten(np.asarray(row), copy=True)
+
+    def _trust_region(self, pool: PoolBuffer):
+        """``(center, norms, tau, scales, flagged)`` for the blend.
+
+        ``tau`` is the MAD-based radius from the module docstring;
+        ``flagged`` marks rows outside it and ``scales`` holds the
+        classic norm-clip ratios ``min(1, tau/n_i)`` for operators
+        that want clipping rather than rejection.
+        """
+        center = self._center(pool)
+        int_mask = pool.layout.integer_mask()
+        float_mask = ~int_mask if int_mask.any() else None
+        norms = _deviation_norms(pool, center, float_mask)
+        med = float(np.median(norms))
+        mad = float(np.median(np.abs(norms - med)))
+        # The 2·med floor keeps a tight honest cluster (tiny MAD) from
+        # flagging its own mild stragglers.
+        tau = max(med + float(self.clip_factor) * mad, 2.0 * med)
+        scales = np.ones(len(norms))
+        flagged = norms > tau
+        if tau > 0:
+            scales[flagged] = tau / norms[flagged]
+        else:
+            # Majority of rows sit exactly at the center: no spread to
+            # estimate a radius from, so nothing is clipped.
+            flagged[:] = False
+        return center, norms, tau, scales, flagged
+
+    def combine(self, pool, weights=None, *, precise=True):
+        # Rank-based combines: weights carry no rank information, so
+        # they are deliberately ignored (a zero-weight carried row is
+        # just one more order statistic).
+        return self._center_state(pool, self._center(pool))
+
+    def _detect(self, pool: PoolBuffer) -> np.ndarray:
+        """Boolean flag per row: outside the trust region?
+
+        The blend's hot path: the robust center and the deviation
+        norms are taken over :func:`_detection_columns` — every float
+        column for pools under the sample cap (bitwise the full trust
+        region), a fixed-stride sample above it, where the med/MAD
+        threshold is invariant to the ``√(sample/P)`` norm shrinkage.
+        """
+        _, _block_budget, iter_row_spans = _pool_ops()
+        storage = pool.storage
+        k, p = storage.shape
+        cols = _detection_columns(pool.layout, p)
+        itemsize = np.dtype(pool.dtype).itemsize
+        block_rows = max(1, _block_budget() // max(1, p * itemsize))
+        vals = np.empty((k, cols.size), dtype=pool.dtype)
+        for b0, b1 in iter_row_spans(k, block_rows):
+            vals[b0:b1] = storage.row_block(b0, b1)[:, cols]
+        center = self._from_sorted(np.sort(vals, axis=0))
+        diff = vals.astype(np.float64) - center
+        norms = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        med = float(np.median(norms))
+        mad = float(np.median(np.abs(norms - med)))
+        tau = max(med + float(self.clip_factor) * mad, 2.0 * med)
+        if not tau > 0:
+            # Majority of rows at the center: no spread, nothing flagged.
+            return np.zeros(k, dtype=bool)
+        return norms > tau
+
+    def cross_blend(self, pool, co_indices, alpha, fallback=None):
+        co = np.asarray(co_indices, dtype=np.int64)
+        flagged = self._detect(pool)
+        if not flagged.any():
+            # Every row inside the trust region: the robust blend IS the
+            # reference blend, delegated wholesale for bitwise identity.
+            return pool.cross_aggregate(co, alpha)
+        # Rejection, not projection: a row outside the trust region is
+        # replaced by its stand-in *before* the blend, so it neither
+        # survives as a pool row nor leaks through a collaborator pick.
+        # The stand-ins are patched into the pool for the duration of
+        # the reference blend and the original rows restored after —
+        # the blend arithmetic stays bitwise the reference path and the
+        # caller's pool is bit-identical on return.
+        flag_idx = np.flatnonzero(flagged)
+        storage = pool.storage
+        p = storage.shape[1]
+        saved = storage.gather_rows(flag_idx)
+        if fallback is not None:
+            stand_ins = fallback.storage.gather_rows(flag_idx)
+        else:
+            # No dispatched pool to degrade to: reject onto the robust
+            # center, rounded to the pool dtype like any other row.
+            stand_ins = np.broadcast_to(
+                self._center(pool).astype(pool.dtype), (flag_idx.size, p)
+            )
+        int_mask = pool.layout.integer_mask()
+        has_int = bool(int_mask.any())
+        try:
+            for j, i in enumerate(flag_idx):
+                row = np.array(stand_ins[j], dtype=pool.dtype, copy=True)
+                if has_int:
+                    # Integer columns (step counters) survive from the
+                    # rejected row itself: the blend carries them from
+                    # the source row, never from the stand-in.
+                    row[int_mask] = saved[j][int_mask]
+                pool.set_row(int(i), row)
+            return pool.cross_aggregate(co, alpha)
+        finally:
+            for j, i in enumerate(flag_idx):
+                pool.set_row(int(i), saved[j])
+
+
+@register_operator("trimmed_mean")
+class TrimmedMeanOperator(_RobustOperator):
+    """Per-coordinate mean of the middle order statistics.
+
+    ``trim`` is the fraction discarded from *each* end; at small K the
+    trim count is clamped so at least one row always survives.
+    """
+
+    params = ("trim", "clip_factor")
+    trim = 0.25
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if not 0.0 <= float(self.trim) < 0.5:
+            raise ValueError(f"trim must be in [0, 0.5), got {self.trim}")
+
+    def _from_sorted(self, svals):
+        k = svals.shape[0]
+        lo = min(int(float(self.trim) * k), (k - 1) // 2)
+        # dtype=float64 casts each row into the accumulator in the same
+        # order a float64 band would reduce — bitwise identical, minus
+        # the band-sized temporary.
+        return svals[lo : k - lo].mean(axis=0, dtype=np.float64)
+
+
+@register_operator("coordinate_median")
+class CoordinateMedianOperator(_RobustOperator):
+    """Per-coordinate median (the K-row 50% breakdown point)."""
+
+    def _from_sorted(self, svals):
+        return _sorted_median(svals)
+
+
+@register_operator("norm_clip")
+class NormClipOperator(_RobustOperator):
+    """Weighted mean of norm-clipped deviations from the median center.
+
+    Unlike the rank-based operators this one honours sample-count
+    weights: the combine is ``c + Σ w_i · min(1, tau/‖d_i‖) · d_i``
+    with ``d_i = m_i − c`` and ``c`` the coordinate median.
+    """
+
+    def _from_sorted(self, svals):
+        return _sorted_median(svals)
+
+    def combine(self, pool, weights=None, *, precise=True):
+        _, _block_budget, iter_row_spans = _pool_ops()
+        storage = pool.storage
+        k, p = storage.shape
+        center, _norms, _tau, scales, _flagged = self._trust_region(pool)
+        w = _normalized_weights(weights, k)
+        block_rows = max(1, _block_budget() // max(1, 2 * p * 8))
+        acc = np.zeros(p, dtype=np.float64)
+        for b0, b1 in iter_row_spans(k, block_rows):
+            block = storage.row_block(b0, b1)
+            for i in range(b0, b1):
+                dev = block[i - b0].astype(np.float64, copy=False) - center
+                acc += (w[i] * scales[i]) * dev
+        return self._center_state(pool, center + acc)

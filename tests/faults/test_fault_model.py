@@ -131,6 +131,109 @@ class TestDeterminism:
         }
 
 
+class TestByzantineKnobs:
+    def test_from_spec_accepts_byzantine_keys(self):
+        s = FaultScenario.from_spec(
+            {"byzantine_frac": 0.2, "attack": "gauss_noise", "attack_scale": 2.0}
+        )
+        assert s.byzantine_frac == 0.2
+        assert s.attack == "gauss_noise"
+        assert s.resolved_attack_scale == 2.0
+        assert not s.benign
+
+    def test_typoed_byzantine_key_lists_valid_knobs(self):
+        with pytest.raises(ValueError, match="byzantine_frac"):
+            FaultScenario.from_spec({"byzantine_fraction": 0.2})
+
+    def test_committed_scenario_file_loads(self):
+        from pathlib import Path
+
+        path = Path(__file__).parent / "scenarios" / "byzantine_signflip.json"
+        s = FaultScenario.from_spec(str(path))
+        assert s.byzantine_frac == 0.2 and s.attack == "sign_flip"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"byzantine_frac": 1.5},
+            {"byzantine_frac": -0.1},
+            {"attack": "krum"},
+            {"attack_scale": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultScenario(**kwargs)
+
+    def test_unknown_attack_kind_lists_kinds(self):
+        with pytest.raises(ValueError, match="sign_flip"):
+            FaultScenario(attack="nope")
+
+    def test_default_scales_resolve_per_kind(self):
+        from repro.robust.attacks import DEFAULT_ATTACK_SCALES
+
+        for kind, scale in DEFAULT_ATTACK_SCALES.items():
+            s = FaultScenario(byzantine_frac=0.1, attack=kind)
+            assert s.resolved_attack_scale == scale
+
+    def test_to_dict_roundtrips_byzantine_knobs(self):
+        s = FaultScenario(byzantine_frac=0.3, attack="scale", attack_scale=5.0)
+        assert FaultScenario.from_spec(s.to_dict()) == s
+
+    def test_mask_is_static_deterministic_and_seeded(self):
+        spec = {"byzantine_frac": 0.25, "attack": "sign_flip"}
+        a = ClientPopulation(spec, seed=3, num_clients=200)
+        b = ClientPopulation(spec, seed=3, num_clients=200)
+        c = ClientPopulation(spec, seed=4, num_clients=200)
+        np.testing.assert_array_equal(a.byzantine_mask(), b.byzantine_mask())
+        assert not np.array_equal(a.byzantine_mask(), c.byzantine_mask())
+        # Static: the mask is one draw per run, identical across rounds
+        # (attack_for below is the per-round view of it).
+        assert a.byzantine_mask() is a.byzantine_mask()
+
+    def test_mask_fraction_tracks_the_knob(self):
+        pop = ClientPopulation(
+            {"byzantine_frac": 0.25, "attack": "sign_flip"},
+            seed=0, num_clients=2000,
+        )
+        assert 0.2 < pop.byzantine_mask().mean() < 0.3
+
+    def test_attack_for_is_pure_and_honest_clients_get_none(self):
+        spec = {"byzantine_frac": 0.25, "attack": "gauss_noise"}
+        a = ClientPopulation(spec, seed=7, num_clients=20)
+        b = ClientPopulation(spec, seed=7, num_clients=20)
+        mask = a.byzantine_mask()
+        assert 0 < mask.sum() < 20
+        for cid in range(20):
+            for r in (0, 3):
+                spec_a, spec_b = a.attack_for(r, cid), b.attack_for(r, cid)
+                assert spec_a == spec_b
+                if mask[cid]:
+                    assert spec_a.kind == "gauss_noise"
+                    assert spec_a.scale == 1.0  # per-kind default
+                else:
+                    assert spec_a is None
+
+    def test_seed_key_distinguishes_rounds_and_clients(self):
+        pop = ClientPopulation(
+            {"byzantine_frac": 1.0, "attack": "sign_flip"},
+            seed=5, num_clients=4,
+        )
+        keys = {
+            pop.attack_for(r, c).seed_key for r in range(3) for c in range(4)
+        }
+        assert len(keys) == 12
+
+    def test_zero_fraction_never_attacks(self):
+        pop = ClientPopulation(
+            {"byzantine_frac": 0.0, "attack": "sign_flip"},
+            seed=0, num_clients=8,
+        )
+        assert not pop.byzantine_mask().any()
+        assert all(pop.attack_for(0, c) is None for c in range(8))
+        assert pop.scenario.benign
+
+
 class TestSelectCohort:
     def test_all_available_is_the_reference_draw(self):
         # Identity: a benign scenario consumes the server RNG exactly

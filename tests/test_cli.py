@@ -31,6 +31,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--shards", "0"])
 
+    def test_unknown_aggregator_fails_at_parse_time(self, capsys):
+        # Same parse-time parity as --backend: the registry error (with
+        # every valid operator) surfaces straight from argparse.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--aggregator", "krum"])
+        err = capsys.readouterr().err
+        assert "unknown aggregation operator" in err and "trimmed_mean" in err
+
+    def test_aggregator_and_screen_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.aggregator == "mean"
+        assert args.screen is None
+
+    def test_screen_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--screen", "purge"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -39,6 +56,7 @@ class TestCommands:
         assert "fedcross" in out
         assert "resnet20" in out
         assert "synth_cifar10" in out
+        assert "aggregators:" in out and "coordinate_median" in out
 
     def test_run_json(self, capsys):
         code = main(
@@ -72,6 +90,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "final=" in out
         assert "round" in out
+
+    def test_run_robust_aggregation_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method", "fedcross",
+                "--clients", "4",
+                "--rounds", "2",
+                "--local-epochs", "1",
+                "--eval-every", "1",
+                "--aggregator", "trimmed_mean",
+                "--aggregator-params", '{"trim": 0.2}',
+                "--screen", "flag",
+                "--faults", '{"byzantine_frac": 0.25, "attack": "sign_flip"}',
+                "--failure-policy", "carry",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["accuracies"]) == 2
 
     def test_compare_json(self, capsys):
         code = main(
