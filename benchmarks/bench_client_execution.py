@@ -165,6 +165,164 @@ def histories_bit_identical(k: int, input_size: int, emit) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Async bounded-staleness rounds vs sync under seeded stragglers (ISSUE 10)
+# ----------------------------------------------------------------------
+def make_async_config(
+    k: int, rounds: int, round_mode: str, staleness: int
+) -> FLConfig:
+    """Cheap-compute FedCross fit for the round-schedule comparison.
+
+    The MLP keeps per-leg compute small so the injected straggler
+    sleeps dominate wall clock — the regime the async schedule exists
+    for — and ``workers=k`` lets every leg of a round run concurrently
+    on the thread backend (the straggler cost is then purely the
+    schedule's, not a worker-queue artifact).
+    """
+    return FLConfig(
+        method="fedcross",
+        dataset="synth_cifar10",
+        model="mlp",
+        heterogeneity=0.5,
+        num_clients=k,
+        participation=1.0,
+        rounds=rounds,
+        local_epochs=1,
+        batch_size=16,
+        eval_every=rounds,
+        execution="thread",
+        workers=k,
+        streaming=True,
+        seed=0,
+        round_mode=round_mode,
+        max_staleness=staleness,
+        dataset_params={"samples_per_client": 20, "num_test": 20},
+        method_params={"alpha": 0.99},
+    )
+
+
+def _attach_stragglers(sim, base_delay: float, fault_seed: int) -> None:
+    """Seeded wall-clock stragglers: PR 8's fault model decides *which*
+    legs are slow (slow_prob=0.3, slow_factor=4), a ``DelaySpec`` makes
+    them slow for real.  Keyed on (round, client) through the seeded
+    stream, so the sync and async fits hit identical delay patterns.
+
+    The fault seed is chosen so stragglers hit *different* clients in
+    *different* rounds — the regime where the schedules diverge.  Sync
+    pays the sum of per-round maxima (every round barriers on its
+    slowest leg); async pays at best the max of per-client sums (each
+    client proceeds at its own pace within the staleness window).  A
+    seed that piles every slow leg into one round makes the two bounds
+    equal and measures nothing.
+    """
+    from repro.faults import ClientPopulation
+    from repro.faults.inject import DelaySpec
+
+    server = sim.server
+    pop = ClientPopulation(
+        {"slow_prob": 0.3, "slow_factor": 4.0},
+        seed=fault_seed,
+        num_clients=server.config.num_clients,
+    )
+    original = server.dispatch
+
+    def dispatch(active):
+        plans = original(active)
+        for client, plan in zip(active, plans):
+            speed = pop.leg_fault(server.round_idx, client.client_id).speed
+            if speed > 1.0:
+                plan.loss_hook = DelaySpec(
+                    seconds=(speed - 1.0) * base_delay, once=True
+                )
+        return plans
+
+    server.dispatch = dispatch
+
+
+def _time_fit(config: FLConfig, base_delay: float, fault_seed: int,
+              repeats: int):
+    """Best-of-``repeats`` full-fit wall time plus the last run's history."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        sim = FLSimulation(config)
+        _attach_stragglers(sim, base_delay, fault_seed)
+        start = time.perf_counter()
+        result = sim.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_async_rounds(repeats: int, cores: int, smoke: bool,
+                     max_async_ratio: float, emit):
+    """Async bounded-staleness schedule vs sync under seeded stragglers.
+
+    Whole fits (not single rounds): the async win is *cross-round* —
+    round t+1 legs start while round t stragglers sleep — so only a
+    multi-round wall clock can see it.  The asserted bar, async
+    wall-clock ≤ ``max_async_ratio`` × sync at S>0, applies to full
+    runs on ≥ 4 cores (on fewer cores training serialises behind the
+    GIL and the overlap is partly an artifact of sleep scheduling;
+    smoke timings are jitter-bound).  Wasted speculation is reported
+    alongside: the fraction of speculative blends the completion
+    reconcile had to redo or overwrite (``wasted_frac``).
+    """
+    if smoke:
+        k, rounds, base_delay, fault_seed = 4, 4, 0.05, 7
+    else:
+        k, rounds, base_delay, fault_seed = 8, 4, 0.15, 11
+    sync_s, _ = _time_fit(
+        make_async_config(k, rounds, "sync", 0), base_delay, fault_seed,
+        repeats,
+    )
+    emit(f"{'K':>4} {'mode':>10} {'S':>3} {'fit (s)':>9} {'ratio':>7} "
+         f"{'spec':>6} {'wasted':>7} {'stale':>6}")
+    emit(f"{k:>4} {'sync':>10} {'-':>3} {sync_s:>9.3f} {'1.00x':>7} "
+         f"{'-':>6} {'-':>7} {'-':>6}")
+    rows = []
+    failures = []
+    for staleness in (1, 2):
+        async_s, result = _time_fit(
+            make_async_config(k, rounds, "async", staleness),
+            base_delay, fault_seed, repeats,
+        )
+        infos = [
+            r.extras.get("async", {}) for r in result.history.records
+        ]
+        spec = sum(i.get("speculative_blends", 0) for i in infos)
+        redone = sum(
+            i.get("speculative_reblends", 0) + i.get("reconcile_fixes", 0)
+            for i in infos
+        )
+        stale = sum(i.get("stale_uploads", 0) for i in infos)
+        wasted = redone / max(1, spec)
+        ratio = async_s / sync_s
+        emit(f"{k:>4} {'async':>10} {staleness:>3} {async_s:>9.3f} "
+             f"{ratio:>6.2f}x {spec:>6} {wasted:>6.2f} {stale:>6}")
+        rows.append(
+            {
+                "k": k,
+                "staleness": staleness,
+                "sync_s": sync_s,
+                "async_s": async_s,
+                "ratio": ratio,
+                "speculative_blends": spec,
+                "wasted_frac": wasted,
+                "stale_uploads": stale,
+            }
+        )
+        if not smoke:
+            if cores >= 4:
+                if ratio > max_async_ratio:
+                    failures.append(
+                        f"S={staleness}: async fit {ratio:.2f}x sync under "
+                        f"seeded stragglers (bar: <= {max_async_ratio}x)"
+                    )
+            else:
+                emit(f"  (async bar skipped: {cores} cores < 4 — training "
+                     "serialises, overlap is scheduling noise)")
+    return rows, failures
+
+
+# ----------------------------------------------------------------------
 # Array-backend dispatch overhead (ISSUE 6)
 # ----------------------------------------------------------------------
 def _direct_cnn_step(params, bufs, x, y, lr, momentum):
@@ -419,6 +577,15 @@ def main(argv=None):
             "<= (1 + this) x the seed-direct numpy replica (full runs only)"
         ),
     )
+    parser.add_argument(
+        "--max-async-ratio",
+        type=float,
+        default=0.7,
+        help=(
+            "async-vs-sync fit wall-clock bar at S > 0 under seeded "
+            "stragglers (full runs on >= 4 cores only)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -490,6 +657,12 @@ def main(argv=None):
     )
     failures += dispatch_failures
 
+    emit("\n== async bounded-staleness rounds vs sync (seeded stragglers) ==")
+    async_rows, async_failures = run_async_rounds(
+        args.repeats, cores, args.smoke, args.max_async_ratio, emit
+    )
+    failures += async_failures
+
     payload = {
         "cores": cores,
         "input_size": input_size,
@@ -498,6 +671,7 @@ def main(argv=None):
         "collect": rows,
         "streaming": stream_rows,
         "backend_dispatch": dispatch_rows,
+        "async_rounds": async_rows,
         "deterministic": deterministic,
         "failures": failures,
     }

@@ -83,6 +83,7 @@ GATES = [
     ("BENCH_pool_engine.json", "robust", ("k",), "ratio", "lower", False),
     ("BENCH_client_execution.json", "streaming", ("k", "backend"), "ratio", "lower", True),
     ("BENCH_client_execution.json", "backend_dispatch", ("model",), "ratio", "lower", True, 0.05),
+    ("BENCH_client_execution.json", "async_rounds", ("k", "staleness"), "ratio", "lower", True),
 ]
 FILES = sorted({gate[0] for gate in GATES})
 

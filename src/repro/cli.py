@@ -256,6 +256,28 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--round-mode",
+        default=_DEFAULTS.round_mode,
+        choices=("sync", "async"),
+        help=(
+            "round schedule: sync (default — each round blocks on its "
+            "slowest leg) or async (bounded-staleness overlap: round t+1 "
+            "dispatches while round t stragglers finish; see "
+            "--max-staleness)"
+        ),
+    )
+    parser.add_argument(
+        "--max-staleness",
+        type=int,
+        default=_DEFAULTS.max_staleness,
+        help=(
+            "async round schedule's staleness bound S: at most S+1 rounds "
+            "in flight, and no pool row is blended by a round older than "
+            "the round that last wrote it (S=0, the default, is bitwise "
+            "the sync schedule)"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         default=_DEFAULTS.faults,
         help=(
@@ -413,6 +435,8 @@ def _config_kwargs(args) -> dict:
         workers=args.workers,
         array_backend=args.array_backend,
         streaming=args.streaming,
+        round_mode=args.round_mode,
+        max_staleness=args.max_staleness,
         faults=args.faults,
         quorum=args.quorum,
         failure_policy=args.failure_policy,

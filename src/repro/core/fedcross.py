@@ -60,7 +60,7 @@ from repro.core.acceleration import DynamicAlphaSchedule, propeller_index_matrix
 from repro.core.aggregation import validate_alpha
 from repro.core.gram import GramTracker
 from repro.core.pool import PoolBuffer
-from repro.core.selection import CoModelSel
+from repro.core.selection import CoModelSel, select_in_order
 from repro.fl.client import Client
 from repro.fl.metrics import TrainingHistory
 from repro.fl.registry import register_method
@@ -124,6 +124,12 @@ class FedCrossServer(FederatedServer):
         )
         self._upload_gram: GramTracker | None = None
         self._pool_gram: GramTracker | None = None
+        # Async round support: one tracker per live upload buffer (the
+        # overlapped scheduler cycles S+1 buffer slots, each mid-round
+        # at once) and the cached deployment state of the newest
+        # *completed* round (see :meth:`global_state`).
+        self._upload_gram_map: dict[int, GramTracker] = {}
+        self._async_eval_state: dict | None = None
 
     # -- pool access ---------------------------------------------------------
     @property
@@ -187,12 +193,27 @@ class FedCrossServer(FederatedServer):
         """
         if not self._track_gram:
             return
-        uploads = self.uploads
-        if self._upload_gram is None or self._upload_gram.pool is not uploads:
-            self._upload_gram = GramTracker(
-                uploads, param_keys=self.selector.param_keys
-            )
-        self._upload_gram.update_row(row)
+        tracker = self._upload_tracker(self.uploads)
+        self._upload_gram = tracker
+        tracker.update_row(row)
+
+    def _upload_tracker(self, uploads: PoolBuffer) -> GramTracker:
+        """The tracker following ``uploads`` (one per live buffer).
+
+        The sync schedule only ever has one upload buffer mid-round;
+        the async schedule cycles ``S + 1`` slots with several
+        mid-round at once, so trackers are kept per buffer identity.
+        Reuse across rounds on the same buffer is sound: every round's
+        K ``on_upload`` calls fully refresh all K rows, and pairwise
+        dots among rows landed in the *same* round are recomputed by
+        whichever update runs later — the speculative selector only
+        ever compares rows within the round's landed set.
+        """
+        tracker = self._upload_gram_map.get(id(uploads))
+        if tracker is None or tracker.pool is not uploads:
+            tracker = GramTracker(uploads, param_keys=self.selector.param_keys)
+            self._upload_gram_map[id(uploads)] = tracker
+        return tracker
 
     def _fresh_upload_gram(self, uploaded: PoolBuffer) -> np.ndarray | None:
         """The round's fully refreshed upload Gram, if one is tracked."""
@@ -361,8 +382,19 @@ class FedCrossServer(FederatedServer):
         reference); robust operators deploy their robust center
         instead, so a poisoned middleware row cannot steer the
         deployed model even when it slipped past screening.
+
+        Under the overlapped async schedule the live pool mixes rows
+        from several in-flight rounds; evaluation must reflect the
+        newest *completed* round exactly, so the adapter caches that
+        round's reconciled pool average here and the cache wins.
         """
+        if self._async_eval_state is not None:
+            return self._async_eval_state
         return self.aggregator.combine(self._pool)
+
+    def async_adapter(self) -> "FedCrossAsyncAdapter":
+        """Speculative cross-aggregation seam for ``round_mode='async'``."""
+        return FedCrossAsyncAdapter(self)
 
     def set_global_state(self, state: Mapping[str, np.ndarray]) -> None:
         """Reset the whole pool to ``state`` (checkpoint restore).
@@ -407,3 +439,193 @@ class FedCrossServer(FederatedServer):
         if gram is not None and gram.pool is self._pool:
             return gram.dispersion()
         return self._pool.dispersion(param_keys=self.selector.param_keys)
+
+
+class _AsyncRoundCtx:
+    """Per-round state of the speculative CrossAggr (one per window slot)."""
+
+    __slots__ = (
+        "t", "uploads", "alpha", "tracker", "landed", "co_spec",
+        "stale_rows", "spec_blends", "reblends", "stale_skips",
+    )
+
+    def __init__(self, t: int, uploads: PoolBuffer, alpha: float, tracker) -> None:
+        self.t = t
+        self.uploads = uploads
+        self.alpha = alpha
+        self.tracker = tracker
+        self.landed: set[int] = set()
+        self.co_spec: dict[int, int] = {}  # row -> last speculative co
+        self.stale_rows: set[int] = set()
+        self.spec_blends = 0
+        self.reblends = 0
+        self.stale_skips = 0
+
+
+class FedCrossAsyncAdapter:
+    """Speculative cross-aggregation under the overlapped round driver.
+
+    As each upload of round ``t`` lands, collaborators are selected
+    among the round's *already landed* rows on the live per-upload
+    :class:`~repro.core.gram.GramTracker` (pairwise dots within the
+    landed set are always fresh) and the blend is written straight into
+    the live pool row — so a client picking up its round ``t+1`` leg
+    trains from the freshest speculative pool available.  At round
+    completion the exact reference CrossAggr runs over the full upload
+    buffer (bit-identical bytes to the sync blend), reconciling every
+    speculative choice; the mismatch count is the measured wasted work.
+
+    Bounded staleness: every pool row remembers the last round that
+    blended it (``row_version``).  A round never writes a row a *newer*
+    round already owns — such late uploads are discarded for pool
+    purposes and counted as ``stale_uploads``.
+
+    Restricted to the configurations whose per-landing selection is
+    well-defined: no anomaly screening, no propeller warm-up, and a
+    linear (mean) aggregation operator.  Euclidean similarity disables
+    *speculation* only (no tracked Gram to select on); the completion
+    reconcile still runs the fresh recompute.
+    """
+
+    def __init__(self, server: FedCrossServer) -> None:
+        if server.screen is not None:
+            raise ValueError(
+                "round_mode='async' with max_staleness > 0 does not compose "
+                "with upload screening (--screen); screening needs the full "
+                "round's uploads at once"
+            )
+        if server.propeller_rounds > 0:
+            raise ValueError(
+                "round_mode='async' with max_staleness > 0 does not compose "
+                "with propeller warm-up rounds (propeller_rounds > 0)"
+            )
+        if not server.aggregator.linear:
+            raise ValueError(
+                "round_mode='async' with max_staleness > 0 requires the "
+                "linear 'mean' aggregator; robust operators need the full "
+                f"round's uploads at once (got {type(server.aggregator).__name__})"
+            )
+        self.server = server
+        self.k = len(server._pool)
+        # Resume-safe: rows dispatched before any async round completes
+        # are exactly (t - 1)-fresh for the first created round t.
+        self.row_version = [server.round_idx - 1] * self.k
+        self._last_eval_pool: PoolBuffer | None = None
+
+    # -- scheduler-facing API ----------------------------------------------
+    def plan_state(self, row: int) -> dict:
+        """Private copy of pool row ``row`` (speculation-race safe)."""
+        return self.server._pool.as_state(int(row), copy=True)
+
+    def version_of(self, row: int) -> int:
+        return self.row_version[int(row)]
+
+    def begin_round(self, t: int, uploads: PoolBuffer) -> _AsyncRoundCtx:
+        server = self.server
+        tracker = server._upload_tracker(uploads) if server._track_gram else None
+        return _AsyncRoundCtx(t, uploads, server.alpha_at(t), tracker)
+
+    def upload_landed(self, ctx: _AsyncRoundCtx, row: int) -> None:
+        ctx.landed.add(int(row))
+        self._speculate(ctx)
+
+    # -- speculative blend ---------------------------------------------------
+    def _spec_co(self, ctx: _AsyncRoundCtx, i: int) -> int | None:
+        """Speculative collaborator for landed row ``i`` (or None yet)."""
+        strategy = self.server.selector.strategy
+        if strategy == "in_order":
+            co = select_in_order(i, ctx.t, self.k)
+            return co if (co == i or co in ctx.landed) else None
+        if ctx.tracker is None:
+            return None  # euclidean: no tracked Gram to speculate on
+        return ctx.tracker.select_among(
+            i, (j for j in ctx.landed if j != i), highest=(strategy == "highest")
+        )
+
+    def _blend_row(self, ctx: _AsyncRoundCtx, i: int, co: int) -> None:
+        pool = self.server._pool
+        uploads = ctx.uploads
+        vi = uploads.masked_row_f64(i, None)
+        if co == i:
+            blended = vi
+        else:
+            a = float(ctx.alpha)
+            blended = a * vi + (1.0 - a) * uploads.masked_row_f64(co, None)
+            int_mask = uploads.layout.integer_mask()
+            if int_mask.any():
+                # Integer fields carry from the row's own upload,
+                # never averaged — cross_aggregate's rule.
+                blended[int_mask] = vi[int_mask]
+        pool.set_row(i, blended)
+        self.server._pool_gram = None  # live pool moved under the tracker
+
+    def _speculate(self, ctx: _AsyncRoundCtx) -> None:
+        for i in sorted(ctx.landed):
+            co = self._spec_co(ctx, i)
+            if co is None or ctx.co_spec.get(i) == co:
+                continue
+            if self.row_version[i] > ctx.t:
+                # A newer round already owns this pool row: blending a
+                # late upload backwards would violate bounded staleness.
+                if i not in ctx.stale_rows:
+                    ctx.stale_rows.add(i)
+                    ctx.stale_skips += 1
+                continue
+            if i in ctx.co_spec:
+                ctx.reblends += 1
+            else:
+                ctx.spec_blends += 1
+            self._blend_row(ctx, i, co)
+            ctx.co_spec[i] = co
+            self.row_version[i] = ctx.t
+
+    # -- completion ----------------------------------------------------------
+    def complete_round(self, ctx: _AsyncRoundCtx, active, results, plans) -> dict:
+        server = self.server
+        uploads = ctx.uploads
+        if self.k == 1:
+            co = np.zeros(1, dtype=np.int64)
+            eval_pool = uploads.copy()
+        else:
+            gram = ctx.tracker.gram if ctx.tracker is not None else None
+            co = server.selector.select_all(uploads, ctx.t, gram=gram)
+            # Exact reference CrossAggr over the complete upload buffer:
+            # byte-identical to the sync blend of the same uploads.
+            eval_pool = server.aggregator.cross_blend(
+                uploads, co, ctx.alpha, fallback=None
+            )
+        fixes = sum(
+            1 for i, spec in ctx.co_spec.items() if int(co[i]) != int(spec)
+        )
+        for i in range(self.k):
+            if self.row_version[i] <= ctx.t:
+                # Reconcile: the exact blended row replaces whatever the
+                # speculative pass wrote (float64 round trip of the f32
+                # row is exact).
+                server._pool.set_row(i, eval_pool.masked_row_f64(i, None))
+                self.row_version[i] = ctx.t
+        server._pool_gram = None
+        self._last_eval_pool = eval_pool
+        # Evaluation (and checkpointing) must see the completed round's
+        # reconciled pool, not the live pool mid-speculation.
+        server._async_eval_state = server.aggregator.combine(eval_pool)
+        return {
+            "train_loss": server.mean_local_loss(results),
+            "alpha": float(ctx.alpha),
+            "co_indices": [int(j) for j in co],
+            "async": {
+                "speculative_blends": ctx.spec_blends,
+                "speculative_reblends": ctx.reblends,
+                "reconcile_fixes": fixes,
+                "stale_uploads": ctx.stale_skips,
+            },
+        }
+
+    def finalize(self) -> None:
+        """Install the newest completed round's exact pool and drop caches."""
+        server = self.server
+        if self._last_eval_pool is not None:
+            server._pool = self._last_eval_pool
+            self._last_eval_pool = None
+        server._async_eval_state = None
+        server._pool_gram = None

@@ -195,6 +195,30 @@ class GramTracker:
         """``(K,)`` cosine similarities to model ``index``."""
         return self.similarity()[index]
 
+    def select_among(
+        self, index: int, candidates: Iterable[int], highest: bool = True
+    ) -> int | None:
+        """Best cosine collaborator for ``index`` among ``candidates``.
+
+        The speculative CoModelSel primitive: restricted to the rows a
+        partially landed round has refreshed so far (both endpoints of
+        every considered pair must be fresh for the tracked dot to be
+        meaningful).  Ties resolve to the lowest candidate index —
+        the same rule as the full argmax/argmin in
+        :meth:`~repro.core.pool.PoolBuffer.select_collaborators` —
+        and an empty candidate set returns ``None``.
+        """
+        sims = self.similarity()[index]
+        best: int | None = None
+        best_sim = 0.0
+        for j in sorted(int(c) for c in candidates):
+            if j == index:
+                continue
+            s = float(sims[j])
+            if best is None or (s > best_sim if highest else s < best_sim):
+                best, best_sim = j, s
+        return best
+
     def dispersion(self) -> float:
         """RMS distance of pool members from their mean, from Gram sums.
 

@@ -291,6 +291,31 @@ class DistributedExecution(ExecutionBackend):
                 continue
             yield i, self._landed(i, leg, active, rows, uploads, up_extras)
 
+    supports_async = True
+
+    #: Transfers are measured at the sockets (down at submit, up at
+    #: land), so the async driver must never add its analytic charge on
+    #: top — the per-round attribution is the landing window.
+    measures_comm = True
+
+    def reserve(self, width: int) -> None:
+        # Pre-size the dispatcher pool for the whole overlap window so
+        # a mid-flight _ensure_pool growth (shutdown+rebuild) can never
+        # stall on in-flight legs of an earlier round.
+        self._ensure_pool(int(width))
+
+    def submit_group(self, trainer, active, plans, rows, uploads, attacks=None):
+        from repro.fl.execution import LegGroup
+
+        futures, up_extras = self._submit(
+            trainer, active, plans, rows, uploads, attacks=attacks
+        )
+
+        def finalize(j, raw):
+            return self._landed(j, raw, active, rows, uploads, up_extras)
+
+        return LegGroup(futures, finalize)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

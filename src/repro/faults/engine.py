@@ -61,7 +61,7 @@ def _describe(failures: "dict[int, LegFailure]") -> str:
     return "; ".join(parts)
 
 
-def resilient_collect(server, active, plans, rows, uploads):
+def resilient_collect(server, active, plans, rows, uploads, *, sleep=None):
     """Fault-aware twin of ``FLServer.collect`` (streaming semantics).
 
     Returns results in plan order — every index filled, with carried
@@ -70,12 +70,28 @@ def resilient_collect(server, active, plans, rows, uploads):
     :class:`FaultError` under the ``fail`` policy and
     :class:`QuorumError` when fewer fresh uploads landed than
     ``quorum`` requires.
+
+    All engine and backend clocks are monotonic: the per-leg wall-clock
+    timeout rides ``time.monotonic()`` inside the captured stream and
+    the backoff delay below never consults wall time, so an NTP step
+    mid-round can neither spuriously expire nor immortalise a leg.
+    ``sleep`` is injectable — explicitly, or via ``server.fault_sleep``
+    — so scheduler tests and the chaos soak never wait for real.
     """
     from repro.fl.trainer import LocalResult  # lazy: avoids import cycle
 
     policy = server.fault_policy
     population = server.fault_model
-    n = min(len(active), len(plans))
+    if sleep is None:
+        sleep = getattr(server, "fault_sleep", None) or time.sleep
+    if len(active) != len(plans):
+        # A cohort/plan skew would silently drop legs (and skew quorum
+        # accounting) if truncated to the shorter list — fail loudly.
+        raise ValueError(
+            f"resilient_collect got {len(active)} active clients but "
+            f"{len(plans)} dispatch plans; cohort and plans must align"
+        )
+    n = len(active)
     results: "list[LocalResult | None]" = [None] * n
     failures: dict[int, LegFailure] = {}
     # RNG snapshots taken before anything runs: a retried / carried leg
@@ -182,7 +198,7 @@ def resilient_collect(server, active, plans, rows, uploads):
                 attempt += 1
                 delay = policy.backoff_delay(attempt)
                 if delay > 0:
-                    time.sleep(delay)
+                    sleep(delay)
             elif policy.failure_policy == "redispatch" and not reissued:
                 reissued = True
             else:

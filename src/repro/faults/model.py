@@ -176,21 +176,30 @@ class FaultScenario:
 
     @property
     def benign(self) -> bool:
-        """True when no knob can ever fail, slow or poison a leg."""
+        """True when no knob can ever fail, slow or poison a leg.
+
+        Straggling is judged against the *top drawable speed*: with
+        ``slow_prob > 0`` that is ``slow_factor``, otherwise the 1.0
+        baseline — which :meth:`ClientPopulation.leg_fault` still
+        compares (strictly) against ``straggler_timeout``, so a
+        scenario with ``slow_prob=0`` but ``straggler_timeout < 1.0``
+        straggles every leg and must not report benign.  The boundary
+        ``slow_factor == straggler_timeout`` is slowed-but-not-
+        straggling (``leg_fault`` uses strict ``>``), matching the
+        inclusive comparison here.
+        """
+        can_slow = self.slow_prob > 0.0 and self.slow_factor > 1.0
+        top_speed = self.slow_factor if self.slow_prob > 0.0 else 1.0
+        can_straggle = (
+            self.straggler_timeout is not None
+            and top_speed > self.straggler_timeout
+        )
         return (
             self.availability >= 1.0
             and self.dropout <= 0.0
             and self.byzantine_frac <= 0.0
-            and (
-                self.slow_prob <= 0.0
-                or (
-                    self.slow_factor <= 1.0
-                    and (
-                        self.straggler_timeout is None
-                        or self.slow_factor <= self.straggler_timeout
-                    )
-                )
-            )
+            and not can_slow
+            and not can_straggle
         )
 
 

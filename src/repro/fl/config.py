@@ -92,6 +92,21 @@ class FLConfig:
         schedule.  Both modes are bit-identical in histories, uploads
         and RNG state — streaming only moves server-side work earlier
         in wall clock.
+    round_mode:
+        Round schedule (:mod:`repro.fl.scheduler`): ``"sync"``
+        (default — the reference schedule, each round blocks on its
+        slowest leg) or ``"async"`` — dispatch of round ``t+1`` begins
+        while round ``t`` stragglers finish, bounded by
+        ``max_staleness``.  ``async`` with ``max_staleness=0`` runs
+        the rounds strictly sequentially through the same per-round
+        primitives and is bit-identical to ``sync`` on every backend.
+    max_staleness:
+        Bounded-staleness window ``S`` for ``round_mode="async"``: up
+        to ``S+1`` rounds may be in flight, and a pool row is blended
+        only by the *newest* round that trained it — a row trained
+        against a pool version more than ``S`` rounds old is never
+        blended stale (its late upload is discarded as wasted work).
+        ``0`` (default) keeps the sequential schedule.
     faults:
         Client-fault scenario for the resilience layer
         (:mod:`repro.faults`): a mapping of
@@ -173,6 +188,8 @@ class FLConfig:
     workers: int | None = None
     array_backend: str | None = None
     streaming: bool = True
+    round_mode: str = "sync"
+    max_staleness: int = 0
     faults: Any = None
     quorum: float = 1.0
     failure_policy: str = "fail"
@@ -216,6 +233,12 @@ class FLConfig:
             not isinstance(self.array_backend, str) or not self.array_backend
         ):
             raise ValueError("array_backend must be None or a backend name")
+        if self.round_mode not in ("sync", "async"):
+            raise ValueError(
+                f"round_mode must be 'sync' or 'async', got {self.round_mode!r}"
+            )
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
         if self.faults is not None and not isinstance(self.faults, (str, Mapping)):
             raise ValueError(
                 "faults must be None, a scenario mapping, inline JSON or a "

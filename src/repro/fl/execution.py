@@ -104,6 +104,7 @@ import time
 import weakref
 from concurrent.futures import (
     FIRST_COMPLETED,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
@@ -130,6 +131,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "TrainerSpec",
     "SharedStateRef",
+    "LegGroup",
     "ExecutionBackend",
     "SerialExecution",
     "ThreadExecution",
@@ -291,6 +293,38 @@ def _gather(futures):
         raise
 
 
+class LegGroup:
+    """One cross-round submission batch of in-flight training legs.
+
+    The async round scheduler's unit of work
+    (:meth:`ExecutionBackend.submit_group`): ``futures[j]`` resolves to
+    the backend's raw per-leg payload, ``finalize(j, raw)`` turns it
+    into a landed :class:`~repro.fl.trainer.LocalResult` on the
+    *caller's* thread (RNG restore, upload-row copy, attack
+    application), and ``leg_done()`` — called once per leg after it is
+    finalized, failed or drained — releases group-scoped resources
+    (the process backend's shared-memory block pair) once every leg is
+    accounted for.
+    """
+
+    __slots__ = ("futures", "_finalize", "_release", "_outstanding")
+
+    def __init__(self, futures, finalize=None, release=None) -> None:
+        self.futures = list(futures)
+        self._finalize = finalize
+        self._release = release
+        self._outstanding = len(self.futures)
+
+    def finalize(self, j: int, raw):
+        return raw if self._finalize is None else self._finalize(j, raw)
+
+    def leg_done(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding <= 0 and self._release is not None:
+            release, self._release = self._release, None
+            release()
+
+
 # -- backend protocol -------------------------------------------------------
 class ExecutionBackend:
     """Runs one round's local-training legs and packs the uploads.
@@ -319,6 +353,18 @@ class ExecutionBackend:
     #: flag it measured, which makes the server skip its analytic
     #: per-round charge; in-process backends ignore it (nothing moves).
     ledger = None
+
+    #: Backends supporting cross-round in-flight legs (the async round
+    #: scheduler's :meth:`submit_group` seam) set this True.
+    supports_async = False
+
+    #: True when the backend itself *measures* real transfers into the
+    #: ledger (the ``distributed`` backend records per-socket traffic at
+    #: submit/land time).  The async driver never analytically charges a
+    #: measuring backend — the sync path's ``ledger.measured`` flag is
+    #: reset at every round boundary and so cannot be trusted while
+    #: rounds overlap.
+    measures_comm = False
 
     def __init__(
         self,
@@ -414,6 +460,39 @@ class ExecutionBackend:
                         kind="error",
                         message=f"{type(exc).__name__}: {exc}",
                     )
+
+    def reserve(self, width: int) -> None:
+        """Hint: up to ``width`` legs may be in flight concurrently.
+
+        The async round scheduler calls this once before overlapping
+        rounds so pooled backends can pre-size their worker pools
+        instead of growing them mid-flight.  The base implementation is
+        a no-op.
+        """
+
+    def submit_group(
+        self,
+        trainer: LocalTrainer,
+        active: "list[Client]",
+        plans: "list[DispatchPlan]",
+        rows: Sequence[int],
+        uploads: "PoolBuffer",
+        attacks: "Mapping[int, AttackSpec] | None" = None,
+    ) -> "LegGroup":
+        """Submit legs without blocking; return a :class:`LegGroup`.
+
+        The cross-round seam for ``round_mode='async'``: unlike the
+        ``run*`` schedules, the caller owns the wait loop and may have
+        several groups (from different rounds) in flight at once.  The
+        group's ``finalize(j, raw)`` converts a future's raw payload to
+        a :class:`LocalResult` (applying upload attacks at the landing
+        boundary) and ``leg_done()`` must be called once per leg so the
+        backend can recycle per-group resources.
+        """
+        raise NotImplementedError(
+            f"execution backend {self.name!r} does not support cross-round "
+            "leg submission (round_mode='async' with max_staleness > 0)"
+        )
 
     def close(self) -> None:
         """Release pools/buffers; the backend lazily re-creates them on
@@ -575,6 +654,39 @@ class SerialExecution(ExecutionBackend):
                 result = _attacked_result(attacks[i], plan, rows[i], uploads, result)
             yield i, result
 
+    supports_async = True
+
+    def submit_group(
+        self, trainer, active, plans, rows, uploads, attacks=None
+    ) -> LegGroup:
+        # Serial groups complete eagerly on the caller's thread, so the
+        # async driver degenerates to strictly sequential rounds — the
+        # property the bitwise-equivalence leg of the matrix relies on.
+        futures: list[Future] = []
+        for i, (client, plan) in enumerate(zip(active, plans)):
+            future: Future = Future()
+            try:
+                result = client.train(
+                    trainer,
+                    plan.state,
+                    loss_hook=resolve_hook(plan.loss_hook, plan.state),
+                    grad_hook=resolve_hook(plan.grad_hook, plan.state),
+                    lr_override=plan.lr_override,
+                )
+            except (KeyboardInterrupt, SystemExit, GeneratorExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - captured
+                future.set_exception(exc)
+            else:
+                uploads.set_state(rows[i], result.state)
+                if attacks and i in attacks:
+                    result = _attacked_result(
+                        attacks[i], plan, rows[i], uploads, result
+                    )
+                future.set_result(result)
+            futures.append(future)
+        return LegGroup(futures)
+
 
 @register_execution("thread")
 class ThreadExecution(ExecutionBackend):
@@ -656,6 +768,41 @@ class ThreadExecution(ExecutionBackend):
                 # rows are unique, so the rewrite cannot race a worker.
                 leg = _attacked_result(attacks[i], plans[i], rows[i], uploads, leg)
             yield i, leg
+
+    supports_async = True
+
+    def reserve(self, width: int) -> None:
+        # Grow the pool so overlapping rounds never queue behind one
+        # cohort's width (ThreadPoolExecutor cannot shrink, only grow).
+        width = max(int(width), self._num_workers)
+        if self._pool is not None and width > self._num_workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._num_workers = width
+        self._ensure_pool()
+
+    def submit_group(
+        self, trainer, active, plans, rows, uploads, attacks=None
+    ) -> LegGroup:
+        _check_parallel_cohort(active[: len(plans)], rows[: len(plans)])
+        self._ensure_pool()
+        hypers = _trainer_hypers(trainer)
+        futures = [
+            self._pool.submit(self._leg, i, client, plan, rows, uploads, hypers)
+            for i, (client, plan) in enumerate(zip(active, plans))
+        ]
+        attack_map = dict(attacks) if attacks else {}
+
+        def finalize(j: int, raw: LocalResult) -> LocalResult:
+            # Runs on the scheduler's thread after the leg landed: rows
+            # are unique across in-flight groups, so no worker races it.
+            if j in attack_map:
+                return _attacked_result(
+                    attack_map[j], plans[j], rows[j], uploads, raw
+                )
+            return raw
+
+        return LegGroup(futures, finalize)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -1022,6 +1169,11 @@ class ProcessExecution(ExecutionBackend):
         self._dispatch: _SharedBlock | None = None
         self._uploads_shm: _SharedBlock | None = None
         self._payloads = _PayloadPacker()
+        # Free-list of (dispatch, upload) block pairs for cross-round
+        # groups, keyed (n, p, dtype str): overlapping rounds must not
+        # share the sync path's single block pair, or round t+1's pack
+        # would overwrite rows round t's workers are still reading.
+        self._group_blocks: dict[tuple, list] = {}
 
     def _ensure_pool(self) -> None:
         if self._pool is not None:
@@ -1158,6 +1310,100 @@ class ProcessExecution(ExecutionBackend):
                 result = _attacked_result(attacks[i], plans[i], row, uploads, result)
             yield i, result
 
+    supports_async = True
+
+    def reserve(self, width: int) -> None:
+        width = max(int(width), self._num_workers)
+        if self._pool is not None and width > self._num_workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._num_workers = width
+
+    def _acquire_blocks(self, n: int, p: int, dtype) -> "tuple[_SharedBlock, _SharedBlock]":
+        key = (int(n), int(p), np.dtype(dtype).str)
+        free = self._group_blocks.setdefault(key, [])
+        while free:
+            pair = free.pop()
+            if pair[0].array is not None and pair[1].array is not None:
+                return pair
+        return (_SharedBlock((n, p), dtype), _SharedBlock((n, p), dtype))
+
+    def submit_group(
+        self, trainer, active, plans, rows, uploads, attacks=None
+    ) -> LegGroup:
+        """Cross-round submission on private per-group shm block pairs.
+
+        Differences from the sync :meth:`_submit` transport: dispatch
+        *and* upload rows are indexed by plan position ``j`` (not pool
+        row — two in-flight groups may reuse a pool row across a carry),
+        and round-shared hook payloads ride pickled inside each task
+        instead of through :class:`_PayloadPacker` (whose regrow-on-pack
+        would unlink segments a still-running group's workers map).
+        """
+        from repro.core.pool import _check_integer_roundtrip
+
+        _check_parallel_cohort(active[: len(plans)], rows[: len(plans)])
+        for plan in plans:
+            _require_spec_hook(plan.loss_hook, "DispatchPlan.loss_hook")
+            _require_spec_hook(plan.grad_hook, "DispatchPlan.grad_hook")
+        self._ensure_pool()
+        layout = uploads.layout
+        n = len(plans)
+        dispatch, upload = self._acquire_blocks(
+            max(1, n), layout.total_size, uploads.dtype
+        )
+        hypers = _trainer_hypers(trainer)
+        futures = []
+        for j, (client, plan) in enumerate(zip(active, plans)):
+            _check_integer_roundtrip(layout, plan.state, dispatch.array.dtype)
+            _check_float_roundtrip(layout, plan.state, dispatch.array.dtype)
+            layout.flatten_into(plan.state, dispatch.array[j])
+            futures.append(
+                self._pool.submit(
+                    _process_leg,
+                    {
+                        "client_id": client.client_id,
+                        "rng_state": client.rng.bit_generator.state,
+                        "dispatch_row": j,
+                        "upload_row": j,
+                        "dispatch_ref": dispatch.ref,
+                        "upload_ref": upload.ref,
+                        "payload_names": (),
+                        "loss_hook": plan.loss_hook,
+                        "grad_hook": plan.grad_hook,
+                        "lr_override": plan.lr_override,
+                        "hypers": hypers,
+                    },
+                )
+            )
+        attack_map = dict(attacks) if attacks else {}
+
+        def finalize(j: int, raw) -> LocalResult:
+            num_samples, num_steps, mean_loss, rng_state = raw
+            active[j].rng.bit_generator.state = rng_state
+            row = int(rows[j])
+            uploads.set_row(row, upload.array[j])
+            result = LocalResult(
+                state=uploads.as_state(row, copy=True),
+                num_samples=num_samples,
+                num_steps=num_steps,
+                mean_loss=mean_loss,
+            )
+            if j in attack_map:
+                result = _attacked_result(attack_map[j], plans[j], row, uploads, result)
+            return result
+
+        def release() -> None:
+            if dispatch.array is not None and upload.array is not None:
+                key = (
+                    int(dispatch.array.shape[0]),
+                    int(dispatch.array.shape[1]),
+                    dispatch.array.dtype.str,
+                )
+                self._group_blocks.setdefault(key, []).append((dispatch, upload))
+
+        return LegGroup(futures, finalize, release)
+
     def close(self) -> None:
         # Release the shared segments even when the pool shutdown is
         # interrupted (Ctrl-C while workers drain): pool teardown runs
@@ -1174,6 +1420,11 @@ class ProcessExecution(ExecutionBackend):
                 if block is not None:
                     block.close()
                     setattr(self, attr, None)
+            for pairs in self._group_blocks.values():
+                for pair in pairs:
+                    for block in pair:
+                        block.close()
+            self._group_blocks.clear()
             self._payloads.close()
 
 

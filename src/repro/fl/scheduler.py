@@ -1,0 +1,649 @@
+"""Round schedulers — *when* rounds run, split out of ``fit()``.
+
+:meth:`~repro.fl.server.FederatedServer.fit` owns *what* a training run
+is (callbacks, finalisation, history); the scheduler owns *when* each
+round's phases execute:
+
+``sync``
+    :class:`SyncRoundScheduler` — the reference schedule, extracted
+    verbatim from the historical ``fit()`` loop body: each round blocks
+    on its slowest leg before the next one dispatches.  Bit-identical
+    to the pre-scheduler server by construction.
+``async``
+    :class:`AsyncRoundScheduler` — bounded-staleness overlap: dispatch
+    of round ``t+1`` begins while round ``t`` stragglers finish, with
+    at most ``max_staleness + 1`` rounds in flight.  With
+    ``max_staleness=0`` the window is one round wide and the scheduler
+    runs the *exact* sync per-round body — bit-identical to ``sync``
+    on every backend, fault path and method.  With ``max_staleness>0``
+    it drives the execution backend's cross-round ``submit_group``
+    seam and the method's *async adapter* (FedCross's speculative
+    cross-aggregation — see
+    :meth:`repro.core.fedcross.FedCrossServer.async_adapter`).
+
+Overlapped-driver semantics (``max_staleness`` = S > 0)
+-------------------------------------------------------
+* **Window.**  Round ``t`` is created (cohort sampled, plans built —
+  server RNG draws stay in round order) once round ``t - S - 1`` has
+  completed, so at most ``S + 1`` rounds are ever in flight and a
+  round's upload buffer (one of ``S + 1`` cycling slots) is never
+  reused while its legs can still land.
+* **Per-client serialisation.**  A client trains one leg at a time; a
+  leg whose client is still busy with an earlier round waits in the
+  ready queue.  The overlap win comes from *each client* starting its
+  next-round leg the moment its own previous leg lands instead of
+  waiting for the cohort's slowest straggler.
+* **Staleness.**  Every pool row carries a version (the last round
+  that blended it).  Uploads are speculatively blended by the method
+  adapter as they land; a round never blends a row a *newer* round
+  already owns — such late uploads are discarded and counted as
+  wasted work (``stale_uploads`` in the round's ``async`` extras).
+* **Faults compose per round.**  The seeded fault model pre-drops legs
+  at creation (identical decisions to the sync engine), infra failures
+  are retried with backoff (non-blocking: retries are re-queued with a
+  not-before time on the injectable clock — the driver never calls
+  ``time.sleep`` while other legs could progress), ``redispatch``
+  grants one extra reissue, and quorum / ``fail`` policies are checked
+  at each round's completion.  A failed leg's client RNG is restored
+  to its submission snapshot *before* the client is released, so later
+  legs never train from a half-advanced stream; the carry itself (the
+  dispatched state re-landing in the upload row) happens at round
+  completion, after the snapshot restore.
+* **Communication.**  In-process backends are charged analytically per
+  completed round from counted submissions/landings; backends that
+  measure real transfers (``distributed``) are never analytically
+  charged (``measures_comm``), so totals stay measured-exact — with
+  overlap, per-round ledger attribution follows landing windows.
+
+The driver is single-threaded: all server/adapter state is touched
+from the caller's thread, with the execution backend's futures as the
+only concurrency boundary — the same discipline as streaming collect.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.policy import FaultError, LegFailure, QuorumError
+from repro.fl.metrics import RoundRecord
+from repro.utils.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fl.server import DispatchPlan, FederatedServer
+
+__all__ = [
+    "RoundScheduler",
+    "SyncRoundScheduler",
+    "AsyncRoundScheduler",
+    "ROUND_SCHEDULERS",
+    "register_round_scheduler",
+    "build_round_scheduler",
+    "run_sync_round",
+]
+
+
+ROUND_SCHEDULERS = Registry("round scheduler", error_type=KeyError)
+
+
+def register_round_scheduler(name: str):
+    """Class decorator registering a :class:`RoundScheduler`."""
+    return ROUND_SCHEDULERS.register(name)
+
+
+def build_round_scheduler(config) -> "RoundScheduler":
+    """Scheduler instance for ``config.round_mode`` (default ``sync``)."""
+    mode = getattr(config, "round_mode", "sync") or "sync"
+    return ROUND_SCHEDULERS.resolve(mode).from_config(config)
+
+
+def run_sync_round(server, cbs, local_round: int, rounds: int, eval_every: int) -> None:
+    """One reference-schedule round — the exact body of the historical
+    ``fit()`` loop (callbacks, cohort, phases, ledger, record, eval
+    cadence), so both the sync scheduler and the async scheduler's
+    zero-staleness window share it verbatim."""
+    for cb in cbs:
+        cb.on_round_start(server, server.round_idx)
+    # Through the legacy alias so pre-phase subclasses that
+    # still override sample_clients() keep their sampling.
+    active = server.sample_clients()
+    server.last_suspects = []
+    extras = server.run_round(active) or {}
+    if server.last_leg_failures:
+        extras.setdefault(
+            "leg_failures",
+            [f.summary() for f in server.last_leg_failures],
+        )
+    if server.last_suspects:
+        extras.setdefault(
+            "suspect_uploads",
+            [r.summary() for r in server.last_suspects],
+        )
+    up, down = server.ledger.end_round()
+    record = RoundRecord(
+        round_idx=server.round_idx,
+        train_loss=extras.pop("train_loss", None),
+        comm_up_params=up,
+        comm_down_params=down,
+        extras=extras,
+    )
+    # Compare against the *local* round counter: ``server.round_idx``
+    # is global across fit() calls, so a resumed fit(n) would
+    # otherwise never hit its guaranteed final-round evaluation.
+    if (server.round_idx + 1) % eval_every == 0 or local_round == rounds - 1:
+        record.accuracy, record.loss = server.evaluate()
+        for cb in cbs:
+            cb.on_evaluate(server, record)
+    server.history.append(record)
+    for cb in cbs:
+        cb.on_round_end(server, record)
+    server.round_idx += 1
+
+
+class RoundScheduler:
+    """Drives the per-round loop inside :meth:`FederatedServer.fit`."""
+
+    name = "abstract"
+
+    @classmethod
+    def from_config(cls, config) -> "RoundScheduler":
+        return cls()
+
+    def run(self, server: "FederatedServer", rounds: int, cbs: list) -> None:
+        raise NotImplementedError
+
+
+@register_round_scheduler("sync")
+class SyncRoundScheduler(RoundScheduler):
+    """The reference schedule: each round blocks on its slowest leg."""
+
+    name = "sync"
+
+    def run(self, server, rounds, cbs) -> None:
+        eval_every = server.config.eval_every
+        for local_round in range(rounds):
+            run_sync_round(server, cbs, local_round, rounds, eval_every)
+            if server.stop_training:
+                break
+
+
+def _restore_rng(client, snapshot) -> None:
+    client.rng.bit_generator.state = snapshot
+
+
+def _describe(failures: "dict[int, LegFailure]") -> str:
+    parts = [
+        f"client {f.client_id} (row {f.row}): {f.kind}"
+        + (f" after {f.attempts} attempt(s)" if f.attempts else "")
+        for _, f in sorted(failures.items())
+    ]
+    return "; ".join(parts)
+
+
+@dataclass
+class _Leg:
+    """One in-flight (or queued) training leg of the overlapped driver."""
+
+    t: int
+    i: int  # plan index within its round
+    client: Any
+    row: int
+    plan: "DispatchPlan"
+    attack: Any = None
+    tries: int = 0
+    reissued: bool = False
+    reserved: bool = False  # this leg itself holds its client's busy slot
+    snapshot: Any = None  # client RNG state at (re)submission
+    carry_state: "dict | None" = None  # dispatched state (copied at submit)
+    not_before: float = 0.0  # backoff gate on the injectable clock
+    deadline: "float | None" = None
+    group: Any = None
+    j: int = 0  # index within its submission group
+    future: "Future | None" = None
+
+
+@dataclass
+class _Round:
+    """Book-keeping for one created-but-not-completed round."""
+
+    t: int
+    local_round: int
+    active: list
+    plans: list
+    rows: list
+    uploads: Any
+    ctx: Any
+    results: list
+    tries: list
+    carry: dict = field(default_factory=dict)
+    failures: "dict[int, LegFailure]" = field(default_factory=dict)
+    resolved: int = 0
+    downs: int = 0
+    ups: int = 0
+    max_stale: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.resolved >= len(self.plans)
+
+
+@register_round_scheduler("async")
+class AsyncRoundScheduler(RoundScheduler):
+    """Bounded-staleness overlapped schedule (see module docstring).
+
+    ``clock`` / ``sleep`` are injectable (default ``time.monotonic`` /
+    ``time.sleep``) so retry backoff and leg deadlines are testable
+    without real waiting — and immune to wall-clock (NTP) steps.
+    """
+
+    name = "async"
+
+    def __init__(self, max_staleness: int = 0, clock=time.monotonic, sleep=time.sleep) -> None:
+        if max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        self.max_staleness = int(max_staleness)
+        self.clock = clock
+        self.sleep = sleep
+
+    @classmethod
+    def from_config(cls, config) -> "AsyncRoundScheduler":
+        return cls(max_staleness=getattr(config, "max_staleness", 0))
+
+    def run(self, server, rounds, cbs) -> None:
+        if self.max_staleness == 0:
+            # Window of width one: the sync schedule run through the
+            # scheduler seam — bit-identical to ``sync`` on every
+            # backend, method and fault path by construction.
+            eval_every = server.config.eval_every
+            for local_round in range(rounds):
+                run_sync_round(server, cbs, local_round, rounds, eval_every)
+                if server.stop_training:
+                    break
+            return
+        self._run_overlapped(server, rounds, cbs)
+
+    # -- overlapped driver -------------------------------------------------
+    def _run_overlapped(self, server, rounds, cbs) -> None:
+        adapter_factory = getattr(server, "async_adapter", None)
+        if adapter_factory is None:
+            raise ValueError(
+                f"round_mode='async' with max_staleness={self.max_staleness} "
+                f"needs a method with speculative cross-aggregation support; "
+                f"{server.method_name!r} provides no async_adapter() "
+                "(run with max_staleness=0 for the sequential async window)"
+            )
+        backend = server.executor.backend
+        if not getattr(backend, "supports_async", False):
+            raise ValueError(
+                f"execution backend {backend.name!r} does not support "
+                "cross-round in-flight legs (submit_group); use "
+                "serial/thread/process/distributed or max_staleness=0"
+            )
+        adapter = adapter_factory()
+        policy = server.fault_policy
+        S = self.max_staleness
+        k = server.config.clients_per_round
+        backend.reserve((S + 1) * k)
+        eval_every = server.config.eval_every
+        start = server.round_idx
+        states: "dict[int, _Round]" = {}
+        ready: "deque[_Leg]" = deque()
+        inflight: "dict[Future, _Leg]" = {}
+        busy: set = set()
+        next_create = 0
+        next_complete = 0
+        stop = False
+        try:
+            while next_complete < rounds:
+                while (
+                    not stop
+                    and next_create < rounds
+                    and next_create - next_complete <= S
+                ):
+                    t = start + next_create
+                    states[next_create] = self._create_round(
+                        server, adapter, cbs, t, next_create, ready
+                    )
+                    next_create += 1
+                if next_complete == next_create:
+                    break  # stop_training drained every created round
+                self._submit_ready(server, adapter, ready, busy, inflight, states)
+                self._wait_and_land(server, adapter, policy, ready, busy, inflight, states)
+                while next_complete < next_create and states[next_complete].done:
+                    rs = states.pop(next_complete)
+                    self._complete_round(server, adapter, cbs, rs, rounds, eval_every)
+                    next_complete += 1
+                    if server.stop_training:
+                        stop = True
+        finally:
+            if inflight:
+                for future in inflight:
+                    future.cancel()
+                wait(list(inflight))  # drain zombies; results discarded
+            adapter.finalize()
+
+    def _create_round(self, server, adapter, cbs, t: int, local_round: int, ready) -> _Round:
+        server.round_idx = t  # creation-time phases draw RNG in round order
+        for cb in cbs:
+            cb.on_round_start(server, t)
+        active = server.sample_clients()
+        server.last_suspects = []
+        plans = server.dispatch(active)
+        if len(active) != len(plans):
+            raise ValueError(
+                f"dispatch produced {len(plans)} plans for "
+                f"{len(active)} active clients"
+            )
+        rows = [int(plan.context.get("row", i)) for i, plan in enumerate(plans)]
+        n = len(active)
+        uploads = server._model_buffer(("async", t % (self.max_staleness + 1)), n)
+        ctx = adapter.begin_round(t, uploads)
+        rs = _Round(
+            t=t,
+            local_round=local_round,
+            active=active,
+            plans=plans,
+            rows=rows,
+            uploads=uploads,
+            ctx=ctx,
+            results=[None] * n,
+            tries=[0] * n,
+        )
+        policy = server.fault_policy
+        population = server.fault_model
+        if population is not None:
+            faults = population.leg_faults(t, [c.client_id for c in active])
+            for i, fault in enumerate(faults):
+                if fault.kind is not None:
+                    rs.failures[i] = population.failure_for(
+                        fault, i, active[i].client_id, rows[i]
+                    )
+            if rs.failures and policy.failure_policy == "fail":
+                raise FaultError(
+                    f"round {t} aborted under failure_policy='fail': "
+                    f"{_describe(rs.failures)}"
+                )
+        attacks = {}
+        if population is not None:
+            for i in range(n):
+                spec = population.attack_for(t, active[i].client_id)
+                if spec is not None:
+                    attacks[i] = spec
+        for i in range(n):
+            if i in rs.failures:
+                # Pre-decided simulated fault: never dispatched.  Copy
+                # the dispatched state *now* — a later round's
+                # speculative blend may rewrite the live pool row
+                # before this round's carry lands.
+                rs.carry[i] = adapter.plan_state(rows[i])
+                rs.resolved += 1
+            else:
+                ready.append(
+                    _Leg(
+                        t=local_round,
+                        i=i,
+                        client=active[i],
+                        row=rows[i],
+                        plan=plans[i],
+                        attack=attacks.get(i),
+                    )
+                )
+        return rs
+
+    def _submit_ready(self, server, adapter, ready, busy, inflight, states) -> None:
+        import dataclasses
+
+        now = self.clock()
+        eligible: "dict[int, list[_Leg]]" = {}
+        hold = []
+        while ready:
+            leg = ready.popleft()
+            if leg.not_before > now or (
+                leg.client.client_id in busy and not leg.reserved
+            ):
+                # Backoff-gated, or the client is busy with *another*
+                # leg.  A retry re-queued by ``_fail`` keeps its own
+                # client reservation (``reserved``) — busy then means
+                # "reserved for exactly this leg", not "occupied".
+                hold.append(leg)
+            else:
+                busy.add(leg.client.client_id)
+                leg.reserved = False
+                eligible.setdefault(leg.t, []).append(leg)
+        ready.extend(hold)
+        if not eligible:
+            return
+        policy = server.fault_policy
+        backend = server.executor.backend
+        for t in sorted(eligible):
+            legs = eligible[t]
+            rs = states[t]
+            sub_plans = []
+            for leg in legs:
+                leg.tries += 1
+                rs.tries[leg.i] += 1
+                leg.snapshot = leg.client.rng.bit_generator.state
+                if leg.carry_state is None:
+                    # First submission: read (and privately copy) the
+                    # row's *current* state — retries re-train this
+                    # exact state, and the carry degradation restores
+                    # it, even if speculative blends move the live row
+                    # under the in-flight leg.
+                    leg.carry_state = adapter.plan_state(leg.row)
+                    rs.max_stale = max(
+                        rs.max_stale, (rs.t - 1) - adapter.version_of(leg.row)
+                    )
+                rs.carry[leg.i] = leg.carry_state
+                sub_plans.append(
+                    dataclasses.replace(leg.plan, state=leg.carry_state)
+                )
+            rs.downs += len(legs)
+            sub_attacks = {
+                j: leg.attack for j, leg in enumerate(legs) if leg.attack is not None
+            }
+            group = backend.submit_group(
+                server.trainer,
+                [leg.client for leg in legs],
+                sub_plans,
+                [leg.row for leg in legs],
+                rs.uploads,
+                attacks=sub_attacks or None,
+            )
+            deadline = (
+                None
+                if policy.leg_timeout is None
+                else self.clock() + float(policy.leg_timeout)
+            )
+            for j, leg in enumerate(legs):
+                leg.group = group
+                leg.j = j
+                leg.future = group.futures[j]
+                leg.deadline = deadline
+                inflight[leg.future] = leg
+
+    def _wait_and_land(self, server, adapter, policy, ready, busy, inflight, states) -> None:
+        if not inflight:
+            if ready:
+                # Nothing in flight: every queued leg is either backoff
+                # -gated or held behind a gated retry's busy client.
+                # Advance the injectable clock to the earliest gate —
+                # min over *future* gates only, else a held leg with
+                # not_before=0 would pin the gate at zero and spin.
+                now = self.clock()
+                gates = [leg.not_before for leg in ready if leg.not_before > now]
+                if gates:
+                    self.sleep(min(gates) - now)
+            return
+        now = self.clock()
+        timeout = None
+        deadlines = [
+            leg.deadline for leg in inflight.values() if leg.deadline is not None
+        ]
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - now)
+        gates = [leg.not_before for leg in ready if leg.not_before > now]
+        if gates:
+            gate_wait = max(0.0, min(gates) - now)
+            timeout = gate_wait if timeout is None else min(timeout, gate_wait)
+        done, _ = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+        for future in done:
+            leg = inflight.pop(future)
+            self._land(server, adapter, policy, leg, future, ready, busy, states)
+        if not done:
+            now = self.clock()
+            expired = [
+                leg
+                for future, leg in list(inflight.items())
+                if leg.deadline is not None and leg.deadline <= now
+            ]
+            for leg in expired:
+                inflight.pop(leg.future, None)
+                leg.future.cancel()
+                wait([leg.future])  # drain: late work is discarded
+                leg.group.leg_done()
+                failure = LegFailure(
+                    index=leg.i,
+                    client_id=leg.client.client_id,
+                    row=leg.row,
+                    kind="timeout",
+                    message="leg did not finish before the wall-clock deadline",
+                    drained=True,
+                )
+                self._fail(server, policy, leg, failure, ready, busy, states)
+
+    def _land(self, server, adapter, policy, leg, future, ready, busy, states) -> None:
+        rs = states[leg.t]
+        try:
+            raw = future.result()
+        except (KeyboardInterrupt, SystemExit, GeneratorExit):
+            raise
+        except BaseException as exc:  # noqa: BLE001 - policy decides
+            leg.group.leg_done()
+            failure = LegFailure(
+                index=leg.i,
+                client_id=leg.client.client_id,
+                row=leg.row,
+                kind="error",
+                message=f"{type(exc).__name__}: {exc}",
+            )
+            self._fail(server, policy, leg, failure, ready, busy, states)
+            return
+        result = leg.group.finalize(leg.j, raw)
+        leg.group.leg_done()
+        busy.discard(leg.client.client_id)
+        rs.results[leg.i] = result
+        rs.ups += 1
+        rs.failures.pop(leg.i, None)
+        rs.resolved += 1
+        server.round_idx = rs.t
+        server._uploads = rs.uploads  # on_upload consumers key on it
+        server.on_upload(leg.row, result)
+        adapter.upload_landed(rs.ctx, leg.row)
+
+    def _fail(self, server, policy, leg, failure, ready, busy, states) -> None:
+        rs = states[leg.t]
+        failure = failure.replace(
+            index=leg.i,
+            client_id=leg.client.client_id,
+            row=leg.row,
+            attempts=leg.tries,
+        )
+        server.ledger.note_leg_failure()
+        # Restore the submission-time RNG snapshot immediately — before
+        # the client can be released or resubmitted — so no later leg
+        # ever trains from a half-advanced stream, and a carry lands
+        # only after the rewind (the sync engine's contract).
+        _restore_rng(leg.client, leg.snapshot)
+        if failure.retryable and leg.tries <= policy.leg_retries:
+            leg.not_before = self.clock() + policy.backoff_delay(leg.tries)
+            leg.reserved = True  # client stays reserved for its retry
+            ready.append(leg)
+            return
+        if (
+            failure.retryable
+            and policy.failure_policy == "redispatch"
+            and not leg.reissued
+        ):
+            leg.reissued = True
+            leg.not_before = self.clock()
+            leg.reserved = True
+            ready.append(leg)
+            return
+        busy.discard(leg.client.client_id)
+        rs.failures[leg.i] = failure
+        rs.resolved += 1
+
+    def _complete_round(self, server, adapter, cbs, rs: _Round, rounds, eval_every) -> None:
+        from repro.fl.trainer import LocalResult  # lazy: import cycle
+
+        server.round_idx = rs.t
+        server._uploads = rs.uploads
+        policy = server.fault_policy
+        n = len(rs.active)
+        if rs.failures and policy.failure_policy == "fail":
+            raise FaultError(
+                f"round {rs.t} aborted under failure_policy='fail': "
+                f"{_describe(rs.failures)}"
+            )
+        survivors = n - len(rs.failures)
+        required = policy.required_legs(n)
+        if survivors < required:
+            raise QuorumError(
+                f"round {rs.t}: {survivors}/{n} fresh uploads, "
+                f"quorum {policy.quorum:g} requires {required} — "
+                f"{_describe(rs.failures)}"
+            )
+        # Carry the degraded legs: the dispatched state re-lands in the
+        # upload row (CrossAggr / GramTracker keep a full K-row view).
+        for i, _failure in sorted(rs.failures.items()):
+            state = rs.carry[i]
+            if rs.tries[i] == 0 and adapter.version_of(rs.rows[i]) <= rs.t - 1:
+                # Pre-dropped leg (never submitted): its creation-time
+                # copy predates the reconciliation of rounds < t, which
+                # all completed by now.  Re-read the live row — unless a
+                # newer round already speculatively owns it, in which
+                # case the creation-time snapshot stays the closest
+                # thing to "the state this round dispatched".
+                state = adapter.plan_state(rs.rows[i])
+                rs.carry[i] = state
+            rs.uploads.set_state(rs.rows[i], state)
+            rs.results[i] = LocalResult(
+                state=state, num_samples=0, num_steps=0, mean_loss=0.0
+            )
+            server.on_upload(rs.rows[i], rs.results[i])
+        extras = adapter.complete_round(rs.ctx, rs.active, rs.results, rs.plans) or {}
+        info = extras.get("async")
+        if isinstance(info, dict):
+            info["max_dispatch_staleness"] = max(0, rs.max_stale)
+        ordered = [rs.failures[i] for i in sorted(rs.failures)]
+        server.last_leg_failures = ordered
+        if ordered:
+            extras.setdefault("leg_failures", [f.summary() for f in ordered])
+        if not getattr(server.executor.backend, "measures_comm", False):
+            # Analytic charge from counted leg traffic: one down per
+            # (re)submission, one up per fresh landing — carried and
+            # pre-dropped legs move nothing.
+            server.ledger.record_down(rs.downs * server.model_size)
+            server.ledger.record_up(rs.ups * server.model_size)
+        up, down = server.ledger.end_round()
+        record = RoundRecord(
+            round_idx=rs.t,
+            train_loss=extras.pop("train_loss", None),
+            comm_up_params=up,
+            comm_down_params=down,
+            extras=extras,
+        )
+        if (rs.t + 1) % eval_every == 0 or rs.local_round == rounds - 1:
+            record.accuracy, record.loss = server.evaluate()
+            for cb in cbs:
+                cb.on_evaluate(server, record)
+        server.history.append(record)
+        for cb in cbs:
+            cb.on_round_end(server, record)
+        for failure in ordered:
+            for cb in server.callbacks:
+                cb.on_leg_failure(server, failure)
+        server.round_idx = rs.t + 1

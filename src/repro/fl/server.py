@@ -170,6 +170,11 @@ class FederatedServer:
         self.fault_policy = RoundPolicy.from_config(config)
         self.last_leg_failures: list = []
         self._round_leg_comm: "tuple[int, int] | None" = None
+        # Injectable seams: ``fault_sleep`` replaces the resilience
+        # engine's backoff sleep (tests wait in virtual time) and
+        # ``round_scheduler`` overrides the config-built schedule.
+        self.fault_sleep = None
+        self.round_scheduler = None
         # Aggregation operator for both aggregation sites (CrossAggr
         # blends and GlobalModelGen / upload averaging).  The default
         # "mean" delegates to mean_state/cross_aggregate and is bitwise
@@ -457,48 +462,18 @@ class FederatedServer:
         ``self.stop_training`` ends the loop after the current round.
         """
         rounds = rounds if rounds is not None else self.config.rounds
-        eval_every = self.config.eval_every
         cbs = self.callbacks + list(callbacks or [])
         self.stop_training = False
-        for local_round in range(rounds):
-            for cb in cbs:
-                cb.on_round_start(self, self.round_idx)
-            # Through the legacy alias so pre-phase subclasses that
-            # still override sample_clients() keep their sampling.
-            active = self.sample_clients()
-            self.last_suspects = []
-            extras = self.run_round(active) or {}
-            if self.last_leg_failures:
-                extras.setdefault(
-                    "leg_failures",
-                    [f.summary() for f in self.last_leg_failures],
-                )
-            if self.last_suspects:
-                extras.setdefault(
-                    "suspect_uploads",
-                    [r.summary() for r in self.last_suspects],
-                )
-            up, down = self.ledger.end_round()
-            record = RoundRecord(
-                round_idx=self.round_idx,
-                train_loss=extras.pop("train_loss", None),
-                comm_up_params=up,
-                comm_down_params=down,
-                extras=extras,
-            )
-            # Compare against the *local* round counter: ``self.round_idx``
-            # is global across fit() calls, so a resumed fit(n) would
-            # otherwise never hit its guaranteed final-round evaluation.
-            if (self.round_idx + 1) % eval_every == 0 or local_round == rounds - 1:
-                record.accuracy, record.loss = self.evaluate()
-                for cb in cbs:
-                    cb.on_evaluate(self, record)
-            self.history.append(record)
-            for cb in cbs:
-                cb.on_round_end(self, record)
-            self.round_idx += 1
-            if self.stop_training:
-                break
+        # The round *schedule* is pluggable (repro.fl.scheduler): the
+        # default "sync" scheduler is the historical loop body verbatim
+        # — each round blocks on its slowest leg — while "async"
+        # overlaps rounds under a bounded-staleness window.  An
+        # explicitly injected ``round_scheduler`` wins over the config
+        # (the test seam for injectable clocks).
+        from repro.fl.scheduler import build_round_scheduler  # lazy: cycle
+
+        scheduler = self.round_scheduler or build_round_scheduler(self.config)
+        scheduler.run(self, rounds, cbs)
         # Method finalisation runs before callback on_fit_end hooks, so
         # diagnostics snapshot the *trained* state, not one mutated by
         # e.g. a checkpointer's best-state restore.

@@ -268,3 +268,89 @@ class TestSelectCohort:
         pop = ClientPopulation({}, seed=0, num_clients=10)
         with pytest.raises(ValueError, match="sized for 10"):
             pop.select_cohort(list(range(8)), 2, 0, np.random.default_rng(0))
+
+
+class TestBenignStragglerConsistency:
+    """`benign` must agree with `leg_fault`'s straggler judgement
+    (ISSUE 10 satellite): the reachable-speed regression, the
+    `slow_factor == straggler_timeout` boundary, and the property that
+    a benign scenario never faults or slows any sampled leg."""
+
+    def test_timeout_below_baseline_not_benign_without_slowdown(self):
+        # Regression: slow_prob=0 leaves every leg at the 1.0 baseline
+        # speed, which a sub-unit straggler_timeout still strands — the
+        # scenario straggles *every* leg and must not report benign.
+        scenario = FaultScenario(straggler_timeout=0.5)
+        assert not scenario.benign
+        pop = ClientPopulation(scenario, seed=0, num_clients=8)
+        faults = pop.leg_faults(0, range(8))
+        assert all(f.kind == "straggler" and f.speed == 1.0 for f in faults)
+
+    def test_boundary_equal_timeout_slowed_not_straggling(self):
+        # slow_factor == straggler_timeout: leg_fault's strict `>`
+        # never fires (no stragglers), but legs still run slowed — the
+        # scenario is not benign for the slowdown, not the timeout.
+        scenario = FaultScenario(
+            slow_prob=1.0, slow_factor=2.0, straggler_timeout=2.0
+        )
+        assert not scenario.benign
+        pop = ClientPopulation(scenario, seed=0, num_clients=8)
+        faults = pop.leg_faults(0, range(8))
+        assert all(f.kind is None and f.speed == 2.0 for f in faults)
+
+    def test_unit_slow_factor_is_benign(self):
+        # A slowdown that multiplies by 1.0 slows nothing, whatever
+        # slow_prob says — and can never exceed a >= 1.0 timeout.
+        assert FaultScenario(slow_prob=0.3, slow_factor=1.0).benign
+        assert FaultScenario(
+            slow_prob=0.3, slow_factor=1.0, straggler_timeout=1.0
+        ).benign
+
+    def test_timeout_at_baseline_is_benign(self):
+        scenario = FaultScenario(straggler_timeout=1.0)
+        assert scenario.benign
+        pop = ClientPopulation(scenario, seed=0, num_clients=8)
+        assert all(f.kind is None for f in pop.leg_faults(0, range(8)))
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {},
+            {"slow_prob": 0.3, "slow_factor": 1.0},
+            {"straggler_timeout": 4.0},
+            {"availability": 1.0, "dropout": 0.0},
+        ],
+    )
+    def test_benign_scenarios_never_fault_a_leg(self, spec):
+        # Property: benign ⇒ every sampled leg is (kind=None, speed 1.0
+        # or a sub-timeout slowdown) on every round.
+        scenario = FaultScenario.from_spec(spec)
+        assert scenario.benign
+        pop = ClientPopulation(scenario, seed=3, num_clients=16)
+        for t in range(5):
+            for f in pop.leg_faults(t, range(16)):
+                assert f.kind is None
+        assert not pop.byzantine_mask().any()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"availability": 0.5},
+            {"dropout": 0.5},
+            {"slow_prob": 1.0, "slow_factor": 3.0},
+            {"straggler_timeout": 0.5},
+            {"byzantine_frac": 0.5},
+        ],
+    )
+    def test_non_benign_scenarios_observably_misbehave(self, spec):
+        # Converse property: not benign ⇒ a modest sample shows a
+        # fault, a slowdown, or an adversarial client.
+        scenario = FaultScenario.from_spec(spec)
+        assert not scenario.benign
+        pop = ClientPopulation(scenario, seed=3, num_clients=16)
+        misbehaved = any(
+            f.kind is not None or f.speed != 1.0
+            for t in range(5)
+            for f in pop.leg_faults(t, range(16))
+        )
+        assert misbehaved or pop.byzantine_mask().any()

@@ -307,3 +307,122 @@ class TestTimeouts:
         assert "ValueError: boom" in failure.message
         timeout = _leg_failure([SimpleNamespace(client_id=4)], [2], 0, "timeout")
         assert "deadline" in timeout.message
+
+
+class TestEngineGuards:
+    def test_cohort_plan_length_mismatch_raises(self):
+        # Regression (ISSUE 10): the engine used to truncate to
+        # min(len(active), len(plans)), silently dropping legs and
+        # skewing quorum accounting.  A skew must fail loudly, naming
+        # both lengths.
+        from repro.faults.engine import resilient_collect
+        from repro.faults.policy import RoundPolicy
+
+        server = SimpleNamespace(
+            fault_policy=RoundPolicy.from_config(
+                FLConfig(**{**BASE, "leg_retries": 1})
+            ),
+            fault_model=None,
+            round_idx=0,
+        )
+        active = [SimpleNamespace(client_id=0), SimpleNamespace(client_id=1)]
+        plans = [SimpleNamespace(state={})]
+        with pytest.raises(
+            ValueError, match="2 active clients but 1 dispatch plans"
+        ):
+            resilient_collect(server, active, plans, [0, 1], None)
+
+
+class TestInjectableSleep:
+    def test_backoff_rides_injected_fault_sleep(self):
+        # leg_backoff=7.5 would stall the suite for many real seconds;
+        # through server.fault_sleep the delays become bookkeeping
+        # entries and the retried run stays bitwise identical to the
+        # clean one (modulo the retransmission downlink).
+        sleeps = []
+
+        class Install(ServerCallback):
+            def __init__(self):
+                self.dropper_install = _InstallDropper(
+                    range(BASE["num_clients"]), times=1
+                )
+
+            def on_round_start(self, server, round_idx):
+                server.fault_sleep = sleeps.append
+                self.dropper_install.on_round_start(server, round_idx)
+
+        installer = Install()
+        started = time.monotonic()
+        retried = _run(
+            callbacks=[installer],
+            failure_policy="carry",
+            leg_retries=1,
+            leg_backoff=7.5,
+        )
+        elapsed = time.monotonic() - started
+        assert installer.dropper_install.dropper.dropped > 0
+        assert sleeps and all(s == 7.5 for s in sleeps)
+        assert elapsed < 5.0  # the 7.5 s delays never hit the wall clock
+        _assert_identical(_run(), retried, comm=False)
+        assert _failure_count(retried) == 0
+
+
+class TestStragglerRngRestore:
+    def test_straggler_carry_restores_client_rng(self):
+        # A timed-out straggler is pre-dropped (never trained); its
+        # carry must leave the client RNG exactly at its round-start
+        # state, while landed clients' RNGs advance.
+        import copy
+
+        class RngWatch(ServerCallback):
+            def __init__(self):
+                self.checked_carried = 0
+                self.checked_landed = 0
+
+            def on_round_start(self, server, round_idx):
+                self.before = {
+                    c.client_id: copy.deepcopy(c.rng.bit_generator.state)
+                    for c in server.clients
+                }
+                self.cohort = None
+
+            def on_round_end(self, server, record):
+                carried = {
+                    s["client"]
+                    for s in record.extras.get("leg_failures", ())
+                }
+                by_id = {c.client_id: c for c in server.clients}
+                for cid in carried:
+                    assert (
+                        by_id[cid].rng.bit_generator.state == self.before[cid]
+                    ), f"straggler client {cid} RNG advanced"
+                    self.checked_carried += 1
+                advanced = [
+                    cid
+                    for cid, c in by_id.items()
+                    if c.rng.bit_generator.state != self.before[cid]
+                ]
+                # Somebody trained this round (quorum held), and no
+                # carried straggler is among the advanced.
+                assert advanced
+                assert not (set(advanced) & carried)
+                self.checked_landed += len(advanced)
+
+        watch = RngWatch()
+        result = _run(
+            callbacks=[watch],
+            faults={
+                "slow_prob": 0.5,
+                "slow_factor": 4.0,
+                "straggler_timeout": 2.0,
+            },
+            failure_policy="carry",
+            quorum=0.25,
+        )
+        kinds = {
+            s["kind"]
+            for r in result.history.records
+            for s in r.extras.get("leg_failures", ())
+        }
+        assert kinds == {"straggler"}
+        assert watch.checked_carried > 0

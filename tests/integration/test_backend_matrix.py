@@ -218,3 +218,64 @@ class TestMethodCoverageAcrossStorage:
         ref = _run(_config(method, "dense", "serial", streaming=True))
         got = _run(_config(method, backend, "serial", streaming=True))
         _assert_identical(ref, got, f"{method}/{backend}")
+
+
+class TestAsyncRoundLeg:
+    """The round-schedule dimension of the matrix (ISSUE 10).
+
+    ``round_mode="async"`` with ``max_staleness=0`` must be bit-identical
+    to the sync reference on every backend — including the distributed
+    cell, whose communication columns are *measured* at the sockets.
+    With ``max_staleness=2`` the serial cell stays bitwise (groups
+    complete eagerly, so rounds never truly overlap), while genuinely
+    overlapped cells (process workers, co-located distributed
+    execution) are held to the structural invariants: one record per
+    round in order, the ``async`` speculation/reconcile counters, and a
+    finite final pool."""
+
+    CELLS = (
+        ("dense", "serial"),
+        ("dense", "process"),
+        ("distributed", "distributed"),
+    )
+
+    @pytest.mark.parametrize("backend,execution", CELLS)
+    def test_zero_staleness_bit_identical(
+        self, fedcross_reference, backend, execution
+    ):
+        config = _config("fedcross", backend, execution, streaming=True).replace(
+            round_mode="async", max_staleness=0
+        )
+        _assert_identical(
+            fedcross_reference,
+            _run(config),
+            f"fedcross/{backend}/{execution}/async-s0",
+        )
+
+    def test_serial_overlap_window_bit_identical(self, fedcross_reference):
+        config = _config("fedcross", "dense", "serial", streaming=True).replace(
+            round_mode="async", max_staleness=2
+        )
+        _assert_identical(
+            fedcross_reference, _run(config), "fedcross/dense/serial/async-s2"
+        )
+
+    @pytest.mark.parametrize(
+        "backend,execution", (("dense", "process"), ("distributed", "distributed"))
+    )
+    def test_overlapped_invariants(self, backend, execution):
+        config = _config("fedcross", backend, execution, streaming=True).replace(
+            round_mode="async", max_staleness=2
+        )
+        result, matrix = _run(config)
+        records = result.history.records
+        assert [r.round_idx for r in records] == list(
+            range(config.rounds)
+        ), f"{backend}/{execution}"
+        for r in records:
+            info = r.extras["async"]
+            assert info["speculative_blends"] >= 0
+            assert info["max_dispatch_staleness"] <= 2
+            assert r.comm_up_params > 0 and r.comm_down_params > 0
+            assert r.accuracy is not None and 0.0 <= r.accuracy <= 1.0
+        assert matrix is not None and np.isfinite(matrix).all()

@@ -172,3 +172,31 @@ class TestCommands:
             ]
         )
         assert code == 0
+
+
+class TestAsyncRoundMode:
+    def test_round_mode_defaults_and_choices(self):
+        args = build_parser().parse_args(["run"])
+        assert args.round_mode == "sync"
+        assert args.max_staleness == 0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--round-mode", "overlapped"])
+
+    def test_run_async_json_smoke(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method", "fedcross",
+                "--clients", "4",
+                "--rounds", "2",
+                "--local-epochs", "1",
+                "--eval-every", "1",
+                "--round-mode", "async",
+                "--max-staleness", "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "fedcross"
+        assert len(payload["accuracies"]) == 2
